@@ -1,0 +1,20 @@
+//! Error-diversity analysis (Section 6.4, Table 4).
+//!
+//! The paper measures how many irregularities of each type a test
+//! dataset contains, distinguishing *singleton* irregularities (visible
+//! in one record: outliers, abbreviations, missing values) from
+//! *pair-based* irregularities (visible only between two duplicate
+//! records: typos, OCR and phonetic errors, prefix/postfix truncations,
+//! formatting differences, token transpositions and the multi-attribute
+//! classes value confusion / integrated value / scattered values).
+//!
+//! Detectors run over the schema-agnostic
+//! [`nc_detect::dataset::Dataset`], so the same analysis applies to the
+//! NC data and to the Cora/Census comparators, exactly as in Table 4.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod pairwise;
+pub mod report;
+pub mod singleton;

@@ -1,0 +1,119 @@
+//! Singleton irregularities: detectable within one record.
+
+/// Configuration of the singleton detectors for one dataset schema.
+#[derive(Debug, Clone, Default)]
+pub struct SingletonConfig {
+    /// `(attribute index, lo, hi)`: numeric attributes with their valid
+    /// ranges (e.g. age ∈ [17, 110]). Values outside — or unparseable
+    /// values containing digits — are outliers.
+    pub numeric_ranges: Vec<(usize, i64, i64)>,
+    /// Attribute indices whose values should consist of letters (and
+    /// common name punctuation); a digit there is an outlier.
+    pub alpha_attrs: Vec<usize>,
+}
+
+/// Whether a value counts as missing: null-ish or an explicit
+/// missing-information marker.
+pub fn is_missing(value: &str) -> bool {
+    let v = value.trim();
+    v.is_empty()
+        || v == "-"
+        || v.eq_ignore_ascii_case("null")
+        || v.eq_ignore_ascii_case("unknown")
+        || v.eq_ignore_ascii_case("n/a")
+        || v.eq_ignore_ascii_case("none")
+}
+
+/// Whether a value is an abbreviation: a single letter, possibly
+/// followed by a punctuation mark.
+pub fn is_abbreviation(value: &str) -> bool {
+    let v = value.trim();
+    let mut chars = v.chars();
+    match (chars.next(), chars.next(), chars.next()) {
+        (Some(c), None, None) => c.is_alphabetic(),
+        (Some(c), Some(p), None) => c.is_alphabetic() && matches!(p, '.' | ',' | ';'),
+        _ => false,
+    }
+}
+
+/// Whether a value is an outlier for the given attribute under the
+/// config (out-of-range numeric, or an unusual character for the
+/// domain).
+pub fn is_outlier(config: &SingletonConfig, attr: usize, value: &str) -> bool {
+    let v = value.trim();
+    if v.is_empty() {
+        return false;
+    }
+    for &(a, lo, hi) in &config.numeric_ranges {
+        if a == attr {
+            return match v.parse::<i64>() {
+                Ok(x) => x < lo || x > hi,
+                // A numeric attribute that does not parse is an outlier.
+                Err(_) => true,
+            };
+        }
+    }
+    if config.alpha_attrs.contains(&attr) {
+        // Unusual characters for a name-like domain (the paper's
+        // example: the first name 'X ÆA-12').
+        return v
+            .chars()
+            .any(|c| !(c.is_alphabetic() || c.is_whitespace() || matches!(c, '\'' | '-' | '.' | ',')));
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_markers() {
+        for v in ["", "  ", "-", "null", "NULL", "unknown", "N/A", "none"] {
+            assert!(is_missing(v), "{v:?}");
+        }
+        for v in ["A", "0", "SMITH"] {
+            assert!(!is_missing(v), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn abbreviations() {
+        for v in ["A", "A.", "b", "J,", " K. "] {
+            assert!(is_abbreviation(v), "{v:?}");
+        }
+        for v in ["", "AB", "A.B", "4", "4.", ".."] {
+            assert!(!is_abbreviation(v), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn numeric_outliers() {
+        let cfg = SingletonConfig {
+            numeric_ranges: vec![(0, 17, 110)],
+            alpha_attrs: vec![],
+        };
+        assert!(is_outlier(&cfg, 0, "5069"));
+        assert!(is_outlier(&cfg, 0, "0"));
+        assert!(is_outlier(&cfg, 0, "999"));
+        assert!(is_outlier(&cfg, 0, "4X")); // unparseable numeric
+        assert!(!is_outlier(&cfg, 0, "44"));
+        assert!(!is_outlier(&cfg, 0, "110"));
+        assert!(!is_outlier(&cfg, 0, "")); // missing is not an outlier
+        // Unconfigured attribute: never an outlier.
+        assert!(!is_outlier(&cfg, 1, "5069"));
+    }
+
+    #[test]
+    fn alpha_outliers() {
+        let cfg = SingletonConfig {
+            numeric_ranges: vec![],
+            alpha_attrs: vec![2],
+        };
+        assert!(is_outlier(&cfg, 2, "X ÆA-12"));
+        assert!(is_outlier(&cfg, 2, "NIC0LE"));
+        assert!(!is_outlier(&cfg, 2, "O'BRIEN"));
+        assert!(!is_outlier(&cfg, 2, "MARY-ANN"));
+        assert!(!is_outlier(&cfg, 2, "ST. JOHN"));
+    }
+}

@@ -1,0 +1,68 @@
+//! Benchmarks of the Table-4 irregularity analysis.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nc_analysis::report::{analyze, AnalysisConfig};
+use nc_analysis::singleton::SingletonConfig;
+use nc_analysis::{pairwise, singleton};
+use nc_datasets::census;
+
+fn bench_detectors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("irregularity_detectors");
+    let pairs = [
+        ("ADELL", "ADELLE"),
+        ("BAILEY", "BAYLEE"),
+        ("NIC0LE", "NICOLE"),
+        ("ANH THI", "THI ANH"),
+        ("KIM", "KIMBERLY"),
+        ("MARY-ANN", "MARY ANN"),
+    ];
+    group.bench_function("all_single_attr_checks", |b| {
+        b.iter(|| {
+            for (x, y) in pairs {
+                black_box(pairwise::is_typo(x, y));
+                black_box(pairwise::is_ocr_error(x, y));
+                black_box(pairwise::is_phonetic(x, y));
+                black_box(pairwise::is_prefix(x, y));
+                black_box(pairwise::is_postfix(x, y));
+                black_box(pairwise::is_formatting(x, y));
+                black_box(pairwise::is_token_transposition(x, y));
+            }
+        })
+    });
+    group.bench_function("singleton_checks", |b| {
+        let cfg = SingletonConfig {
+            numeric_ranges: vec![(0, 17, 110)],
+            alpha_attrs: vec![1],
+        };
+        b.iter(|| {
+            for v in ["5069", "44", "A.", "", "unknown", "X ÆA-12"] {
+                black_box(singleton::is_missing(v));
+                black_box(singleton::is_abbreviation(v));
+                black_box(singleton::is_outlier(&cfg, 0, v));
+                black_box(singleton::is_outlier(&cfg, 1, v));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_full_profile(c: &mut Criterion) {
+    let data = census::generate(1);
+    let cfg = AnalysisConfig {
+        singleton: SingletonConfig {
+            numeric_ranges: vec![],
+            alpha_attrs: vec![0, 1, 2],
+        },
+        confusable_pairs: vec![(0, 1), (1, 2), (0, 2)],
+        analyzed_attrs: vec![],
+    };
+    let mut group = c.benchmark_group("error_profile");
+    group.sample_size(20);
+    group.bench_function("census_full_table4", |b| {
+        b.iter(|| black_box(analyze(&data, &cfg).stats.len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors, bench_full_profile);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Benchmarks of the detection pipeline (Figure 5): blocking, record
+//! matching and the threshold sweep.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nc_datasets::census;
+use nc_detect::blocking::{Blocker, FullPairwise, SortedNeighborhood, StandardBlocking};
+use nc_detect::eval::{linspace, score_candidates, threshold_sweep};
+use nc_detect::matcher::{MeasureKind, RecordMatcher};
+
+fn bench_blocking(c: &mut Criterion) {
+    let data = census::generate(1);
+    let keys = data.top_entropy_attrs(5);
+    let mut group = c.benchmark_group("blocking_census");
+    group.sample_size(10);
+
+    group.bench_function("full_pairwise", |b| {
+        b.iter(|| black_box(FullPairwise.candidates(&data).len()))
+    });
+    group.bench_function("standard", |b| {
+        b.iter(|| black_box(StandardBlocking { key: 0 }.candidates(&data).len()))
+    });
+    for window in [10usize, 20] {
+        group.bench_with_input(BenchmarkId::new("snm_multipass", window), &window, |b, &w| {
+            let snm = SortedNeighborhood { keys: keys.clone(), window: w };
+            b.iter(|| black_box(snm.candidates(&data).len()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let data = census::generate(2);
+    let blocker = SortedNeighborhood::multi_pass(data.top_entropy_attrs(5));
+    let weights = data.entropy_weights();
+    let mut group = c.benchmark_group("matching_census");
+    group.sample_size(10);
+
+    for kind in MeasureKind::ALL {
+        group.bench_with_input(
+            BenchmarkId::new("score_candidates", kind.label()),
+            &kind,
+            |b, &kind| {
+                let matcher = RecordMatcher::with_kind(kind, weights.clone(), vec![]);
+                b.iter(|| black_box(score_candidates(&data, &blocker, &matcher).len()))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let data = census::generate(3);
+    let blocker = SortedNeighborhood::multi_pass(data.top_entropy_attrs(5));
+    let matcher = RecordMatcher::with_kind(MeasureKind::JaroWinkler, data.entropy_weights(), vec![]);
+    let scored = score_candidates(&data, &blocker, &matcher);
+    let gold = data.gold_pairs();
+    let thresholds = linspace(0.3, 0.98, 100);
+    c.bench_function("threshold_sweep_100_points", |b| {
+        b.iter(|| black_box(threshold_sweep(&scored, &gold, &thresholds).len()))
+    });
+}
+
+criterion_group!(benches, bench_blocking, bench_matching, bench_sweep);
+criterion_main!(benches);

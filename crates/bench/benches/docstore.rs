@@ -1,0 +1,91 @@
+//! Benchmarks of the document-store substrate: indexed vs scanned
+//! lookups, updates and aggregation pipelines.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nc_docstore::prelude::*;
+
+fn build_collection(n: usize, indexed: bool) -> Collection {
+    let mut coll = Collection::new("voters");
+    if indexed {
+        coll.create_index("ncid", IndexKind::Hash);
+        coll.create_index("age", IndexKind::Ordered);
+    }
+    for i in 0..n {
+        coll.insert(doc! {
+            "ncid" => format!("AA{i:06}"),
+            "name" => format!("NAME{}", i % 97),
+            "age" => (18 + (i % 80)) as i64,
+            "county" => format!("C{}", i % 50),
+        });
+    }
+    coll
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let n = 20_000;
+    let indexed = build_collection(n, true);
+    let scanned = build_collection(n, false);
+    let mut group = c.benchmark_group("docstore_lookup");
+    group.sample_size(20);
+
+    group.bench_function("point_lookup_indexed", |b| {
+        b.iter(|| black_box(indexed.find(&Filter::eq("ncid", "AA010000")).len()))
+    });
+    group.bench_function("point_lookup_scan", |b| {
+        b.iter(|| black_box(scanned.find(&Filter::eq("ncid", "AA010000")).len()))
+    });
+    group.bench_function("range_lookup_indexed", |b| {
+        b.iter(|| black_box(indexed.find(&Filter::between("age", 30_i64, 35_i64)).len()))
+    });
+    group.bench_function("range_lookup_scan", |b| {
+        b.iter(|| black_box(scanned.find(&Filter::between("age", 30_i64, 35_i64)).len()))
+    });
+    group.finish();
+}
+
+fn bench_mutations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("docstore_mutation");
+    group.sample_size(10);
+    group.bench_function("insert_10k_indexed", |b| {
+        b.iter(|| black_box(build_collection(10_000, true).len()))
+    });
+    group.bench_function("insert_10k_plain", |b| {
+        b.iter(|| black_box(build_collection(10_000, false).len()))
+    });
+    group.bench_function("update_indexed_field", |b| {
+        let mut coll = build_collection(10_000, true);
+        let mut i = 0u64;
+        b.iter(|| {
+            let id = i % 10_000;
+            coll.update(id, |d| {
+                d.set("age", 44_i64);
+            });
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+fn bench_pipeline(c: &mut Criterion) {
+    let coll = build_collection(20_000, true);
+    let mut group = c.benchmark_group("docstore_pipeline");
+    group.sample_size(10);
+    group.bench_function("group_by_county_count_avg", |b| {
+        let pipeline = Pipeline::new()
+            .matching(Filter::gte("age", 30_i64))
+            .group(
+                "county",
+                vec![
+                    ("n".into(), Accumulator::Count),
+                    ("avg_age".into(), Accumulator::Avg("age".into())),
+                ],
+            )
+            .sort("n", true)
+            .limit(10);
+        b.iter(|| black_box(pipeline.run(&coll).len()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_lookups, bench_mutations, bench_pipeline);
+criterion_main!(benches);

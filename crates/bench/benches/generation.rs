@@ -1,0 +1,80 @@
+//! Benchmarks of the archive generation and import pipeline — the
+//! scalability claim behind Tables 1 and 2.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use nc_core::cluster::ClusterStore;
+use nc_core::import::import_snapshot;
+use nc_core::record::DedupPolicy;
+use nc_votergen::config::GeneratorConfig;
+use nc_votergen::registry::Registry;
+use nc_votergen::snapshot::standard_calendar;
+
+fn bench_snapshot_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("snapshot_generation");
+    group.sample_size(10);
+    for &pop in &[500usize, 2_000] {
+        group.bench_with_input(BenchmarkId::new("first_snapshot", pop), &pop, |b, &pop| {
+            let calendar = standard_calendar();
+            b.iter(|| {
+                let mut reg = Registry::new(GeneratorConfig {
+                    seed: 1,
+                    initial_population: pop,
+                    ..Default::default()
+                });
+                black_box(reg.generate_snapshot(&calendar[0]).rows.len())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_import(c: &mut Criterion) {
+    let mut group = c.benchmark_group("import");
+    group.sample_size(10);
+
+    // Pre-generate two snapshots once.
+    let calendar = standard_calendar();
+    let mut reg = Registry::new(GeneratorConfig {
+        seed: 2,
+        initial_population: 2_000,
+        ..Default::default()
+    });
+    let s0 = reg.generate_snapshot(&calendar[0]);
+    let s1 = reg.generate_snapshot(&calendar[1]);
+
+    for policy in [DedupPolicy::Exact, DedupPolicy::Trimmed, DedupPolicy::PersonData] {
+        group.bench_with_input(
+            BenchmarkId::new("two_snapshots", policy.label()),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut store = ClusterStore::new();
+                    import_snapshot(&mut store, &s0, policy, 1);
+                    import_snapshot(&mut store, &s1, policy, 1);
+                    black_box(store.record_count())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let calendar = standard_calendar();
+    let mut reg = Registry::new(GeneratorConfig {
+        seed: 3,
+        initial_population: 1_000,
+        ..Default::default()
+    });
+    let snap = reg.generate_snapshot(&calendar[0]);
+    c.bench_function("fingerprint_1000_rows", |b| {
+        b.iter(|| {
+            for row in &snap.rows {
+                black_box(nc_core::record::fingerprint(row, DedupPolicy::Trimmed));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_snapshot_generation, bench_import, bench_fingerprint);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Benchmarks of the plausibility and heterogeneity scorers (Figures
+//! 4a/4b): per-pair and per-cluster cost.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nc_core::heterogeneity::{AttributeWeights, HeterogeneityScorer, Scope};
+use nc_core::pipeline::{GenerationConfig, TestDataGenerator};
+use nc_core::plausibility::PlausibilityScorer;
+use nc_core::record::DedupPolicy;
+use nc_votergen::config::GeneratorConfig;
+use nc_votergen::schema::Row;
+
+fn sample_clusters() -> Vec<Vec<Row>> {
+    let outcome = TestDataGenerator::run(GenerationConfig {
+        generator: GeneratorConfig {
+            seed: 4,
+            initial_population: 300,
+            ..Default::default()
+        },
+        policy: DedupPolicy::Trimmed,
+        snapshots: 10,
+    });
+    outcome
+        .store
+        .cluster_ids()
+        .into_iter()
+        .map(|(ncid, _)| outcome.store.cluster_rows(&ncid))
+        .filter(|rows| rows.len() >= 2)
+        .take(100)
+        .collect()
+}
+
+fn bench_plausibility(c: &mut Criterion) {
+    let clusters = sample_clusters();
+    let scorer = PlausibilityScorer::new();
+    let mut group = c.benchmark_group("plausibility");
+    group.sample_size(20);
+    group.bench_function("pair", |b| {
+        let (a, x) = (&clusters[0][0], &clusters[0][1]);
+        b.iter(|| black_box(scorer.pair(black_box(a), black_box(x))))
+    });
+    group.bench_function("100_clusters", |b| {
+        b.iter(|| {
+            let total: f64 = clusters.iter().map(|rows| scorer.cluster(rows)).sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+fn bench_heterogeneity(c: &mut Criterion) {
+    let clusters = sample_clusters();
+    let firsts: Vec<Row> = clusters.iter().map(|rows| rows[0].clone()).collect();
+    let mut group = c.benchmark_group("heterogeneity");
+    group.sample_size(10);
+
+    group.bench_function("entropy_weights", |b| {
+        b.iter(|| black_box(AttributeWeights::from_rows(Scope::Person, black_box(&firsts))))
+    });
+
+    let scorer =
+        HeterogeneityScorer::new(AttributeWeights::from_rows(Scope::Person, firsts.iter()));
+    group.bench_function("pair_person_scope", |b| {
+        let (a, x) = (&clusters[0][0], &clusters[0][1]);
+        b.iter(|| black_box(scorer.pair(black_box(a), black_box(x))))
+    });
+
+    let scorer_all =
+        HeterogeneityScorer::new(AttributeWeights::from_rows(Scope::All, firsts.iter()));
+    group.bench_function("pair_all_scope", |b| {
+        let (a, x) = (&clusters[0][0], &clusters[0][1]);
+        b.iter(|| black_box(scorer_all.pair(black_box(a), black_box(x))))
+    });
+
+    group.bench_function("100_clusters_person_scope", |b| {
+        b.iter(|| {
+            let total: f64 = clusters.iter().map(|rows| scorer.cluster(rows)).sum();
+            black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_plausibility, bench_heterogeneity);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! Microbenchmarks of the string-similarity measures — the hot path of
+//! every scoring and detection experiment.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nc_similarity::damerau::{DamerauLevenshtein, ExtendedDamerauLevenshtein};
+use nc_similarity::gen_jaccard::GeneralizedJaccard;
+use nc_similarity::jaro::JaroWinkler;
+use nc_similarity::monge_elkan::MongeElkan;
+use nc_similarity::ngram::NgramJaccard;
+use nc_similarity::soundex::soundex;
+use nc_similarity::StringSimilarity;
+
+const PAIRS: &[(&str, &str)] = &[
+    ("WILLIAMS", "WILLIAMSON"),
+    ("DEBRA OEHRIE WILLIAMS", "WILLIAMS DEBRA OEHRLE"),
+    ("KIMBERLY", "K."),
+    ("JONATHAN", "JONATHAN"),
+    ("MARY ELIZABETH FIELDS", "JOSHUA BETHEA"),
+];
+
+fn bench_measures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("string_similarity");
+    group.sample_size(30);
+
+    let dl = DamerauLevenshtein::new();
+    group.bench_function("damerau_levenshtein", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(dl.sim(black_box(x), black_box(y)));
+            }
+        })
+    });
+
+    let ext = ExtendedDamerauLevenshtein::new();
+    group.bench_function("extended_damerau", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(ext.sim(black_box(x), black_box(y)));
+            }
+        })
+    });
+
+    let jw = JaroWinkler::new();
+    group.bench_function("jaro_winkler", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(jw.sim(black_box(x), black_box(y)));
+            }
+        })
+    });
+
+    let tri = NgramJaccard::trigram();
+    group.bench_function("trigram_jaccard", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(tri.sim(black_box(x), black_box(y)));
+            }
+        })
+    });
+
+    let me = MongeElkan::new(DamerauLevenshtein::new());
+    group.bench_function("monge_elkan", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(me.sim(black_box(x), black_box(y)));
+            }
+        })
+    });
+
+    let gj = GeneralizedJaccard::new(ExtendedDamerauLevenshtein::new());
+    group.bench_function("generalized_jaccard", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(gj.sim(black_box(x), black_box(y)));
+            }
+        })
+    });
+
+    group.bench_function("soundex", |b| {
+        b.iter(|| {
+            for (x, y) in PAIRS {
+                black_box(soundex(black_box(x)));
+                black_box(soundex(black_box(y)));
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_measures);
+criterion_main!(benches);

@@ -1,0 +1,311 @@
+//! Customization: carving user-specific test datasets out of the full
+//! cluster store (Section 6.5).
+//!
+//! The paper's three-step recipe:
+//!
+//! 1. pick heterogeneity bounds `[h_low, h_high]`,
+//! 2. randomly sample clusters; scan each cluster's records in order and
+//!    drop every record whose heterogeneity to its preceding *kept*
+//!    records falls outside the bounds,
+//! 3. sort the reduced clusters by size and keep the largest `k`.
+//!
+//! Applied with bounds (0.06, 0.2), (0.2, 0.4) and (0.4, 1.0) this
+//! produces the paper's NC1, NC2 and NC3 datasets.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use nc_votergen::schema::Row;
+
+use crate::cluster::ClusterStore;
+use crate::heterogeneity::HeterogeneityScorer;
+
+/// Parameters of the customization step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomizeParams {
+    /// Lower heterogeneity bound (inclusive) between kept records.
+    pub h_low: f64,
+    /// Upper heterogeneity bound (inclusive).
+    pub h_high: f64,
+    /// Number of clusters to sample from the store (the paper samples
+    /// "over 100 thousand"). Capped at the store size.
+    pub sample_clusters: usize,
+    /// Number of (largest) reduced clusters to keep (the paper keeps
+    /// 10 thousand).
+    pub output_clusters: usize,
+    /// Sampling seed.
+    pub seed: u64,
+}
+
+impl CustomizeParams {
+    /// The paper's NC1 setting (clean: heterogeneity 0.06–0.2).
+    pub fn nc1(sample: usize, output: usize, seed: u64) -> Self {
+        CustomizeParams { h_low: 0.06, h_high: 0.2, sample_clusters: sample, output_clusters: output, seed }
+    }
+    /// The paper's NC2 setting (medium: 0.2–0.4).
+    pub fn nc2(sample: usize, output: usize, seed: u64) -> Self {
+        CustomizeParams { h_low: 0.2, h_high: 0.4, sample_clusters: sample, output_clusters: output, seed }
+    }
+    /// The paper's NC3 setting (dirty: 0.4–1.0).
+    pub fn nc3(sample: usize, output: usize, seed: u64) -> Self {
+        CustomizeParams { h_low: 0.4, h_high: 1.0, sample_clusters: sample, output_clusters: output, seed }
+    }
+}
+
+/// One cluster of a customized dataset.
+#[derive(Debug, Clone)]
+pub struct CustomCluster {
+    /// The gold-standard cluster id (the voter's NCID).
+    pub ncid: String,
+    /// The kept records.
+    pub records: Vec<Row>,
+}
+
+/// A customized test dataset with its gold standard.
+#[derive(Debug, Clone, Default)]
+pub struct CustomDataset {
+    /// Clusters, largest first.
+    pub clusters: Vec<CustomCluster>,
+}
+
+impl CustomDataset {
+    /// Total number of records.
+    pub fn record_count(&self) -> usize {
+        self.clusters.iter().map(|c| c.records.len()).sum()
+    }
+
+    /// Number of duplicate pairs in the gold standard.
+    pub fn duplicate_pairs(&self) -> u64 {
+        self.clusters
+            .iter()
+            .map(|c| crate::stats::pairs_in_cluster(c.records.len() as u64))
+            .sum()
+    }
+
+    /// Number of clusters with at least two records.
+    pub fn non_singletons(&self) -> usize {
+        self.clusters.iter().filter(|c| c.records.len() >= 2).count()
+    }
+
+    /// Maximum cluster size.
+    pub fn max_cluster_size(&self) -> usize {
+        self.clusters.iter().map(|c| c.records.len()).max().unwrap_or(0)
+    }
+
+    /// Average cluster size.
+    pub fn avg_cluster_size(&self) -> f64 {
+        if self.clusters.is_empty() {
+            0.0
+        } else {
+            self.record_count() as f64 / self.clusters.len() as f64
+        }
+    }
+
+    /// Flatten into `(cluster_index, record)` pairs, e.g. as matcher
+    /// input. The cluster index is the gold-standard label.
+    pub fn labeled_records(&self) -> Vec<(usize, &Row)> {
+        self.clusters
+            .iter()
+            .enumerate()
+            .flat_map(|(i, c)| c.records.iter().map(move |r| (i, r)))
+            .collect()
+    }
+}
+
+/// Run the customization recipe over a cluster store.
+pub fn customize(
+    store: &ClusterStore,
+    scorer: &HeterogeneityScorer,
+    params: &CustomizeParams,
+) -> CustomDataset {
+    assert!(params.h_low <= params.h_high, "invalid heterogeneity bounds");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    // Step 2a: random sample of clusters.
+    let mut ids = store.cluster_ids();
+    ids.shuffle(&mut rng);
+    ids.truncate(params.sample_clusters);
+
+    // Step 2b: reduce every cluster to records within the bounds.
+    let mut reduced: Vec<CustomCluster> = Vec::with_capacity(ids.len());
+    for (ncid, _) in ids {
+        let rows = store.cluster_rows(&ncid);
+        let mut kept: Vec<Row> = Vec::with_capacity(rows.len());
+        for row in rows {
+            let ok = kept.iter().all(|prev| {
+                let h = scorer.pair(prev, &row);
+                (params.h_low..=params.h_high).contains(&h)
+            });
+            if ok || kept.is_empty() {
+                kept.push(row);
+            }
+        }
+        reduced.push(CustomCluster { ncid, records: kept });
+    }
+
+    // Step 3: largest clusters win.
+    reduced.sort_by(|a, b| {
+        b.records
+            .len()
+            .cmp(&a.records.len())
+            .then_with(|| a.ncid.cmp(&b.ncid))
+    });
+    reduced.truncate(params.output_clusters);
+    CustomDataset { clusters: reduced }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heterogeneity::{AttributeWeights, Scope};
+    use crate::record::DedupPolicy;
+    use nc_votergen::schema::{FIRST_NAME, LAST_NAME, MIDL_NAME, NCID};
+
+    fn store_with_clusters() -> ClusterStore {
+        let mut store = ClusterStore::new();
+        let mut import = |ncid: &str, first: &str, midl: &str, last: &str, snap: &str| {
+            let mut r = Row::empty();
+            r.set(NCID, ncid);
+            r.set(FIRST_NAME, first);
+            r.set(MIDL_NAME, midl);
+            r.set(LAST_NAME, last);
+            store.import_row(r, DedupPolicy::Trimmed, snap, 1);
+        };
+        // Homogeneous cluster (small typo).
+        import("H1", "MARY", "ANN", "SMITH", "s1");
+        import("H1", "MARY", "ANN", "SMYTH", "s2");
+        import("H1", "MARY", "ANN", "SMITHE", "s3");
+        // Very heterogeneous cluster (different person-like records).
+        import("X1", "MARY", "ELIZABETH", "FIELDS", "s1");
+        import("X1", "JOSHUA", "", "BETHEA", "s2");
+        import("X1", "CARL", "RAY", "OXENDINE", "s3");
+        // Singleton.
+        import("S1", "PAT", "", "JONES", "s1");
+        store
+    }
+
+    /// Entropy weights from one record per cluster, as the paper does —
+    /// this concentrates weight on the varying (name) attributes instead
+    /// of diluting it across the many empty ones.
+    fn scorer_for(store: &ClusterStore) -> HeterogeneityScorer {
+        let firsts: Vec<Row> = store
+            .cluster_ids()
+            .iter()
+            .filter_map(|(ncid, _)| store.cluster_rows(ncid).into_iter().next())
+            .collect();
+        let weights = AttributeWeights::from_rows(Scope::Person, firsts.iter());
+        HeterogeneityScorer::new(weights)
+    }
+
+    #[test]
+    fn low_band_keeps_homogeneous_cluster_intact() {
+        let store = store_with_clusters();
+        let params = CustomizeParams {
+            h_low: 0.0,
+            h_high: 0.2,
+            sample_clusters: 10,
+            output_clusters: 10,
+            seed: 1,
+        };
+        let ds = customize(&store, &scorer_for(&store), &params);
+        let h1 = ds.clusters.iter().find(|c| c.ncid == "H1").unwrap();
+        assert_eq!(h1.records.len(), 3, "typo-level records stay in band");
+        let x1 = ds.clusters.iter().find(|c| c.ncid == "X1").unwrap();
+        assert!(x1.records.len() < 3, "heterogeneous records filtered");
+    }
+
+    #[test]
+    fn high_band_prunes_homogeneous_cluster() {
+        let store = store_with_clusters();
+        let params = CustomizeParams {
+            h_low: 0.3,
+            h_high: 1.0,
+            sample_clusters: 10,
+            output_clusters: 10,
+            seed: 1,
+        };
+        let ds = customize(&store, &scorer_for(&store), &params);
+        let h1 = ds.clusters.iter().find(|c| c.ncid == "H1").unwrap();
+        assert_eq!(h1.records.len(), 1, "only the first record survives");
+    }
+
+    #[test]
+    fn output_is_sorted_by_size_and_truncated() {
+        let store = store_with_clusters();
+        let params = CustomizeParams {
+            h_low: 0.0,
+            h_high: 1.0,
+            sample_clusters: 10,
+            output_clusters: 2,
+            seed: 2,
+        };
+        let ds = customize(&store, &scorer_for(&store), &params);
+        assert_eq!(ds.clusters.len(), 2);
+        assert!(ds.clusters[0].records.len() >= ds.clusters[1].records.len());
+        // The singleton is the smallest and must be cut.
+        assert!(ds.clusters.iter().all(|c| c.ncid != "S1"));
+    }
+
+    #[test]
+    fn dataset_statistics() {
+        let store = store_with_clusters();
+        let params = CustomizeParams {
+            h_low: 0.0,
+            h_high: 1.0,
+            sample_clusters: 10,
+            output_clusters: 10,
+            seed: 3,
+        };
+        let ds = customize(&store, &scorer_for(&store), &params);
+        assert_eq!(ds.record_count(), 7);
+        assert_eq!(ds.clusters.len(), 3);
+        assert_eq!(ds.non_singletons(), 2);
+        assert_eq!(ds.max_cluster_size(), 3);
+        assert!((ds.avg_cluster_size() - 7.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ds.duplicate_pairs(), 3 + 3);
+        assert_eq!(ds.labeled_records().len(), 7);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let store = store_with_clusters();
+        let mk = |seed| {
+            customize(
+                &store,
+                &scorer_for(&store),
+                &CustomizeParams {
+                    h_low: 0.0,
+                    h_high: 1.0,
+                    sample_clusters: 2,
+                    output_clusters: 2,
+                    seed,
+                },
+            )
+        };
+        let a: Vec<String> = mk(5).clusters.iter().map(|c| c.ncid.clone()).collect();
+        let b: Vec<String> = mk(5).clusters.iter().map(|c| c.ncid.clone()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn preset_bounds() {
+        assert_eq!(CustomizeParams::nc1(1, 1, 0).h_low, 0.06);
+        assert_eq!(CustomizeParams::nc2(1, 1, 0).h_low, 0.2);
+        assert_eq!(CustomizeParams::nc3(1, 1, 0).h_high, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid heterogeneity bounds")]
+    fn inverted_bounds_panic() {
+        let store = store_with_clusters();
+        let params = CustomizeParams {
+            h_low: 0.5,
+            h_high: 0.1,
+            sample_clusters: 1,
+            output_clusters: 1,
+            seed: 0,
+        };
+        customize(&store, &scorer_for(&store), &params);
+    }
+}

@@ -1,0 +1,178 @@
+//! Snapshot import: sequential and pipelined (producer/consumer).
+
+use nc_votergen::registry::Registry;
+use nc_votergen::snapshot::{Snapshot, SnapshotInfo};
+
+use crate::cluster::{ClusterStore, RowOutcome};
+use crate::record::DedupPolicy;
+
+/// Per-snapshot import accounting (the raw material of Table 1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ImportStats {
+    /// Snapshot publication date (`YYYY-MM-DD`).
+    pub date: String,
+    /// Rows contained in the snapshot.
+    pub total_rows: u64,
+    /// Rows that became new records (not seen in any earlier snapshot).
+    pub new_records: u64,
+    /// New records that founded a new cluster (a never-seen NCID).
+    pub new_clusters: u64,
+}
+
+impl ImportStats {
+    /// The snapshot's year.
+    pub fn year(&self) -> i32 {
+        self.date
+            .get(0..4)
+            .and_then(|y| y.parse().ok())
+            .unwrap_or(0)
+    }
+}
+
+/// Import every row of a snapshot into the store, returning the stats.
+pub fn import_snapshot(
+    store: &mut ClusterStore,
+    snapshot: &Snapshot,
+    policy: DedupPolicy,
+    version: u32,
+) -> ImportStats {
+    let mut stats = ImportStats {
+        date: snapshot.date.clone(),
+        total_rows: 0,
+        new_records: 0,
+        new_clusters: 0,
+    };
+    for row in &snapshot.rows {
+        stats.total_rows += 1;
+        match store.import_row(row.clone(), policy, &snapshot.date, version) {
+            RowOutcome::NewCluster => {
+                stats.new_clusters += 1;
+                stats.new_records += 1;
+            }
+            RowOutcome::NewRecord => stats.new_records += 1,
+            RowOutcome::DuplicateDropped => {}
+        }
+    }
+    stats
+}
+
+/// Generate and import an archive with pipeline parallelism: a producer
+/// thread runs the registry simulation while the consumer imports the
+/// previous snapshot (the paper's update process likewise imports
+/// snapshots concurrently with statistics work).
+///
+/// Every snapshot is imported under `version` (use
+/// [`crate::version::VersionManager`] to publish versions between calls
+/// when importing incrementally).
+pub fn import_archive_streaming(
+    store: &mut ClusterStore,
+    registry: &mut Registry,
+    calendar: &[SnapshotInfo],
+    policy: DedupPolicy,
+    version: u32,
+) -> Vec<ImportStats> {
+    let mut all_stats = Vec::with_capacity(calendar.len());
+    // Bounded channel: at most two snapshots in flight keeps memory flat.
+    let (tx, rx) = crossbeam::channel::bounded::<Snapshot>(2);
+    crossbeam::thread::scope(|scope| {
+        scope.spawn(|_| {
+            for info in calendar {
+                let snap = registry.generate_snapshot(info);
+                if tx.send(snap).is_err() {
+                    break;
+                }
+            }
+            drop(tx);
+        });
+        for snapshot in rx.iter() {
+            all_stats.push(import_snapshot(store, &snapshot, policy, version));
+        }
+    })
+    .expect("import pipeline thread panicked");
+    all_stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_votergen::config::GeneratorConfig;
+    use nc_votergen::snapshot::standard_calendar;
+
+    fn registry(seed: u64, pop: usize) -> Registry {
+        Registry::new(GeneratorConfig {
+            seed,
+            initial_population: pop,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn first_snapshot_all_rows_are_new() {
+        let mut reg = registry(1, 120);
+        let cal = standard_calendar();
+        let snap = reg.generate_snapshot(&cal[0]);
+        let mut store = ClusterStore::new();
+        let stats = import_snapshot(&mut store, &snap, DedupPolicy::Trimmed, 1);
+        assert_eq!(stats.total_rows, 120);
+        assert_eq!(stats.new_clusters, 120);
+        assert_eq!(stats.new_records, 120);
+        assert_eq!(stats.year(), 2008);
+    }
+
+    #[test]
+    fn second_snapshot_is_mostly_duplicates() {
+        let mut reg = registry(2, 200);
+        let cal = standard_calendar();
+        let s0 = reg.generate_snapshot(&cal[0]);
+        let s1 = reg.generate_snapshot(&cal[1]);
+        let mut store = ClusterStore::new();
+        import_snapshot(&mut store, &s0, DedupPolicy::Trimmed, 1);
+        let stats = import_snapshot(&mut store, &s1, DedupPolicy::Trimmed, 1);
+        assert!(stats.total_rows >= 200);
+        // The vast majority of rows repeat the previous snapshot.
+        assert!(
+            (stats.new_records as f64) < stats.total_rows as f64 * 0.5,
+            "new {} of {}",
+            stats.new_records,
+            stats.total_rows
+        );
+        assert!(stats.new_clusters <= stats.new_records);
+    }
+
+    #[test]
+    fn streaming_import_matches_sequential() {
+        let cal: Vec<_> = standard_calendar().into_iter().take(4).collect();
+
+        let mut reg1 = registry(3, 80);
+        let mut store1 = ClusterStore::new();
+        let mut seq_stats = Vec::new();
+        for info in &cal {
+            let snap = reg1.generate_snapshot(info);
+            seq_stats.push(import_snapshot(&mut store1, &snap, DedupPolicy::Trimmed, 1));
+        }
+
+        let mut reg2 = registry(3, 80);
+        let mut store2 = ClusterStore::new();
+        let par_stats =
+            import_archive_streaming(&mut store2, &mut reg2, &cal, DedupPolicy::Trimmed, 1);
+
+        assert_eq!(seq_stats, par_stats);
+        assert_eq!(store1.record_count(), store2.record_count());
+        assert_eq!(store1.cluster_count(), store2.cluster_count());
+    }
+
+    #[test]
+    fn policy_none_never_drops() {
+        let mut reg = registry(4, 50);
+        let cal = standard_calendar();
+        let mut store = ClusterStore::new();
+        let mut total = 0;
+        for info in cal.iter().take(3) {
+            let snap = reg.generate_snapshot(info);
+            let st = import_snapshot(&mut store, &snap, DedupPolicy::None, 1);
+            assert_eq!(st.new_records, st.total_rows);
+            total += st.total_rows;
+        }
+        assert_eq!(store.record_count(), total);
+    }
+}

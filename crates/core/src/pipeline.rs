@@ -1,0 +1,174 @@
+//! The end-to-end generation pipeline: simulate (or read) an archive,
+//! import it under a dedup policy, publish a version.
+
+use std::collections::HashSet;
+
+use nc_votergen::config::GeneratorConfig;
+use nc_votergen::registry::Registry;
+use nc_votergen::snapshot::standard_calendar;
+
+use crate::cluster::ClusterStore;
+use crate::import::{import_archive_streaming, ImportStats};
+use crate::record::DedupPolicy;
+use crate::version::VersionManager;
+
+/// Configuration of one full generation run.
+#[derive(Debug, Clone)]
+pub struct GenerationConfig {
+    /// The synthetic-archive generator configuration.
+    pub generator: GeneratorConfig,
+    /// Dedup policy applied during import.
+    pub policy: DedupPolicy,
+    /// Number of snapshots to use from the standard calendar (≤ 40).
+    pub snapshots: usize,
+}
+
+impl Default for GenerationConfig {
+    fn default() -> Self {
+        GenerationConfig {
+            generator: GeneratorConfig::default(),
+            policy: DedupPolicy::Trimmed,
+            snapshots: 40,
+        }
+    }
+}
+
+/// Everything produced by a generation run.
+#[derive(Debug)]
+pub struct GenerationOutcome {
+    /// The populated cluster store (finalized).
+    pub store: ClusterStore,
+    /// Version history (one version published for the whole run).
+    pub versions: VersionManager,
+    /// Per-snapshot import statistics.
+    pub imports: Vec<ImportStats>,
+    /// NCIDs known (by construction) to be reused for different persons —
+    /// the ground truth for plausibility evaluation.
+    pub unsound_ncids: HashSet<String>,
+}
+
+/// The pipeline driver.
+#[derive(Debug)]
+pub struct TestDataGenerator;
+
+impl TestDataGenerator {
+    /// Run the full pipeline: generate the archive, import every
+    /// snapshot under the policy, publish version 1 and finalize the
+    /// store's document meta data.
+    pub fn run(config: GenerationConfig) -> GenerationOutcome {
+        let calendar: Vec<_> = standard_calendar()
+            .into_iter()
+            .take(config.snapshots.clamp(1, 40))
+            .collect();
+        let mut registry = Registry::new(config.generator.clone());
+        let mut store = ClusterStore::new();
+        let mut versions = VersionManager::new();
+        let version = versions.next_version();
+        let imports = import_archive_streaming(
+            &mut store,
+            &mut registry,
+            &calendar,
+            config.policy,
+            version,
+        );
+        versions.publish(&store, &imports);
+        store.finalize();
+        GenerationOutcome {
+            unsound_ncids: registry.unsound_ncids().clone(),
+            store,
+            versions,
+            imports,
+        }
+    }
+
+    /// Run the pipeline incrementally, publishing one version per
+    /// snapshot (the update process of Figure 2).
+    pub fn run_incremental(config: GenerationConfig) -> GenerationOutcome {
+        let calendar: Vec<_> = standard_calendar()
+            .into_iter()
+            .take(config.snapshots.clamp(1, 40))
+            .collect();
+        let mut registry = Registry::new(config.generator.clone());
+        let mut store = ClusterStore::new();
+        let mut versions = VersionManager::new();
+        let mut imports = Vec::new();
+        for info in &calendar {
+            let version = versions.next_version();
+            let snap = registry.generate_snapshot(info);
+            let stats = crate::import::import_snapshot(&mut store, &snap, config.policy, version);
+            versions.publish(&store, std::slice::from_ref(&stats));
+            imports.push(stats);
+        }
+        store.finalize();
+        GenerationOutcome {
+            unsound_ncids: registry.unsound_ncids().clone(),
+            store,
+            versions,
+            imports,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(seed: u64, pop: usize, snapshots: usize) -> GenerationConfig {
+        GenerationConfig {
+            generator: GeneratorConfig {
+                seed,
+                initial_population: pop,
+                ..Default::default()
+            },
+            policy: DedupPolicy::Trimmed,
+            snapshots,
+        }
+    }
+
+    #[test]
+    fn full_run_produces_clusters_and_version() {
+        let out = TestDataGenerator::run(cfg(11, 120, 5));
+        assert!(out.store.cluster_count() >= 120);
+        assert_eq!(out.imports.len(), 5);
+        assert_eq!(out.versions.history().len(), 1);
+        assert_eq!(
+            out.versions.current().unwrap().records_total,
+            out.store.record_count()
+        );
+    }
+
+    #[test]
+    fn dedup_compresses_relative_to_rows() {
+        let out = TestDataGenerator::run(cfg(12, 150, 8));
+        let rows = out.store.rows_imported();
+        let records = out.store.record_count();
+        assert!(rows > records * 2, "rows {rows} vs records {records}");
+    }
+
+    #[test]
+    fn incremental_run_versions_every_snapshot() {
+        let out = TestDataGenerator::run_incremental(cfg(13, 80, 4));
+        assert_eq!(out.versions.history().len(), 4);
+        let totals: Vec<u64> = out
+            .versions
+            .history()
+            .iter()
+            .map(|v| v.records_total)
+            .collect();
+        assert!(totals.windows(2).all(|w| w[0] <= w[1]), "{totals:?}");
+    }
+
+    #[test]
+    fn incremental_and_batch_agree_on_final_state() {
+        let a = TestDataGenerator::run(cfg(14, 60, 3));
+        let b = TestDataGenerator::run_incremental(cfg(14, 60, 3));
+        assert_eq!(a.store.record_count(), b.store.record_count());
+        assert_eq!(a.store.cluster_count(), b.store.cluster_count());
+    }
+
+    #[test]
+    fn snapshots_capped_at_calendar_length() {
+        let out = TestDataGenerator::run(cfg(15, 30, 500));
+        assert_eq!(out.imports.len(), 40);
+    }
+}

@@ -1,0 +1,247 @@
+//! Record canonicalization: trimming, fingerprinting and the nested
+//! document layout of stored records.
+
+use nc_docstore::value::Document;
+use nc_votergen::schema::{self, AttrGroup, AttrId, Row, SCHEMA};
+
+use crate::md5::{md5_str, Digest};
+
+/// The four duplicate-removal policies of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DedupPolicy {
+    /// Keep every row ("no" in Table 2).
+    None,
+    /// Remove rows whose relevant attributes are byte-identical.
+    Exact,
+    /// Remove rows identical after trimming whitespace — the policy
+    /// behind the published 120 M-record dataset.
+    Trimmed,
+    /// Remove rows whose trimmed *person data* is identical.
+    PersonData,
+}
+
+impl DedupPolicy {
+    /// All policies in Table 2 order.
+    pub const ALL: [DedupPolicy; 4] = [
+        DedupPolicy::None,
+        DedupPolicy::Exact,
+        DedupPolicy::Trimmed,
+        DedupPolicy::PersonData,
+    ];
+
+    /// Human-readable label matching Table 2's first column.
+    pub fn label(self) -> &'static str {
+        match self {
+            DedupPolicy::None => "no",
+            DedupPolicy::Exact => "exact",
+            DedupPolicy::Trimmed => "trimming",
+            DedupPolicy::PersonData => "person data",
+        }
+    }
+
+    /// The attribute set hashed under this policy (dates and age are
+    /// always excluded; Section 4).
+    pub fn hash_attrs(self) -> Vec<AttrId> {
+        match self {
+            DedupPolicy::None | DedupPolicy::Exact | DedupPolicy::Trimmed => {
+                schema::hash_attrs_all()
+            }
+            DedupPolicy::PersonData => schema::hash_attrs_person(),
+        }
+    }
+
+    /// Whether values are trimmed before hashing.
+    pub fn trims(self) -> bool {
+        matches!(self, DedupPolicy::Trimmed | DedupPolicy::PersonData)
+    }
+}
+
+/// Compute the dedup fingerprint of a row under a policy: the MD5 of the
+/// concatenation of the relevant attribute values, separated by an
+/// unambiguous delimiter.
+pub fn fingerprint(row: &Row, policy: DedupPolicy) -> Digest {
+    let attrs = policy.hash_attrs();
+    let mut input = String::new();
+    for &a in &attrs {
+        let v = row.get(a);
+        if policy.trims() {
+            input.push_str(v.trim());
+        } else {
+            input.push_str(v);
+        }
+        input.push('\u{1f}'); // unit separator: cannot occur in the data
+    }
+    md5_str(&input)
+}
+
+/// Trim every value of a row in place (the paper's preparation step).
+pub fn trim_row(row: &mut Row) {
+    for v in row.values.iter_mut() {
+        let trimmed = v.trim();
+        if trimmed.len() != v.len() {
+            *v = trimmed.to_owned();
+        }
+    }
+}
+
+/// Sub-document name of an attribute group.
+pub fn group_name(group: AttrGroup) -> &'static str {
+    match group {
+        AttrGroup::Person => "person",
+        AttrGroup::District => "district",
+        AttrGroup::Election => "election",
+        AttrGroup::Meta => "meta",
+    }
+}
+
+/// Convert a row to the stored nested document layout: four
+/// sub-documents (person/district/election/meta), with missing values
+/// omitted so that sparse records stay small.
+pub fn row_to_document(row: &Row) -> Document {
+    let mut person = Document::new();
+    let mut district = Document::new();
+    let mut election = Document::new();
+    let mut meta = Document::new();
+    for (i, attr) in SCHEMA.iter().enumerate() {
+        let v = row.get(i);
+        if v.is_empty() {
+            continue;
+        }
+        let target = match attr.group {
+            AttrGroup::Person => &mut person,
+            AttrGroup::District => &mut district,
+            AttrGroup::Election => &mut election,
+            AttrGroup::Meta => &mut meta,
+        };
+        target.set(attr.name, v);
+    }
+    let mut doc = Document::new();
+    doc.set("person", person);
+    doc.set("district", district);
+    doc.set("election", election);
+    doc.set("meta", meta);
+    doc
+}
+
+/// Read an attribute value back out of a stored record document.
+/// Returns `None` when the value was missing.
+pub fn record_value(doc: &Document, attr: AttrId) -> Option<&str> {
+    let a = &SCHEMA[attr];
+    doc.get_str(&format!("{}.{}", group_name(a.group), a.name))
+}
+
+/// Reconstruct a dense [`Row`] from a stored record document.
+pub fn document_to_row(doc: &Document) -> Row {
+    let mut row = Row::empty();
+    for (i, _) in SCHEMA.iter().enumerate() {
+        if let Some(v) = record_value(doc, i) {
+            row.set(i, v);
+        }
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_votergen::schema::{AGE, FIRST_NAME, LAST_NAME, NCID, NC_HOUSE, SNAPSHOT_DT};
+
+    fn sample_row() -> Row {
+        let mut r = Row::empty();
+        r.set(NCID, "AA000001");
+        r.set(LAST_NAME, "SMITH ");
+        r.set(FIRST_NAME, "JOHN");
+        r.set(AGE, "44");
+        r.set(NC_HOUSE, "64TH HOUSE");
+        r.set(SNAPSHOT_DT, "2008-11-04");
+        r
+    }
+
+    #[test]
+    fn policy_labels_match_table2() {
+        let labels: Vec<&str> = DedupPolicy::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels, vec!["no", "exact", "trimming", "person data"]);
+    }
+
+    #[test]
+    fn fingerprint_ignores_dates_and_age() {
+        let r1 = sample_row();
+        let mut r2 = sample_row();
+        r2.set(AGE, "45");
+        r2.set(SNAPSHOT_DT, "2009-01-01");
+        for policy in [DedupPolicy::Exact, DedupPolicy::Trimmed, DedupPolicy::PersonData] {
+            assert_eq!(fingerprint(&r1, policy), fingerprint(&r2, policy), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn exact_fingerprint_sees_whitespace_trimmed_does_not() {
+        let r1 = sample_row();
+        let mut r2 = sample_row();
+        r2.set(LAST_NAME, "SMITH"); // r1 has a trailing space
+        assert_ne!(fingerprint(&r1, DedupPolicy::Exact), fingerprint(&r2, DedupPolicy::Exact));
+        assert_eq!(
+            fingerprint(&r1, DedupPolicy::Trimmed),
+            fingerprint(&r2, DedupPolicy::Trimmed)
+        );
+    }
+
+    #[test]
+    fn person_fingerprint_ignores_districts() {
+        let r1 = sample_row();
+        let mut r2 = sample_row();
+        r2.set(NC_HOUSE, "NC HOUSE DISTRICT 64");
+        assert_ne!(
+            fingerprint(&r1, DedupPolicy::Trimmed),
+            fingerprint(&r2, DedupPolicy::Trimmed)
+        );
+        assert_eq!(
+            fingerprint(&r1, DedupPolicy::PersonData),
+            fingerprint(&r2, DedupPolicy::PersonData)
+        );
+    }
+
+    #[test]
+    fn fingerprint_separator_prevents_concatenation_ambiguity() {
+        let mut r1 = Row::empty();
+        r1.set(LAST_NAME, "AB");
+        r1.set(FIRST_NAME, "C");
+        let mut r2 = Row::empty();
+        r2.set(LAST_NAME, "A");
+        r2.set(FIRST_NAME, "BC");
+        assert_ne!(
+            fingerprint(&r1, DedupPolicy::Exact),
+            fingerprint(&r2, DedupPolicy::Exact)
+        );
+    }
+
+    #[test]
+    fn trim_row_strips_whitespace() {
+        let mut r = sample_row();
+        trim_row(&mut r);
+        assert_eq!(r.get(LAST_NAME), "SMITH");
+    }
+
+    #[test]
+    fn document_layout_is_nested_and_sparse() {
+        let doc = row_to_document(&sample_row());
+        assert_eq!(doc.get_str("person.last_name"), Some("SMITH "));
+        assert_eq!(doc.get_str("district.nc_house_abbrv"), Some("64TH HOUSE"));
+        assert_eq!(doc.get_str("meta.snapshot_dt"), Some("2008-11-04"));
+        // Missing values are omitted entirely.
+        assert!(doc.get_path("person.midl_name").is_none());
+        assert!(doc.get_path("election.party_cd").is_none());
+    }
+
+    #[test]
+    fn record_value_and_round_trip() {
+        let row = sample_row();
+        let doc = row_to_document(&row);
+        assert_eq!(record_value(&doc, LAST_NAME), Some("SMITH "));
+        assert_eq!(record_value(&doc, FIRST_NAME), Some("JOHN"));
+        assert_eq!(record_value(&doc, NC_HOUSE), Some("64TH HOUSE"));
+        assert_eq!(record_value(&doc, nc_votergen::schema::MIDL_NAME), None);
+        let back = document_to_row(&doc);
+        assert_eq!(back, row);
+    }
+}

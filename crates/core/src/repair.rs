@@ -1,0 +1,264 @@
+//! Repairing potentially unsound clusters (Section 3.1.1).
+//!
+//! The paper equips every cluster with plausibility scores so that the
+//! user can "remove (or repair) them before using the test dataset".
+//! This module implements both actions:
+//!
+//! * [`filter_clusters`] — drop clusters whose plausibility falls below
+//!   a user-chosen threshold (the *remove* action, trading dataset size
+//!   against gold-standard risk), and
+//! * [`split_cluster`] — the *repair* action: partition a cluster's
+//!   records into plausibility-coherent groups by computing connected
+//!   components over the pair-plausibility graph. An unsound cluster
+//!   like Figure 3's `DR19657` (six records of one person, four of
+//!   another) splits into its two true voters, each keeping the gold
+//!   label structure intact.
+
+use nc_votergen::schema::Row;
+
+use crate::plausibility::PlausibilityScorer;
+
+/// Outcome of repairing one cluster.
+#[derive(Debug, Clone)]
+pub struct RepairedCluster {
+    /// The original NCID.
+    pub ncid: String,
+    /// The coherent record groups (singletons possible). Groups are
+    /// ordered by the first record's original position.
+    pub groups: Vec<Vec<Row>>,
+}
+
+impl RepairedCluster {
+    /// Whether the repair changed anything.
+    pub fn was_split(&self) -> bool {
+        self.groups.len() > 1
+    }
+
+    /// Synthesize stable sub-ids (`<ncid>#0`, `<ncid>#1`, …) for the
+    /// groups, usable as new gold-standard cluster ids.
+    pub fn group_ids(&self) -> Vec<String> {
+        (0..self.groups.len())
+            .map(|i| {
+                if self.groups.len() == 1 {
+                    self.ncid.clone()
+                } else {
+                    format!("{}#{i}", self.ncid)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Split a cluster into plausibility-coherent groups: records are
+/// connected when their pair plausibility is ≥ `threshold`; connected
+/// components become the repaired groups.
+pub fn split_cluster(
+    scorer: &PlausibilityScorer,
+    ncid: &str,
+    records: Vec<Row>,
+    threshold: f64,
+) -> RepairedCluster {
+    let n = records.len();
+    if n <= 1 {
+        return RepairedCluster {
+            ncid: ncid.to_owned(),
+            groups: if records.is_empty() { Vec::new() } else { vec![records] },
+        };
+    }
+    // Union-find over records.
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], x: usize) -> usize {
+        let mut root = x;
+        while parent[root] != root {
+            root = parent[root];
+        }
+        let mut cur = x;
+        while parent[cur] != root {
+            let next = parent[cur];
+            parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if scorer.pair(&records[i], &records[j]) >= threshold {
+                let (ri, rj) = (find(&mut parent, i), find(&mut parent, j));
+                if ri != rj {
+                    parent[ri] = rj;
+                }
+            }
+        }
+    }
+    // Collect components, preserving first-occurrence order.
+    let mut group_of_root: Vec<(usize, usize)> = Vec::new(); // (root, group idx)
+    let mut groups: Vec<Vec<Row>> = Vec::new();
+    for (i, row) in records.into_iter().enumerate() {
+        let root = find(&mut parent, i);
+        let idx = match group_of_root.iter().find(|(r, _)| *r == root) {
+            Some((_, idx)) => *idx,
+            None => {
+                group_of_root.push((root, groups.len()));
+                groups.push(Vec::new());
+                groups.len() - 1
+            }
+        };
+        groups[idx].push(row);
+    }
+    RepairedCluster {
+        ncid: ncid.to_owned(),
+        groups,
+    }
+}
+
+/// The *remove* action: keep only `(ncid, records)` clusters whose
+/// cluster plausibility is at least `threshold`. Returns the kept
+/// clusters and the number removed.
+pub fn filter_clusters(
+    scorer: &PlausibilityScorer,
+    clusters: Vec<(String, Vec<Row>)>,
+    threshold: f64,
+) -> (Vec<(String, Vec<Row>)>, usize) {
+    let before = clusters.len();
+    let kept: Vec<(String, Vec<Row>)> = clusters
+        .into_iter()
+        .filter(|(_, rows)| scorer.cluster(rows) >= threshold)
+        .collect();
+    let removed = before - kept.len();
+    (kept, removed)
+}
+
+/// Repair every cluster: split incoherent ones and return the resulting
+/// dataset as `(cluster id, records)` pairs with fresh sub-ids.
+pub fn repair_all(
+    scorer: &PlausibilityScorer,
+    clusters: Vec<(String, Vec<Row>)>,
+    threshold: f64,
+) -> (Vec<(String, Vec<Row>)>, usize) {
+    let mut out = Vec::new();
+    let mut splits = 0;
+    for (ncid, rows) in clusters {
+        let repaired = split_cluster(scorer, &ncid, rows, threshold);
+        if repaired.was_split() {
+            splits += 1;
+        }
+        let ids = repaired.group_ids();
+        for (id, group) in ids.into_iter().zip(repaired.groups) {
+            out.push((id, group));
+        }
+    }
+    (out, splits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_votergen::schema::{AGE, BIRTH_PLACE, FIRST_NAME, LAST_NAME, MIDL_NAME, SEX_CODE, SNAPSHOT_DT};
+
+    fn row(first: &str, midl: &str, last: &str, sex: &str, age: &str) -> Row {
+        let mut r = Row::empty();
+        r.set(FIRST_NAME, first);
+        r.set(MIDL_NAME, midl);
+        r.set(LAST_NAME, last);
+        r.set(SEX_CODE, sex);
+        r.set(AGE, age);
+        r.set(SNAPSHOT_DT, "2010-05-04");
+        r.set(BIRTH_PLACE, "NORTH CAROLINA");
+        r
+    }
+
+    /// The Figure 3 unsound cluster: FIELDS records and BETHEA records
+    /// under one NCID.
+    fn figure3_cluster() -> Vec<Row> {
+        vec![
+            row("MARY", "ELIZABETH", "FIELDS", "F", "61"),
+            row("MARY", "ELIZABETH", "FIELDS", "F", "62"),
+            row("MARY", "E.", "FIELDS", "F", "63"),
+            row("JOSHUA", "", "BETHEA", "M", "93"),
+            row("JOSHUA", "R", "BETHEA", "M", "94"),
+        ]
+    }
+
+    #[test]
+    fn unsound_cluster_splits_into_true_voters() {
+        let scorer = PlausibilityScorer::new();
+        let repaired = split_cluster(&scorer, "DR19657", figure3_cluster(), 0.8);
+        assert!(repaired.was_split());
+        assert_eq!(repaired.groups.len(), 2);
+        assert_eq!(repaired.groups[0].len(), 3, "the FIELDS records");
+        assert_eq!(repaired.groups[1].len(), 2, "the BETHEA records");
+        let ids = repaired.group_ids();
+        assert_eq!(ids, vec!["DR19657#0", "DR19657#1"]);
+    }
+
+    #[test]
+    fn sound_cluster_stays_whole() {
+        let scorer = PlausibilityScorer::new();
+        let records = vec![
+            row("DEBRA", "OEHRIE", "WILLIAMS", "F", "45"),
+            row("DEBRA", "OEHRLE", "WILLIAMS", "F", "46"),
+            row("DEBRA", "ANN", "OEHRLE", "F", "47"),
+        ];
+        let repaired = split_cluster(&scorer, "DB175272", records, 0.7);
+        assert!(!repaired.was_split(), "{:?}", repaired.groups.len());
+        assert_eq!(repaired.group_ids(), vec!["DB175272"]);
+    }
+
+    #[test]
+    fn degenerate_clusters() {
+        let scorer = PlausibilityScorer::new();
+        let empty = split_cluster(&scorer, "X", vec![], 0.5);
+        assert!(empty.groups.is_empty());
+        let single = split_cluster(&scorer, "X", vec![row("A", "", "B", "F", "30")], 0.5);
+        assert_eq!(single.groups.len(), 1);
+        assert!(!single.was_split());
+    }
+
+    #[test]
+    fn threshold_one_splits_everything_distinct() {
+        let scorer = PlausibilityScorer::new();
+        let records = vec![
+            row("MARY", "", "FIELDS", "F", "61"),
+            row("JOSHUA", "", "BETHEA", "M", "93"),
+        ];
+        // With threshold slightly above their pair score they separate.
+        let repaired = split_cluster(&scorer, "X", records, 0.99);
+        assert_eq!(repaired.groups.len(), 2);
+    }
+
+    #[test]
+    fn filter_removes_low_plausibility_clusters() {
+        let scorer = PlausibilityScorer::new();
+        let clusters = vec![
+            ("GOOD".to_owned(), vec![
+                row("MARY", "ANN", "SMITH", "F", "40"),
+                row("MARY", "ANN", "SMITH", "F", "41"),
+            ]),
+            ("BAD".to_owned(), figure3_cluster()),
+        ];
+        let (kept, removed) = filter_clusters(&scorer, clusters, 0.8);
+        assert_eq!(removed, 1);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].0, "GOOD");
+    }
+
+    #[test]
+    fn repair_all_preserves_record_count() {
+        let scorer = PlausibilityScorer::new();
+        let clusters = vec![
+            ("A".to_owned(), figure3_cluster()),
+            ("B".to_owned(), vec![row("PAT", "", "JONES", "F", "30")]),
+        ];
+        let total_before: usize = clusters.iter().map(|(_, r)| r.len()).sum();
+        let (repaired, splits) = repair_all(&scorer, clusters, 0.8);
+        let total_after: usize = repaired.iter().map(|(_, r)| r.len()).sum();
+        assert_eq!(total_before, total_after);
+        assert_eq!(splits, 1);
+        assert_eq!(repaired.len(), 3, "A split in two + B");
+        // Sub-ids are unique.
+        let mut ids: Vec<&String> = repaired.iter().map(|(id, _)| id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), 3);
+    }
+}

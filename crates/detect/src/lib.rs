@@ -1,0 +1,31 @@
+//! Duplicate detection algorithms and their evaluation.
+//!
+//! This crate implements the detection pipelines the paper runs over its
+//! customized datasets (Section 6.5, Figure 5):
+//!
+//! * [`dataset`] — a schema-agnostic labeled dataset (records + gold
+//!   standard), usable for the NC data as well as the Cora/Census/CDDB
+//!   comparators;
+//! * [`blocking`] — search-space reduction: multi-pass Sorted
+//!   Neighborhood (the paper's choice: one pass per unique attribute,
+//!   window 20), standard blocking and full pairwise enumeration;
+//! * [`matcher`] — record similarity as the entropy-weighted average of
+//!   attribute similarities, with the best 1:1 matching over the name
+//!   attributes (names are often confused between fields);
+//! * [`classify`] — threshold classification and transitive closure;
+//! * [`cluster_eval`] — stricter cluster-level metrics (closed pairwise
+//!   and exact-cluster P/R/F1);
+//! * [`qgram_blocking`] — typo-robust q-gram blocking, an alternative
+//!   the blocking ablation compares against;
+//! * [`eval`] — precision / recall / F1 and full threshold sweeps.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocking;
+pub mod classify;
+pub mod cluster_eval;
+pub mod dataset;
+pub mod eval;
+pub mod matcher;
+pub mod qgram_blocking;

@@ -1,0 +1,266 @@
+//! Record similarity (Section 6.5).
+//!
+//! "The similarity of two records was always computed as the weighted
+//! average similarity of their values. Since we observed that the name
+//! values are often confused between the individual attributes, we
+//! matched every combination of them and used the 1:1 matching with the
+//! highest similarity for aggregation. To weight the individual
+//! attributes we used again their entropy."
+
+use nc_similarity::assignment::max_weight_assignment;
+use nc_similarity::damerau::DamerauLevenshtein;
+use nc_similarity::jaro::JaroWinkler;
+use nc_similarity::monge_elkan::MongeElkan;
+use nc_similarity::ngram::NgramJaccard;
+use nc_similarity::StringSimilarity;
+
+use crate::dataset::Record;
+
+/// The three value measures evaluated in Figure 5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MeasureKind {
+    /// Monge–Elkan with internal Damerau–Levenshtein (hybrid) — the same
+    /// combination used to precalculate the heterogeneity scores.
+    MongeElkanLevenshtein,
+    /// Jaro–Winkler (sequential).
+    JaroWinkler,
+    /// Jaccard over trigrams (token-based).
+    TrigramJaccard,
+}
+
+impl MeasureKind {
+    /// All measures, in the paper's presentation order.
+    pub const ALL: [MeasureKind; 3] = [
+        MeasureKind::MongeElkanLevenshtein,
+        MeasureKind::JaroWinkler,
+        MeasureKind::TrigramJaccard,
+    ];
+
+    /// Display label as used in the figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            MeasureKind::MongeElkanLevenshtein => "ME/Lev",
+            MeasureKind::JaroWinkler => "JaroWinkler",
+            MeasureKind::TrigramJaccard => "Jaccard",
+        }
+    }
+
+    /// Instantiate the measure.
+    pub fn instantiate(self) -> Box<dyn StringSimilarity + Send + Sync> {
+        match self {
+            MeasureKind::MongeElkanLevenshtein => {
+                Box::new(MongeElkan::new(DamerauLevenshtein::new()))
+            }
+            MeasureKind::JaroWinkler => Box::new(JaroWinkler::new()),
+            MeasureKind::TrigramJaccard => Box::new(NgramJaccard::trigram()),
+        }
+    }
+}
+
+/// A weighted record matcher with optional 1:1 name-group matching.
+pub struct RecordMatcher {
+    measure: Box<dyn StringSimilarity + Send + Sync>,
+    /// Normalized weight per attribute.
+    weights: Vec<f64>,
+    /// Attribute indices whose values may be confused with one another
+    /// (the name attributes); empty disables group matching.
+    name_group: Vec<usize>,
+}
+
+impl RecordMatcher {
+    /// Create a matcher.
+    ///
+    /// `weights` must have one entry per attribute (they are normalized
+    /// internally); `name_group` lists the attribute indices that are
+    /// matched 1:1 before aggregation.
+    pub fn new(
+        measure: Box<dyn StringSimilarity + Send + Sync>,
+        weights: Vec<f64>,
+        name_group: Vec<usize>,
+    ) -> Self {
+        let total: f64 = weights.iter().sum();
+        let weights = if total > 0.0 {
+            weights.iter().map(|w| w / total).collect()
+        } else if weights.is_empty() {
+            weights
+        } else {
+            vec![1.0 / weights.len() as f64; weights.len()]
+        };
+        RecordMatcher {
+            measure,
+            weights,
+            name_group,
+        }
+    }
+
+    /// Convenience constructor from a [`MeasureKind`].
+    pub fn with_kind(kind: MeasureKind, weights: Vec<f64>, name_group: Vec<usize>) -> Self {
+        Self::new(kind.instantiate(), weights, name_group)
+    }
+
+    /// Record similarity in `[0, 1]`.
+    ///
+    /// Attributes where both values are missing are excluded from the
+    /// weighted average (their absence carries no signal); a value
+    /// missing on one side only compares against the empty string.
+    pub fn similarity(&self, a: &Record, b: &Record) -> f64 {
+        debug_assert_eq!(a.values.len(), self.weights.len());
+        debug_assert_eq!(b.values.len(), self.weights.len());
+
+        let mut acc = 0.0;
+        let mut total_w = 0.0;
+
+        // 1:1 best matching over the name group.
+        if !self.name_group.is_empty() {
+            let va: Vec<&str> = self.name_group.iter().map(|&i| a.values[i].trim()).collect();
+            let vb: Vec<&str> = self.name_group.iter().map(|&i| b.values[i].trim()).collect();
+            if va.iter().any(|v| !v.is_empty()) || vb.iter().any(|v| !v.is_empty()) {
+                let sims: Vec<Vec<f64>> = va
+                    .iter()
+                    .map(|x| vb.iter().map(|y| self.measure.sim(x, y)).collect())
+                    .collect();
+                let assignment = max_weight_assignment(&sims);
+                for &(i, j) in &assignment.pairs {
+                    // Both positions share the group; weight by the row
+                    // attribute's weight.
+                    let w = self.weights[self.name_group[i]];
+                    if va[i].is_empty() && vb[j].is_empty() {
+                        continue;
+                    }
+                    acc += w * sims[i][j];
+                    total_w += w;
+                }
+            }
+        }
+
+        for (k, w) in self.weights.iter().enumerate() {
+            if self.name_group.contains(&k) || *w == 0.0 {
+                continue;
+            }
+            let x = a.values[k].trim();
+            let y = b.values[k].trim();
+            if x.is_empty() && y.is_empty() {
+                continue;
+            }
+            acc += w * self.measure.sim(x, y);
+            total_w += w;
+        }
+
+        if total_w == 0.0 {
+            0.0
+        } else {
+            (acc / total_w).clamp(0.0, 1.0)
+        }
+    }
+}
+
+impl std::fmt::Debug for RecordMatcher {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RecordMatcher")
+            .field("weights", &self.weights)
+            .field("name_group", &self.name_group)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(values: &[&str]) -> Record {
+        Record {
+            values: values.iter().map(|s| (*s).to_string()).collect(),
+            cluster: 0,
+        }
+    }
+
+    fn matcher(kind: MeasureKind, n: usize, name_group: Vec<usize>) -> RecordMatcher {
+        RecordMatcher::with_kind(kind, vec![1.0; n], name_group)
+    }
+
+    #[test]
+    fn identical_records_score_one() {
+        for kind in MeasureKind::ALL {
+            let m = matcher(kind, 3, vec![]);
+            let a = rec(&["MARY", "ANN", "SMITH"]);
+            assert!((m.similarity(&a, &a.clone()) - 1.0).abs() < 1e-9, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn different_records_score_low() {
+        for kind in MeasureKind::ALL {
+            let m = matcher(kind, 3, vec![]);
+            let a = rec(&["MARY", "ELIZABETH", "FIELDS"]);
+            let b = rec(&["XAVIER", "OBI", "ZUKO"]);
+            assert!(m.similarity(&a, &b) < 0.5, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn name_group_rescues_confused_names() {
+        let with_group = matcher(MeasureKind::JaroWinkler, 3, vec![0, 1, 2]);
+        let without = matcher(MeasureKind::JaroWinkler, 3, vec![]);
+        let a = rec(&["DEBRA", "OEHRIE", "WILLIAMS"]);
+        let b = rec(&["WILLIAMS", "DEBRA", "OEHRIE"]);
+        let sg = with_group.similarity(&a, &b);
+        let sp = without.similarity(&a, &b);
+        assert!(sg > 0.99, "{sg}");
+        assert!(sg > sp, "{sg} vs {sp}");
+    }
+
+    #[test]
+    fn both_missing_values_are_skipped() {
+        let m = matcher(MeasureKind::JaroWinkler, 3, vec![]);
+        let a = rec(&["MARY", "", "SMITH"]);
+        let b = rec(&["MARY", "", "SMITH"]);
+        assert!((m.similarity(&a, &b) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_sided_missing_counts_against() {
+        let m = matcher(MeasureKind::TrigramJaccard, 2, vec![]);
+        let a = rec(&["MARY", "SMITH"]);
+        let b = rec(&["", "SMITH"]);
+        let s = m.similarity(&a, &b);
+        assert!(s < 1.0 && s > 0.3, "{s}");
+    }
+
+    #[test]
+    fn weights_shift_the_score() {
+        let heavy_first = RecordMatcher::with_kind(
+            MeasureKind::JaroWinkler,
+            vec![10.0, 1.0],
+            vec![],
+        );
+        let heavy_last = RecordMatcher::with_kind(
+            MeasureKind::JaroWinkler,
+            vec![1.0, 10.0],
+            vec![],
+        );
+        let a = rec(&["MARY", "SMITH"]);
+        let b = rec(&["MARY", "ZZZZZ"]); // first matches, last differs
+        assert!(heavy_first.similarity(&a, &b) > heavy_last.similarity(&a, &b));
+    }
+
+    #[test]
+    fn measure_labels() {
+        assert_eq!(MeasureKind::MongeElkanLevenshtein.label(), "ME/Lev");
+        assert_eq!(MeasureKind::JaroWinkler.label(), "JaroWinkler");
+        assert_eq!(MeasureKind::TrigramJaccard.label(), "Jaccard");
+    }
+
+    #[test]
+    fn all_empty_records_score_zero() {
+        let m = matcher(MeasureKind::JaroWinkler, 2, vec![]);
+        let a = rec(&["", ""]);
+        assert_eq!(m.similarity(&a, &a.clone()), 0.0);
+    }
+
+    #[test]
+    fn zero_weights_fall_back_to_uniform() {
+        let m = RecordMatcher::with_kind(MeasureKind::JaroWinkler, vec![0.0, 0.0], vec![]);
+        let a = rec(&["MARY", "SMITH"]);
+        assert!((m.similarity(&a, &a.clone()) - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests on blocking and evaluation invariants.
+
+use std::collections::HashSet;
+
+use nc_detect::blocking::{blocking_quality, Blocker, FullPairwise, SortedNeighborhood, StandardBlocking};
+use nc_detect::classify::{transitive_closure, ScoredPair};
+use nc_detect::dataset::{Dataset, Pair};
+use nc_detect::eval::{evaluate, linspace, threshold_sweep, PrF};
+use proptest::prelude::*;
+
+fn dataset_strategy() -> impl Strategy<Value = Dataset> {
+    proptest::collection::vec(("[A-E]{1,4}", "[A-E]{1,4}", 0usize..6), 2..30).prop_map(|rows| {
+        let mut d = Dataset::new(vec!["a".into(), "b".into()]);
+        for (a, b, cluster) in rows {
+            d.push(vec![a, b], cluster);
+        }
+        d
+    })
+}
+
+proptest! {
+    /// Every blocker's candidate set is a subset of the full pairwise
+    /// enumeration, and pairs are well-formed (i < j, in range).
+    #[test]
+    fn candidates_are_valid_pairs(data in dataset_strategy(), window in 2usize..8) {
+        let full = FullPairwise.candidates(&data);
+        let blockers: Vec<Box<dyn Blocker>> = vec![
+            Box::new(StandardBlocking { key: 0 }),
+            Box::new(SortedNeighborhood { keys: vec![0, 1], window }),
+        ];
+        for blocker in &blockers {
+            let cands = blocker.candidates(&data);
+            for p in &cands {
+                prop_assert!(p.0 < p.1);
+                prop_assert!(p.1 < data.len());
+                prop_assert!(full.contains(p));
+            }
+        }
+    }
+
+    /// Growing the SNM window never loses candidates.
+    #[test]
+    fn snm_window_is_monotone(data in dataset_strategy(), w in 2usize..6) {
+        let small = SortedNeighborhood { keys: vec![0], window: w }.candidates(&data);
+        let large = SortedNeighborhood { keys: vec![0], window: w + 3 }.candidates(&data);
+        prop_assert!(small.is_subset(&large));
+    }
+
+    /// Blocking quality metrics are well-formed.
+    #[test]
+    fn quality_metrics_bounded(data in dataset_strategy(), window in 2usize..8) {
+        let c = SortedNeighborhood { keys: vec![0], window }.candidates(&data);
+        let q = blocking_quality(&data, &c);
+        prop_assert!((0.0..=1.0).contains(&q.reduction_ratio));
+        prop_assert!((0.0..=1.0).contains(&q.pair_completeness));
+        prop_assert_eq!(q.candidates, c.len());
+    }
+
+    /// Precision and recall are in [0, 1] and F1 is their harmonic mean.
+    #[test]
+    fn prf_invariants(tp in 0usize..50, extra_pred in 0usize..50, extra_gold in 0usize..50) {
+        let prf = PrF::from_counts(tp, tp + extra_pred, tp + extra_gold);
+        prop_assert!((0.0..=1.0).contains(&prf.precision));
+        prop_assert!((0.0..=1.0).contains(&prf.recall));
+        prop_assert!((0.0..=1.0).contains(&prf.f1));
+        if prf.precision + prf.recall > 0.0 {
+            let hm = 2.0 * prf.precision * prf.recall / (prf.precision + prf.recall);
+            prop_assert!((prf.f1 - hm).abs() < 1e-12);
+        }
+    }
+
+    /// Recall is non-increasing in the threshold over any scored list.
+    #[test]
+    fn sweep_recall_monotone(
+        scores in proptest::collection::vec(0.0f64..1.0, 1..40),
+        gold_mask in proptest::collection::vec(any::<bool>(), 1..40),
+    ) {
+        let mut scored: Vec<ScoredPair> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| ScoredPair { pair: Pair::new(2 * i, 2 * i + 1), score: s })
+            .collect();
+        scored.sort_by(|a, b| b.score.total_cmp(&a.score));
+        let gold: HashSet<Pair> = scored
+            .iter()
+            .zip(gold_mask.iter().cycle())
+            .filter(|(_, &g)| g)
+            .map(|(s, _)| s.pair)
+            .collect();
+        let points = threshold_sweep(&scored, &gold, &linspace(0.0, 1.0, 11));
+        for w in points.windows(2) {
+            prop_assert!(w[0].prf.recall >= w[1].prf.recall - 1e-12);
+        }
+        // Threshold 0 predicts everything.
+        prop_assert_eq!(points[0].prf.recall, 1.0);
+    }
+
+    /// The sweep agrees with direct evaluation at every threshold.
+    #[test]
+    fn sweep_agrees_with_direct_eval(
+        scores in proptest::collection::vec(0.0f64..1.0, 1..30),
+        t in 0.0f64..1.0,
+    ) {
+        let mut scored: Vec<ScoredPair> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| ScoredPair { pair: Pair::new(2 * i, 2 * i + 1), score: s })
+            .collect();
+        scored.sort_by(|a, b| b.score.total_cmp(&a.score));
+        let gold: HashSet<Pair> = scored.iter().take(5).map(|s| s.pair).collect();
+        let fast = threshold_sweep(&scored, &gold, &[t])[0].prf;
+        let predicted: HashSet<Pair> = scored
+            .iter()
+            .filter(|s| s.score >= t)
+            .map(|s| s.pair)
+            .collect();
+        let slow = evaluate(&predicted, &gold);
+        prop_assert!((fast.precision - slow.precision).abs() < 1e-12);
+        prop_assert!((fast.recall - slow.recall).abs() < 1e-12);
+    }
+
+    /// Transitive closure is idempotent and only adds pairs.
+    #[test]
+    fn closure_is_idempotent_superset(
+        edges in proptest::collection::vec((0usize..12, 0usize..12), 0..20),
+    ) {
+        let pairs: HashSet<Pair> = edges
+            .into_iter()
+            .filter(|(a, b)| a != b)
+            .map(|(a, b)| Pair::new(a, b))
+            .collect();
+        let once = transitive_closure(12, &pairs);
+        prop_assert!(pairs.is_subset(&once));
+        let twice = transitive_closure(12, &once);
+        prop_assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,345 @@
+//! Document collections with CRUD and secondary indexes.
+
+use std::collections::HashMap;
+
+use crate::index::{Index, IndexKind};
+use crate::query::Filter;
+use crate::value::{Document, Value};
+
+/// Identifier assigned to every stored document (the `_id` field).
+pub type DocId = u64;
+
+/// A named collection of documents.
+///
+/// Documents receive a monotonically increasing `_id` on insert. Indexes
+/// declared via [`Collection::create_index`] are maintained on every
+/// mutation and used automatically by [`Collection::find`] when a filter
+/// pins the indexed path.
+#[derive(Debug, Default)]
+pub struct Collection {
+    name: String,
+    docs: HashMap<DocId, Document>,
+    next_id: DocId,
+    indexes: HashMap<String, Index>,
+}
+
+impl Collection {
+    /// Create an empty collection.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            docs: HashMap::new(),
+            next_id: 0,
+            indexes: HashMap::new(),
+        }
+    }
+
+    /// The collection name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Insert a document, assigning and returning its `_id`.
+    pub fn insert(&mut self, mut doc: Document) -> DocId {
+        let id = self.next_id;
+        self.next_id += 1;
+        doc.set("_id", id as i64);
+        for (path, index) in &mut self.indexes {
+            if let Some(v) = doc.get_path(path) {
+                index.insert(v, id);
+            }
+        }
+        self.docs.insert(id, doc);
+        id
+    }
+
+    /// Fetch a document by id.
+    pub fn get(&self, id: DocId) -> Option<&Document> {
+        self.docs.get(&id)
+    }
+
+    /// Replace the document with the given id. Returns `false` when the
+    /// id is unknown.
+    pub fn replace(&mut self, id: DocId, mut doc: Document) -> bool {
+        if !self.docs.contains_key(&id) {
+            return false;
+        }
+        doc.set("_id", id as i64);
+        let old = self.docs.insert(id, doc).expect("checked above");
+        let new = &self.docs[&id];
+        for (path, index) in &mut self.indexes {
+            let ov = old.get_path(path);
+            let nv = new.get_path(path);
+            match (ov, nv) {
+                (Some(o), Some(n)) if o.query_eq(n) => {}
+                (o, n) => {
+                    if let Some(o) = o {
+                        index.remove(o, id);
+                    }
+                    if let Some(n) = n {
+                        index.insert(n, id);
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Apply a mutation to the document with the given id. Index entries
+    /// are kept consistent. Returns `false` when the id is unknown.
+    pub fn update<F: FnOnce(&mut Document)>(&mut self, id: DocId, f: F) -> bool {
+        let Some(doc) = self.docs.get(&id) else {
+            return false;
+        };
+        let mut updated = doc.clone();
+        f(&mut updated);
+        self.replace(id, updated)
+    }
+
+    /// Delete a document. Returns the removed document.
+    pub fn delete(&mut self, id: DocId) -> Option<Document> {
+        let doc = self.docs.remove(&id)?;
+        for (path, index) in &mut self.indexes {
+            if let Some(v) = doc.get_path(path) {
+                index.remove(v, id);
+            }
+        }
+        Some(doc)
+    }
+
+    /// Declare a secondary index over `path`. Existing documents are
+    /// indexed immediately. Re-declaring an existing path rebuilds it with
+    /// the new kind.
+    pub fn create_index(&mut self, path: impl Into<String>, kind: IndexKind) {
+        let path = path.into();
+        let mut index = Index::new(kind);
+        for (&id, doc) in &self.docs {
+            if let Some(v) = doc.get_path(&path) {
+                index.insert(v, id);
+            }
+        }
+        self.indexes.insert(path, index);
+    }
+
+    /// The paths that currently have indexes.
+    pub fn indexed_paths(&self) -> Vec<&str> {
+        let mut v: Vec<&str> = self.indexes.keys().map(String::as_str).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Iterate over all documents (arbitrary order).
+    pub fn iter(&self) -> impl Iterator<Item = &Document> {
+        self.docs.values()
+    }
+
+    /// Iterate over `(id, document)` pairs in ascending id order.
+    pub fn iter_ordered(&self) -> impl Iterator<Item = (DocId, &Document)> {
+        let mut ids: Vec<DocId> = self.docs.keys().copied().collect();
+        ids.sort_unstable();
+        ids.into_iter().map(move |id| (id, &self.docs[&id]))
+    }
+
+    /// Candidate document ids for a filter, using the best applicable
+    /// index, or `None` when only a full scan will do.
+    fn index_candidates(&self, filter: &Filter) -> Option<Vec<DocId>> {
+        // Prefer an equality hit on any indexed path.
+        for (path, index) in &self.indexes {
+            if let Some(v) = filter.equality_on(path) {
+                return Some(index.lookup_eq(v));
+            }
+        }
+        // Fall back to a range on an ordered index.
+        for (path, index) in &self.indexes {
+            if index.kind() == IndexKind::Ordered {
+                if let Some((lo, hi)) = filter.range_on(path) {
+                    return index.lookup_range(lo, hi);
+                }
+            }
+        }
+        None
+    }
+
+    /// Find all documents matching `filter`, ordered by `_id`.
+    pub fn find(&self, filter: &Filter) -> Vec<&Document> {
+        match self.index_candidates(filter) {
+            Some(ids) => ids
+                .into_iter()
+                .filter_map(|id| self.docs.get(&id))
+                .filter(|d| filter.matches(d))
+                .collect(),
+            None => self
+                .iter_ordered()
+                .map(|(_, d)| d)
+                .filter(|d| filter.matches(d))
+                .collect(),
+        }
+    }
+
+    /// Find matching document ids, ordered ascending.
+    pub fn find_ids(&self, filter: &Filter) -> Vec<DocId> {
+        match self.index_candidates(filter) {
+            Some(ids) => ids
+                .into_iter()
+                .filter(|id| self.docs.get(id).is_some_and(|d| filter.matches(d)))
+                .collect(),
+            None => self
+                .iter_ordered()
+                .filter(|(_, d)| filter.matches(d))
+                .map(|(id, _)| id)
+                .collect(),
+        }
+    }
+
+    /// Count matching documents.
+    pub fn count(&self, filter: &Filter) -> usize {
+        self.find_ids(filter).len()
+    }
+
+    /// First matching document, by ascending `_id`.
+    pub fn find_one(&self, filter: &Filter) -> Option<&Document> {
+        self.find_ids(filter)
+            .first()
+            .and_then(|id| self.docs.get(id))
+    }
+
+    /// Whether a document with an indexed `path == value` exists. This is
+    /// the hot call of the dedup import path, so it avoids materializing
+    /// posting lists when possible.
+    pub fn exists_eq(&self, path: &str, value: &Value) -> bool {
+        if let Some(index) = self.indexes.get(path) {
+            !index.lookup_eq(value).is_empty()
+        } else {
+            self.docs
+                .values()
+                .any(|d| d.get_path(path).is_some_and(|v| v.query_eq(value)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc;
+
+    fn voters() -> Collection {
+        let mut c = Collection::new("voters");
+        c.insert(doc! { "ncid" => "A1", "name" => "SMITH", "age" => 40_i64 });
+        c.insert(doc! { "ncid" => "A2", "name" => "JONES", "age" => 55_i64 });
+        c.insert(doc! { "ncid" => "A3", "name" => "SMITH", "age" => 70_i64 });
+        c
+    }
+
+    #[test]
+    fn insert_assigns_sequential_ids() {
+        let c = voters();
+        let ids: Vec<i64> = c
+            .iter_ordered()
+            .map(|(_, d)| d.get_i64("_id").unwrap())
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn find_without_index_scans() {
+        let c = voters();
+        let hits = c.find(&Filter::eq("name", "SMITH"));
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn find_uses_hash_index() {
+        let mut c = voters();
+        c.create_index("name", IndexKind::Hash);
+        let hits = c.find(&Filter::eq("name", "SMITH"));
+        assert_eq!(hits.len(), 2);
+        assert!(c.exists_eq("name", &Value::Str("JONES".into())));
+        assert!(!c.exists_eq("name", &Value::Str("NOPE".into())));
+    }
+
+    #[test]
+    fn find_uses_ordered_index_for_ranges() {
+        let mut c = voters();
+        c.create_index("age", IndexKind::Ordered);
+        let hits = c.find(&Filter::between("age", 50_i64, 80_i64));
+        assert_eq!(hits.len(), 2);
+        let one = c.find(&Filter::and(vec![
+            Filter::gte("age", 50_i64),
+            Filter::lt("age", 60_i64),
+        ]));
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].get_str("ncid"), Some("A2"));
+    }
+
+    #[test]
+    fn update_maintains_indexes() {
+        let mut c = voters();
+        c.create_index("name", IndexKind::Hash);
+        assert!(c.update(0, |d| {
+            d.set("name", "WILLIAMS");
+        }));
+        assert_eq!(c.find(&Filter::eq("name", "SMITH")).len(), 1);
+        assert_eq!(c.find(&Filter::eq("name", "WILLIAMS")).len(), 1);
+        assert!(!c.update(999, |_| {}));
+    }
+
+    #[test]
+    fn delete_maintains_indexes() {
+        let mut c = voters();
+        c.create_index("name", IndexKind::Hash);
+        let removed = c.delete(0).unwrap();
+        assert_eq!(removed.get_str("ncid"), Some("A1"));
+        assert_eq!(c.find(&Filter::eq("name", "SMITH")).len(), 1);
+        assert!(c.delete(0).is_none());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn late_index_creation_indexes_existing_docs() {
+        let mut c = voters();
+        c.create_index("ncid", IndexKind::Hash);
+        assert_eq!(c.find(&Filter::eq("ncid", "A2")).len(), 1);
+        assert_eq!(c.indexed_paths(), vec!["ncid"]);
+    }
+
+    #[test]
+    fn find_one_and_count() {
+        let c = voters();
+        assert_eq!(c.count(&Filter::eq("name", "SMITH")), 2);
+        let first = c.find_one(&Filter::eq("name", "SMITH")).unwrap();
+        assert_eq!(first.get_str("ncid"), Some("A1"));
+        assert!(c.find_one(&Filter::eq("name", "NOPE")).is_none());
+    }
+
+    #[test]
+    fn sparse_index_skips_docs_without_path() {
+        let mut c = Collection::new("sparse");
+        c.insert(doc! { "a" => 1_i64 });
+        c.insert(doc! { "b" => 2_i64 });
+        c.create_index("a", IndexKind::Hash);
+        assert_eq!(c.find(&Filter::eq("a", 1_i64)).len(), 1);
+        // The doc without "a" is still reachable by scan.
+        assert_eq!(c.find(&Filter::eq("b", 2_i64)).len(), 1);
+    }
+
+    #[test]
+    fn replace_rewrites_document() {
+        let mut c = voters();
+        assert!(c.replace(1, doc! { "ncid" => "B9" }));
+        let d = c.get(1).unwrap();
+        assert_eq!(d.get_str("ncid"), Some("B9"));
+        assert_eq!(d.get_i64("_id"), Some(1));
+        assert!(d.get_path("name").is_none());
+    }
+}

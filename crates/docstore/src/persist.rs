@@ -1,0 +1,197 @@
+//! File persistence for collections (JSON-lines snapshots).
+//!
+//! The format is one JSON document per line; the `_id` field stored in
+//! each document is preserved on load, as is the id counter, so ids
+//! remain stable across save/load cycles.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+
+use crate::collection::Collection;
+use crate::value::Document;
+
+/// Errors produced by persistence operations.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying IO failure.
+    Io(std::io::Error),
+    /// A line could not be parsed as a document.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Parser message.
+        message: String,
+    },
+    /// A stored document is missing its `_id`.
+    MissingId {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl std::fmt::Display for PersistError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "io error: {e}"),
+            PersistError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            PersistError::MissingId { line } => {
+                write!(f, "document on line {line} has no _id")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PersistError {}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+/// Write a collection to `path` as JSON lines (ascending `_id`).
+pub fn save(collection: &Collection, path: &Path) -> Result<(), PersistError> {
+    let file = File::create(path)?;
+    let mut w = BufWriter::new(file);
+    for (_, doc) in collection.iter_ordered() {
+        let json = serde_json::to_string(doc)
+            .map_err(|e| PersistError::Parse { line: 0, message: e.to_string() })?;
+        w.write_all(json.as_bytes())?;
+        w.write_all(b"\n")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Load a collection from a JSON-lines file written by [`save`].
+///
+/// Documents are re-inserted preserving their `_id`s; the collection's id
+/// counter resumes after the maximum loaded id. Declared indexes must be
+/// re-created by the caller (index definitions are not persisted).
+pub fn load(name: &str, path: &Path) -> Result<Collection, PersistError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut docs: Vec<(u64, Document)> = Vec::new();
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let doc: Document = serde_json::from_str(&line).map_err(|e| PersistError::Parse {
+            line: i + 1,
+            message: e.to_string(),
+        })?;
+        let id = doc
+            .get_i64("_id")
+            .and_then(|v| u64::try_from(v).ok())
+            .ok_or(PersistError::MissingId { line: i + 1 })?;
+        docs.push((id, doc));
+    }
+    docs.sort_by_key(|(id, _)| *id);
+
+    // Rebuild by inserting in id order; pad gaps so ids are preserved.
+    let mut coll = Collection::new(name);
+    let mut next = 0u64;
+    for (id, doc) in docs {
+        while next < id {
+            let filler = coll.insert(Document::new());
+            coll.delete(filler);
+            next += 1;
+        }
+        let got = coll.insert(doc);
+        debug_assert_eq!(got, id);
+        next = id + 1;
+    }
+    Ok(coll)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc;
+    use crate::query::Filter;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("nc_docstore_test_{}_{}", std::process::id(), name));
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_documents_and_ids() {
+        let mut c = Collection::new("v");
+        c.insert(doc! { "name" => "A", "n" => 1_i64 });
+        c.insert(doc! { "name" => "B", "nested" => doc! { "x" => 2.5 } });
+        let path = tmp("round_trip");
+        save(&c, &path).unwrap();
+        let loaded = load("v", &path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(
+            loaded.find_one(&Filter::eq("name", "B")).unwrap().get_f64("nested.x"),
+            Some(2.5)
+        );
+        assert_eq!(
+            loaded.find_one(&Filter::eq("name", "A")).unwrap().get_i64("_id"),
+            Some(0)
+        );
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn round_trip_with_deleted_gaps() {
+        let mut c = Collection::new("v");
+        c.insert(doc! { "name" => "A" });
+        c.insert(doc! { "name" => "B" });
+        c.insert(doc! { "name" => "C" });
+        c.delete(1);
+        let path = tmp("gaps");
+        save(&c, &path).unwrap();
+        let loaded = load("v", &path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(
+            loaded.find_one(&Filter::eq("name", "C")).unwrap().get_i64("_id"),
+            Some(2)
+        );
+        // New inserts continue after the max id.
+        let mut loaded = loaded;
+        let id = loaded.insert(doc! { "name" => "D" });
+        assert_eq!(id, 3);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn load_missing_file_errors() {
+        let err = load("v", Path::new("/nonexistent/nc_docstore.jsonl")).unwrap_err();
+        assert!(matches!(err, PersistError::Io(_)));
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        let path = tmp("garbage");
+        std::fs::write(&path, "not json\n").unwrap();
+        let err = load("v", &path).unwrap_err();
+        assert!(matches!(err, PersistError::Parse { line: 1, .. }), "{err}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_missing_id() {
+        let path = tmp("noid");
+        std::fs::write(&path, "{\"name\":\"A\"}\n").unwrap();
+        let err = load("v", &path).unwrap_err();
+        assert!(matches!(err, PersistError::MissingId { line: 1 }), "{err}");
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn empty_file_loads_empty_collection() {
+        let path = tmp("empty");
+        std::fs::write(&path, "").unwrap();
+        let loaded = load("v", &path).unwrap();
+        assert!(loaded.is_empty());
+        std::fs::remove_file(path).unwrap();
+    }
+}

@@ -1,0 +1,156 @@
+//! A thread-safe container of named collections.
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::collection::Collection;
+use crate::persist::{self, PersistError};
+
+/// A database: a set of named [`Collection`]s behind reader/writer locks.
+///
+/// Collections are created lazily on first access. Each collection has
+/// its own lock so that independent collections can be written in
+/// parallel (the paper's update process imports several snapshots
+/// concurrently).
+#[derive(Debug, Default)]
+pub struct DocStore {
+    collections: RwLock<HashMap<String, Arc<RwLock<Collection>>>>,
+}
+
+impl DocStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get (or create) the collection with the given name.
+    pub fn collection(&self, name: &str) -> Arc<RwLock<Collection>> {
+        if let Some(c) = self.collections.read().get(name) {
+            return Arc::clone(c);
+        }
+        let mut map = self.collections.write();
+        Arc::clone(
+            map.entry(name.to_owned())
+                .or_insert_with(|| Arc::new(RwLock::new(Collection::new(name)))),
+        )
+    }
+
+    /// Names of all existing collections, sorted.
+    pub fn collection_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.collections.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Drop a collection. Returns `true` if it existed.
+    pub fn drop_collection(&self, name: &str) -> bool {
+        self.collections.write().remove(name).is_some()
+    }
+
+    /// Persist every collection into `dir` as `<name>.jsonl`.
+    pub fn save_all(&self, dir: &Path) -> Result<(), PersistError> {
+        std::fs::create_dir_all(dir)?;
+        for name in self.collection_names() {
+            let coll = self.collection(&name);
+            let coll = coll.read();
+            persist::save(&coll, &dir.join(format!("{name}.jsonl")))?;
+        }
+        Ok(())
+    }
+
+    /// Load every `*.jsonl` file in `dir` as a collection.
+    pub fn load_all(dir: &Path) -> Result<Self, PersistError> {
+        let store = Self::new();
+        for entry in std::fs::read_dir(dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            if path.extension().is_some_and(|e| e == "jsonl") {
+                let name = path
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("unnamed")
+                    .to_owned();
+                let coll = persist::load(&name, &path)?;
+                store
+                    .collections
+                    .write()
+                    .insert(name, Arc::new(RwLock::new(coll)));
+            }
+        }
+        Ok(store)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::doc;
+    use crate::query::Filter;
+
+    #[test]
+    fn lazily_creates_collections() {
+        let store = DocStore::new();
+        assert!(store.collection_names().is_empty());
+        store.collection("a").write().insert(doc! { "x" => 1_i64 });
+        store.collection("b");
+        assert_eq!(store.collection_names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn collection_handles_are_shared() {
+        let store = DocStore::new();
+        let h1 = store.collection("shared");
+        let h2 = store.collection("shared");
+        h1.write().insert(doc! { "x" => 1_i64 });
+        assert_eq!(h2.read().len(), 1);
+    }
+
+    #[test]
+    fn drop_collection_works() {
+        let store = DocStore::new();
+        store.collection("gone");
+        assert!(store.drop_collection("gone"));
+        assert!(!store.drop_collection("gone"));
+    }
+
+    #[test]
+    fn concurrent_writes_to_distinct_collections() {
+        let store = Arc::new(DocStore::new());
+        let mut handles = Vec::new();
+        for i in 0..4 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                let coll = store.collection(&format!("c{i}"));
+                for j in 0..100_i64 {
+                    coll.write().insert(doc! { "j" => j });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(store.collection(&format!("c{i}")).read().len(), 100);
+        }
+    }
+
+    #[test]
+    fn save_and_load_all() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("nc_docstore_store_{}", std::process::id()));
+        let store = DocStore::new();
+        store.collection("x").write().insert(doc! { "v" => "one" });
+        store.collection("y").write().insert(doc! { "v" => "two" });
+        store.save_all(&dir).unwrap();
+
+        let loaded = DocStore::load_all(&dir).unwrap();
+        assert_eq!(loaded.collection_names(), vec!["x", "y"]);
+        let y = loaded.collection("y");
+        let y = y.read();
+        assert!(y.find_one(&Filter::eq("v", "two")).is_some());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+}

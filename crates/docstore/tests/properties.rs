@@ -1,0 +1,154 @@
+//! Property-based tests for the document store: path access laws,
+//! filter/index agreement and total-order invariants.
+
+use nc_docstore::prelude::*;
+use proptest::prelude::*;
+
+fn scalar_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000i64..1000).prop_map(Value::Int),
+        (-100.0f64..100.0).prop_map(Value::Float),
+        "[a-zA-Z0-9 ]{0,12}".prop_map(Value::from),
+    ]
+}
+
+fn field_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+proptest! {
+    /// set_path followed by get_path returns the value just written.
+    #[test]
+    fn set_then_get_round_trips(
+        segs in proptest::collection::vec(field_name(), 1..4),
+        value in scalar_value(),
+    ) {
+        let path = segs.join(".");
+        let mut doc = Document::new();
+        prop_assert!(doc.set_path(&path, value.clone()));
+        let got = doc.get_path(&path).expect("just set");
+        prop_assert!(got.query_eq(&value) || (got.is_null() && value.is_null()));
+    }
+
+    /// Writing one path never clobbers a sibling path.
+    #[test]
+    fn sibling_paths_are_independent(
+        a in field_name(),
+        b in field_name(),
+        va in scalar_value(),
+        vb in scalar_value(),
+    ) {
+        prop_assume!(a != b);
+        let mut doc = Document::new();
+        doc.set_path(&a, va.clone());
+        doc.set_path(&b, vb);
+        let got = doc.get_path(&a).expect("still present");
+        prop_assert!(got.query_eq(&va) || (got.is_null() && va.is_null()));
+    }
+
+    /// total_cmp is a total order: antisymmetric and transitive on
+    /// random triples.
+    #[test]
+    fn total_cmp_laws(
+        a in scalar_value(),
+        b in scalar_value(),
+        c in scalar_value(),
+    ) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        if a.total_cmp(&b) != Ordering::Greater && b.total_cmp(&c) != Ordering::Greater {
+            prop_assert_ne!(a.total_cmp(&c), Ordering::Greater);
+        }
+        prop_assert_eq!(a.total_cmp(&a), Ordering::Equal);
+    }
+
+    /// Equal values (by query semantics) hash identically.
+    #[test]
+    fn query_eq_implies_hash_eq(a in scalar_value(), b in scalar_value()) {
+        if a.query_eq(&b) {
+            prop_assert_eq!(a.stable_hash(), b.stable_hash());
+        }
+    }
+
+    /// An indexed equality find returns exactly what a full scan does.
+    #[test]
+    fn indexed_find_agrees_with_scan(
+        values in proptest::collection::vec("[A-D]", 1..40),
+        probe in "[A-E]",
+    ) {
+        let mut indexed = Collection::new("i");
+        indexed.create_index("k", IndexKind::Hash);
+        let mut plain = Collection::new("p");
+        for v in &values {
+            indexed.insert(doc! { "k" => v.as_str() });
+            plain.insert(doc! { "k" => v.as_str() });
+        }
+        let filter = Filter::eq("k", probe.as_str());
+        let from_index: Vec<i64> =
+            indexed.find(&filter).iter().filter_map(|d| d.get_i64("_id")).collect();
+        let from_scan: Vec<i64> =
+            plain.find(&filter).iter().filter_map(|d| d.get_i64("_id")).collect();
+        prop_assert_eq!(from_index, from_scan);
+    }
+
+    /// Range finds via an ordered index agree with scans.
+    #[test]
+    fn range_find_agrees_with_scan(
+        values in proptest::collection::vec(-50i64..50, 1..40),
+        lo in -60i64..60,
+        len in 0i64..40,
+    ) {
+        let hi = lo + len;
+        let mut indexed = Collection::new("i");
+        indexed.create_index("k", IndexKind::Ordered);
+        let mut plain = Collection::new("p");
+        for v in &values {
+            indexed.insert(doc! { "k" => *v });
+            plain.insert(doc! { "k" => *v });
+        }
+        let filter = Filter::between("k", lo, hi);
+        let a: Vec<i64> = indexed.find(&filter).iter().filter_map(|d| d.get_i64("_id")).collect();
+        let b: Vec<i64> = plain.find(&filter).iter().filter_map(|d| d.get_i64("_id")).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Delete removes exactly the targeted document from finds.
+    #[test]
+    fn delete_removes_from_results(values in proptest::collection::vec("[A-C]", 2..20)) {
+        let mut coll = Collection::new("d");
+        coll.create_index("k", IndexKind::Hash);
+        let ids: Vec<DocId> = values.iter().map(|v| coll.insert(doc! { "k" => v.as_str() })).collect();
+        let victim = ids[0];
+        let victim_key = values[0].clone();
+        coll.delete(victim);
+        let hits = coll.find_ids(&Filter::eq("k", victim_key.as_str()));
+        prop_assert!(!hits.contains(&victim));
+        prop_assert_eq!(coll.len(), values.len() - 1);
+    }
+
+    /// Filter::Not is an involution over random documents.
+    #[test]
+    fn not_not_is_identity(v in scalar_value(), probe in scalar_value()) {
+        let doc = doc! { "k" => v };
+        let f = Filter::eq("k", probe);
+        let nn = Filter::not(Filter::not(f.clone()));
+        prop_assert_eq!(f.matches(&doc), nn.matches(&doc));
+    }
+
+    /// Serde round trips preserve documents.
+    #[test]
+    fn serde_round_trip(
+        fields in proptest::collection::btree_map(field_name(), scalar_value(), 0..6),
+    ) {
+        let mut doc = Document::new();
+        for (k, v) in &fields {
+            doc.set(k.clone(), v.clone());
+        }
+        let json = serde_json::to_string(&doc).unwrap();
+        let back: Document = serde_json::from_str(&json).unwrap();
+        // NaN never appears (range-constrained floats), so equality holds.
+        prop_assert_eq!(doc, back);
+    }
+}

@@ -1,0 +1,187 @@
+//! Jaro and Jaro–Winkler similarity.
+//!
+//! Jaro–Winkler is one of the three record matchers evaluated in the
+//! paper's usability experiment (Section 6.5, Figure 5). The measure is a
+//! sequential (character-level) measure that favours strings sharing a
+//! common prefix, which makes it well suited to person names.
+
+use crate::{clamp01, StringSimilarity};
+
+/// Plain Jaro similarity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Jaro;
+
+impl Jaro {
+    /// Create the measure.
+    pub const fn new() -> Self {
+        Self
+    }
+}
+
+/// Compute the Jaro similarity over `char` slices.
+pub fn jaro(a: &[char], b: &[char]) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    if a == b {
+        return 1.0;
+    }
+    let match_window = (a.len().max(b.len()) / 2).saturating_sub(1);
+    let mut b_matched = vec![false; b.len()];
+    let mut a_matches: Vec<char> = Vec::new();
+
+    for (i, &ca) in a.iter().enumerate() {
+        let lo = i.saturating_sub(match_window);
+        let hi = (i + match_window + 1).min(b.len());
+        for j in lo..hi {
+            if !b_matched[j] && b[j] == ca {
+                b_matched[j] = true;
+                a_matches.push(ca);
+                break;
+            }
+        }
+    }
+    let m = a_matches.len();
+    if m == 0 {
+        return 0.0;
+    }
+    // Count transpositions: compare matched characters in order.
+    let b_matches: Vec<char> = b
+        .iter()
+        .zip(b_matched.iter())
+        .filter(|(_, &used)| used)
+        .map(|(&c, _)| c)
+        .collect();
+    let transpositions = a_matches
+        .iter()
+        .zip(b_matches.iter())
+        .filter(|(x, y)| x != y)
+        .count()
+        / 2;
+    let m = m as f64;
+    let t = transpositions as f64;
+    clamp01((m / a.len() as f64 + m / b.len() as f64 + (m - t) / m) / 3.0)
+}
+
+impl StringSimilarity for Jaro {
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        jaro(&av, &bv)
+    }
+}
+
+/// Jaro–Winkler similarity: Jaro boosted by a shared-prefix bonus.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JaroWinkler {
+    /// Prefix scaling factor, conventionally `0.1` and at most `0.25`.
+    pub prefix_scale: f64,
+    /// Maximum prefix length considered, conventionally `4`.
+    pub max_prefix: usize,
+    /// Only apply the prefix boost if the Jaro score exceeds this
+    /// threshold (Winkler's original proposal used `0.7`).
+    pub boost_threshold: f64,
+}
+
+impl Default for JaroWinkler {
+    fn default() -> Self {
+        Self {
+            prefix_scale: 0.1,
+            max_prefix: 4,
+            boost_threshold: 0.7,
+        }
+    }
+}
+
+impl JaroWinkler {
+    /// Create with the conventional parameters (`p = 0.1`, `ℓ ≤ 4`,
+    /// boost threshold `0.7`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl StringSimilarity for JaroWinkler {
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        let av: Vec<char> = a.chars().collect();
+        let bv: Vec<char> = b.chars().collect();
+        let j = jaro(&av, &bv);
+        if j <= self.boost_threshold {
+            return j;
+        }
+        let prefix = av
+            .iter()
+            .zip(bv.iter())
+            .take(self.max_prefix)
+            .take_while(|(x, y)| x == y)
+            .count();
+        clamp01(j + prefix as f64 * self.prefix_scale * (1.0 - j))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-3, "{a} vs {b}");
+    }
+
+    #[test]
+    fn jaro_identical_and_empty() {
+        let j = Jaro::new();
+        assert_eq!(j.sim("", ""), 1.0);
+        assert_eq!(j.sim("ABC", "ABC"), 1.0);
+        assert_eq!(j.sim("", "ABC"), 0.0);
+    }
+
+    #[test]
+    fn jaro_textbook_values() {
+        let j = Jaro::new();
+        approx(j.sim("MARTHA", "MARHTA"), 0.944);
+        approx(j.sim("DIXON", "DICKSONX"), 0.767);
+        approx(j.sim("DWAYNE", "DUANE"), 0.822);
+    }
+
+    #[test]
+    fn jaro_no_common_chars() {
+        assert_eq!(Jaro::new().sim("ABC", "XYZ"), 0.0);
+    }
+
+    #[test]
+    fn jaro_winkler_textbook_values() {
+        let jw = JaroWinkler::new();
+        approx(jw.sim("MARTHA", "MARHTA"), 0.961);
+        approx(jw.sim("DIXON", "DICKSONX"), 0.813);
+        approx(jw.sim("DWAYNE", "DUANE"), 0.840);
+    }
+
+    #[test]
+    fn jaro_winkler_prefix_boost_only_above_threshold() {
+        let jw = JaroWinkler::new();
+        let j = Jaro::new();
+        // Low-similarity pair: no boost even with shared first letter.
+        let pair = ("AXXXXX", "AYYYYY");
+        assert_eq!(jw.sim(pair.0, pair.1), j.sim(pair.0, pair.1));
+    }
+
+    #[test]
+    fn jaro_winkler_symmetric() {
+        let jw = JaroWinkler::new();
+        for (a, b) in [("JONES", "JOHNSON"), ("MASSEY", "MASSIE"), ("ABROMS", "ABRAMS")] {
+            assert!((jw.sim(a, b) - jw.sim(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jaro_winkler_bounded() {
+        let jw = JaroWinkler::new();
+        for (a, b) in [("AAAA", "AAAA"), ("AAAA", "AAAB"), ("A", "B"), ("", "")] {
+            let s = jw.sim(a, b);
+            assert!((0.0..=1.0).contains(&s));
+        }
+    }
+}

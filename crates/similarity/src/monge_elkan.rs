@@ -1,0 +1,126 @@
+//! Monge–Elkan hybrid similarity.
+//!
+//! The heterogeneity scorer (Section 6.3) uses Monge–Elkan with
+//! Damerau–Levenshtein as the internal token measure because the
+//! Generalized Jaccard Coefficient is "computationally too expensive when
+//! working on 90 attributes". Monge–Elkan is asymmetric, so — following
+//! the paper's footnote 13 — [`MongeElkan`] computes it in both
+//! directions and averages.
+
+use crate::{clamp01, StringSimilarity};
+
+/// Symmetrized Monge–Elkan similarity with inner measure `S`.
+///
+/// The one-directional score is
+/// `ME(A → B) = (1/|A|) Σ_{a ∈ A} max_{b ∈ B} sim(a, b)`;
+/// the reported score is `(ME(A → B) + ME(B → A)) / 2`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct MongeElkan<S> {
+    inner: S,
+}
+
+impl<S: StringSimilarity> MongeElkan<S> {
+    /// Create the symmetrized measure.
+    pub fn new(inner: S) -> Self {
+        Self { inner }
+    }
+
+    /// One-directional Monge–Elkan from `a`'s tokens to `b`'s tokens.
+    pub fn directed(&self, a: &[&str], b: &[&str]) -> f64 {
+        if a.is_empty() {
+            return f64::from(b.is_empty());
+        }
+        if b.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = a
+            .iter()
+            .map(|ta| {
+                b.iter()
+                    .map(|tb| self.inner.sim(ta, tb))
+                    .fold(0.0f64, f64::max)
+            })
+            .sum();
+        clamp01(sum / a.len() as f64)
+    }
+
+    /// Symmetric score over already-tokenized inputs.
+    pub fn sim_tokens(&self, a: &[&str], b: &[&str]) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        clamp01((self.directed(a, b) + self.directed(b, a)) / 2.0)
+    }
+}
+
+impl<S: StringSimilarity> StringSimilarity for MongeElkan<S> {
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        let ta = crate::token::tokens(a);
+        let tb = crate::token::tokens(b);
+        self.sim_tokens(&ta, &tb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::damerau::DamerauLevenshtein;
+
+    fn me() -> MongeElkan<DamerauLevenshtein> {
+        MongeElkan::new(DamerauLevenshtein::new())
+    }
+
+    #[test]
+    fn identical_is_one() {
+        assert_eq!(me().sim("PAUL A JONES", "PAUL A JONES"), 1.0);
+        assert_eq!(me().sim("", ""), 1.0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_zero() {
+        assert_eq!(me().sim("", "PAUL"), 0.0);
+    }
+
+    #[test]
+    fn token_order_invariant() {
+        let m = me();
+        assert!((m.sim("PAUL JONES", "JONES PAUL") - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_directions_differ() {
+        let m = me();
+        let a = ["PAUL"];
+        let b = ["PAUL", "ZZZZZZ"];
+        let ab = m.directed(&a, &b);
+        let ba = m.directed(&b, &a);
+        assert!((ab - 1.0).abs() < 1e-12);
+        assert!(ba < 1.0);
+        // Symmetrized score is the average.
+        assert!((m.sim_tokens(&a, &b) - (ab + ba) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetrized_is_symmetric() {
+        let m = me();
+        for (a, b) in [
+            ("MARY ANN SMITH", "SMITH MARYANN"),
+            ("COMPTR SCI DEPT", "COMPUTER SCIENCE DEPARTMENT"),
+            ("A", "A B C"),
+        ] {
+            assert!((m.sim(a, b) - m.sim(b, a)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn typo_in_token_scores_high() {
+        let s = me().sim("DEBRA OEHRIE", "DEBRA OEHRLE");
+        assert!(s > 0.9, "{s}");
+    }
+
+    #[test]
+    fn unrelated_scores_low() {
+        let s = me().sim("FIELDS MARY", "BETHEA JOSHUA");
+        assert!(s < 0.45, "{s}");
+    }
+}

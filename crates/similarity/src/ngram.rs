@@ -1,0 +1,157 @@
+//! q-gram based token similarity (Jaccard over n-gram sets).
+//!
+//! The paper's third matcher (Section 6.5) is "the Jaccard Similarity
+//! using trigrams". [`NgramJaccard`] reproduces it: both strings are
+//! decomposed into their (optionally padded) q-gram multisets and the
+//! Jaccard coefficient of the two sets is returned.
+
+use std::collections::HashMap;
+
+use crate::{clamp01, StringSimilarity};
+
+/// Jaccard similarity over q-gram multisets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NgramJaccard {
+    /// Gram size (`3` for trigrams).
+    pub q: usize,
+    /// Pad the string with `q - 1` sentinel characters on each side so
+    /// that leading/trailing characters carry the same weight as inner
+    /// ones. Padding uses `#` (begin) and `$` (end), which do not occur in
+    /// the upper-cased voter data.
+    pub padded: bool,
+}
+
+impl Default for NgramJaccard {
+    fn default() -> Self {
+        Self { q: 3, padded: true }
+    }
+}
+
+impl NgramJaccard {
+    /// Trigram Jaccard with padding — the paper's configuration.
+    pub fn trigram() -> Self {
+        Self::default()
+    }
+
+    /// Custom gram size.
+    pub fn new(q: usize, padded: bool) -> Self {
+        assert!(q >= 1, "gram size must be positive");
+        Self { q, padded }
+    }
+
+    /// Produce the q-gram multiset of `s` as a map gram → count.
+    pub fn grams(&self, s: &str) -> HashMap<Vec<char>, usize> {
+        let mut chars: Vec<char> = Vec::new();
+        if self.padded {
+            chars.extend(std::iter::repeat_n('#', self.q - 1));
+        }
+        chars.extend(s.chars());
+        if self.padded {
+            chars.extend(std::iter::repeat_n('$', self.q - 1));
+        }
+        let mut out: HashMap<Vec<char>, usize> = HashMap::new();
+        if chars.len() < self.q {
+            if !chars.is_empty() {
+                *out.entry(chars).or_insert(0) += 1;
+            }
+            return out;
+        }
+        for w in chars.windows(self.q) {
+            *out.entry(w.to_vec()).or_insert(0) += 1;
+        }
+        out
+    }
+}
+
+impl StringSimilarity for NgramJaccard {
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        if a == b {
+            return 1.0;
+        }
+        let ga = self.grams(a);
+        let gb = self.grams(b);
+        if ga.is_empty() && gb.is_empty() {
+            return 1.0;
+        }
+        let mut inter = 0usize;
+        let mut total_a = 0usize;
+        for (g, &ca) in &ga {
+            total_a += ca;
+            if let Some(&cb) = gb.get(g) {
+                inter += ca.min(cb);
+            }
+        }
+        let total_b: usize = gb.values().sum();
+        let union = total_a + total_b - inter;
+        if union == 0 {
+            return 1.0;
+        }
+        clamp01(inter as f64 / union as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_strings_are_one() {
+        let t = NgramJaccard::trigram();
+        assert_eq!(t.sim("NIGHT", "NIGHT"), 1.0);
+        assert_eq!(t.sim("", ""), 1.0);
+    }
+
+    #[test]
+    fn disjoint_strings_are_zero() {
+        let t = NgramJaccard::trigram();
+        assert_eq!(t.sim("AAAA", "BBBB"), 0.0);
+    }
+
+    #[test]
+    fn empty_vs_nonempty_is_zero() {
+        let t = NgramJaccard::trigram();
+        assert_eq!(t.sim("", "ABC"), 0.0);
+    }
+
+    #[test]
+    fn similar_strings_are_high() {
+        let t = NgramJaccard::trigram();
+        let s = t.sim("WILLIAMS", "WILLIAMSON");
+        assert!(s > 0.5, "{s}");
+        assert!(s < 1.0);
+    }
+
+    #[test]
+    fn padding_weights_endpoints() {
+        let padded = NgramJaccard::new(3, true);
+        let unpadded = NgramJaccard::new(3, false);
+        // A leading-character typo hurts the padded variant more because
+        // the prefix contributes three grams instead of one.
+        let sp = padded.sim("MILLER", "TILLER");
+        let su = unpadded.sim("MILLER", "TILLER");
+        assert!(sp < su, "{sp} vs {su}");
+    }
+
+    #[test]
+    fn grams_counts_multiset() {
+        let t = NgramJaccard::new(2, false);
+        let g = t.grams("AAA");
+        assert_eq!(g.get(&vec!['A', 'A']), Some(&2));
+    }
+
+    #[test]
+    fn short_strings_handled() {
+        let t = NgramJaccard::new(3, false);
+        // Shorter than q without padding: compared as single chunks.
+        assert_eq!(t.sim("AB", "AB"), 1.0);
+        assert_eq!(t.sim("AB", "BA"), 0.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let t = NgramJaccard::trigram();
+        for (a, b) in [("JACCARD", "JACARD"), ("SMITH", "SMYTHE"), ("X", "")] {
+            assert!((t.sim(a, b) - t.sim(b, a)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! American Soundex phonetic codes.
+//!
+//! The paper's phonetic-error detector (Section 6.4) flags two values as
+//! a potential phonetic error when they are not identical after removing
+//! non-letter characters, are both longer than two characters and share
+//! the same Soundex code.
+
+/// Compute the 4-character American Soundex code of `s`.
+///
+/// Returns `None` when the input contains no ASCII letter. Non-letter
+/// characters are ignored; the standard rules apply (H/W are transparent
+/// between consonants of equal code, vowels reset the run).
+pub fn soundex(s: &str) -> Option<String> {
+    let letters: Vec<char> = s
+        .chars()
+        .filter(|c| c.is_ascii_alphabetic())
+        .map(|c| c.to_ascii_uppercase())
+        .collect();
+    let first = *letters.first()?;
+
+    fn code(c: char) -> u8 {
+        match c {
+            'B' | 'F' | 'P' | 'V' => 1,
+            'C' | 'G' | 'J' | 'K' | 'Q' | 'S' | 'X' | 'Z' => 2,
+            'D' | 'T' => 3,
+            'L' => 4,
+            'M' | 'N' => 5,
+            'R' => 6,
+            // Vowels and Y separate runs; H and W are transparent.
+            'A' | 'E' | 'I' | 'O' | 'U' | 'Y' => 0,
+            _ => 7, // H, W
+        }
+    }
+
+    let mut out = String::with_capacity(4);
+    out.push(first);
+    let mut last_code = code(first);
+    for &c in letters.iter().skip(1) {
+        let k = code(c);
+        match k {
+            0 => last_code = 0,     // vowel: reset run, emit nothing
+            7 => {}                 // H/W: transparent, keep last_code
+            _ => {
+                if k != last_code {
+                    out.push(char::from(b'0' + k));
+                    if out.len() == 4 {
+                        return Some(out);
+                    }
+                }
+                last_code = k;
+            }
+        }
+    }
+    while out.len() < 4 {
+        out.push('0');
+    }
+    Some(out)
+}
+
+/// Whether two values plausibly represent a phonetic misspelling of one
+/// another: same Soundex code, not identical after stripping non-letters,
+/// both longer than two letters (the paper's criterion).
+pub fn phonetic_match(a: &str, b: &str) -> bool {
+    let la = crate::token::strip_non_alpha(a);
+    let lb = crate::token::strip_non_alpha(b);
+    if la.len() <= 2 || lb.len() <= 2 {
+        return false;
+    }
+    if la.eq_ignore_ascii_case(&lb) {
+        return false;
+    }
+    match (soundex(&la), soundex(&lb)) {
+        (Some(ca), Some(cb)) => ca == cb,
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn textbook_codes() {
+        assert_eq!(soundex("Robert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Rupert").as_deref(), Some("R163"));
+        assert_eq!(soundex("Ashcraft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Ashcroft").as_deref(), Some("A261"));
+        assert_eq!(soundex("Tymczak").as_deref(), Some("T522"));
+        assert_eq!(soundex("Pfister").as_deref(), Some("P236"));
+        assert_eq!(soundex("Honeyman").as_deref(), Some("H555"));
+    }
+
+    #[test]
+    fn double_letters_collapse() {
+        assert_eq!(soundex("Gutierrez").as_deref(), Some("G362"));
+        assert_eq!(soundex("Jackson").as_deref(), Some("J250"));
+    }
+
+    #[test]
+    fn hw_transparent_between_same_codes() {
+        // S and C both map to 2; transparent W keeps the run.
+        assert_eq!(soundex("Ashcraft"), soundex("Ashcroft"));
+        assert_eq!(soundex("BOOTH").as_deref(), Some("B300"));
+    }
+
+    #[test]
+    fn empty_or_nonalpha_is_none() {
+        assert_eq!(soundex(""), None);
+        assert_eq!(soundex("1234"), None);
+        assert_eq!(soundex("---"), None);
+    }
+
+    #[test]
+    fn nonalpha_chars_ignored() {
+        assert_eq!(soundex("O'Brien"), soundex("OBrien"));
+    }
+
+    #[test]
+    fn phonetic_match_examples() {
+        assert!(phonetic_match("BAILEY", "BAYLEE"));
+        assert!(!phonetic_match("BAILEY", "BAILEY"));
+        // Too short.
+        assert!(!phonetic_match("AL", "AL"));
+        assert!(!phonetic_match("KIM", "KYMM") || phonetic_match("KIM", "KYMM"));
+        // Different codes.
+        assert!(!phonetic_match("SMITH", "JONES"));
+    }
+
+    #[test]
+    fn phonetic_match_ignores_punctuation_only_diff() {
+        // Identical after stripping punctuation -> not a phonetic error.
+        assert!(!phonetic_match("O'BRIEN", "OBRIEN"));
+    }
+}

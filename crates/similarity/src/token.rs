@@ -1,0 +1,70 @@
+//! Tokenization helpers shared by the hybrid similarity measures.
+
+/// Split a string into non-empty whitespace-separated tokens.
+pub fn tokens(s: &str) -> Vec<&str> {
+    s.split_whitespace().filter(|t| !t.is_empty()).collect()
+}
+
+/// Split a string into tokens, treating hyphens and slashes as
+/// separators in addition to whitespace. Useful for addresses and
+/// double-barrelled names.
+pub fn tokens_extended(s: &str) -> Vec<&str> {
+    s.split(|c: char| c.is_whitespace() || c == '-' || c == '/')
+        .filter(|t| !t.is_empty())
+        .collect()
+}
+
+/// Whether two strings consist of the same multiset of tokens (order
+/// ignored). Used by the token-transposition irregularity detector.
+pub fn same_token_multiset(a: &str, b: &str) -> bool {
+    let mut ta = tokens(a);
+    let mut tb = tokens(b);
+    ta.sort_unstable();
+    tb.sort_unstable();
+    ta == tb
+}
+
+/// Remove every non-alphanumeric character from a string, preserving
+/// character order. Used by formatting-difference detectors.
+pub fn strip_non_alnum(s: &str) -> String {
+    s.chars().filter(|c| c.is_alphanumeric()).collect()
+}
+
+/// Remove every non-letter character (digits too). Used by the phonetic
+/// irregularity detector.
+pub fn strip_non_alpha(s: &str) -> String {
+    s.chars().filter(|c| c.is_alphabetic()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokens_basic() {
+        assert_eq!(tokens("  MARY  ANN "), vec!["MARY", "ANN"]);
+        assert!(tokens("   ").is_empty());
+        assert!(tokens("").is_empty());
+    }
+
+    #[test]
+    fn tokens_extended_splits_hyphens() {
+        assert_eq!(tokens_extended("SMITH-JONES"), vec!["SMITH", "JONES"]);
+        assert_eq!(tokens_extended("A/B C"), vec!["A", "B", "C"]);
+    }
+
+    #[test]
+    fn same_token_multiset_detects_transposition() {
+        assert!(same_token_multiset("ANH THI", "THI ANH"));
+        assert!(!same_token_multiset("ANH THI", "ANH"));
+        assert!(!same_token_multiset("ANH ANH", "ANH"));
+        assert!(same_token_multiset("", "   "));
+    }
+
+    #[test]
+    fn strip_helpers() {
+        assert_eq!(strip_non_alnum("O'BRIEN-3"), "OBRIEN3");
+        assert_eq!(strip_non_alpha("O'BRIEN-3"), "OBRIEN");
+        assert_eq!(strip_non_alnum(""), "");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the similarity measures.
+
+use nc_similarity::damerau::{distance, DamerauLevenshtein, ExtendedDamerauLevenshtein};
+use nc_similarity::gen_jaccard::GeneralizedJaccard;
+use nc_similarity::jaro::{Jaro, JaroWinkler};
+use nc_similarity::monge_elkan::MongeElkan;
+use nc_similarity::ngram::NgramJaccard;
+use nc_similarity::soundex::soundex;
+use nc_similarity::StringSimilarity;
+use proptest::prelude::*;
+
+fn word() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Z]{0,12}").unwrap()
+}
+
+fn phrase() -> impl Strategy<Value = String> {
+    proptest::collection::vec(word(), 0..4).prop_map(|ws| ws.join(" "))
+}
+
+macro_rules! measure_properties {
+    ($name:ident, $measure:expr, $gen:expr) => {
+        mod $name {
+            use super::*;
+
+            proptest! {
+                #[test]
+                fn bounded(a in $gen, b in $gen) {
+                    let s = $measure.sim(&a, &b);
+                    prop_assert!((0.0..=1.0).contains(&s), "sim out of range: {s}");
+                }
+
+                #[test]
+                fn symmetric(a in $gen, b in $gen) {
+                    let ab = $measure.sim(&a, &b);
+                    let ba = $measure.sim(&b, &a);
+                    prop_assert!((ab - ba).abs() < 1e-9, "asymmetric: {ab} vs {ba}");
+                }
+
+                #[test]
+                fn reflexive(a in $gen) {
+                    prop_assert_eq!($measure.sim(&a, &a), 1.0);
+                }
+            }
+        }
+    };
+}
+
+measure_properties!(damerau_props, DamerauLevenshtein::new(), word());
+measure_properties!(ext_damerau_props, ExtendedDamerauLevenshtein::new(), word());
+measure_properties!(jaro_props, Jaro::new(), word());
+measure_properties!(jaro_winkler_props, JaroWinkler::new(), word());
+measure_properties!(ngram_props, NgramJaccard::trigram(), word());
+measure_properties!(
+    monge_elkan_props,
+    MongeElkan::new(DamerauLevenshtein::new()),
+    phrase()
+);
+measure_properties!(
+    gen_jaccard_props,
+    GeneralizedJaccard::new(DamerauLevenshtein::new()),
+    phrase()
+);
+
+proptest! {
+    /// Edit distance is a metric on the OSA-reachable space: triangle
+    /// inequality holds for the OSA distance on short strings.
+    #[test]
+    fn damerau_triangle_inequality(
+        a in "[A-Z]{0,6}",
+        b in "[A-Z]{0,6}",
+        c in "[A-Z]{0,6}",
+    ) {
+        let ab = distance(&a, &b);
+        let bc = distance(&b, &c);
+        let ac = distance(&a, &c);
+        prop_assert!(ac <= ab + bc, "triangle violated: d({a},{c})={ac} > {ab}+{bc}");
+    }
+
+    /// Single-character edits move the distance by at most one.
+    #[test]
+    fn damerau_edit_changes_distance_by_at_most_one(
+        a in "[A-Z]{1,10}",
+        b in "[A-Z]{1,10}",
+        idx in 0usize..10,
+        ch in proptest::char::range('A', 'Z'),
+    ) {
+        let mut chars: Vec<char> = a.chars().collect();
+        let idx = idx % chars.len();
+        chars[idx] = ch;
+        let a2: String = chars.iter().collect();
+        let d1 = distance(&a, &b);
+        let d2 = distance(&a2, &b);
+        prop_assert!(d1.abs_diff(d2) <= 1);
+    }
+
+    /// Soundex always yields a letter followed by three digits.
+    #[test]
+    fn soundex_shape(s in "[A-Za-z'\\- ]{1,20}") {
+        if let Some(code) = soundex(&s) {
+            prop_assert_eq!(code.len(), 4);
+            let cs: Vec<char> = code.chars().collect();
+            prop_assert!(cs[0].is_ascii_uppercase());
+            prop_assert!(cs[1..].iter().all(|c| c.is_ascii_digit()));
+        }
+    }
+
+    /// Soundex is insensitive to case and non-letter characters.
+    #[test]
+    fn soundex_case_insensitive(s in "[A-Za-z]{1,12}") {
+        prop_assert_eq!(soundex(&s), soundex(&s.to_uppercase()));
+        prop_assert_eq!(soundex(&s), soundex(&s.to_lowercase()));
+    }
+
+    /// The extended measure dominates the plain one (its relaxations can
+    /// only raise similarity).
+    #[test]
+    fn extended_damerau_dominates_plain(a in word(), b in word()) {
+        let plain = DamerauLevenshtein::new().sim(&a, &b);
+        let ext = ExtendedDamerauLevenshtein::new().sim(&a, &b);
+        prop_assert!(ext >= plain - 1e-12, "ext {ext} < plain {plain}");
+    }
+}

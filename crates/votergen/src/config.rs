@@ -1,0 +1,207 @@
+//! Generator configuration.
+
+/// Per-value corruption probabilities applied when a registration form is
+/// (re-)entered. Probabilities are cumulative-exclusive: at most one
+/// corruption class is applied per value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ErrorRates {
+    /// Single-character typo (insert/delete/substitute/transpose).
+    pub typo: f64,
+    /// Letter ↔ digit OCR confusion.
+    pub ocr: f64,
+    /// Phonetic-preserving misspelling.
+    pub phonetic: f64,
+    /// Abbreviation to the first letter.
+    pub abbreviation: f64,
+    /// Value dropped entirely.
+    pub missing: f64,
+    /// Value entered in lowercase.
+    pub case_flip: f64,
+}
+
+impl ErrorRates {
+    /// No corruption at all.
+    pub fn none() -> Self {
+        ErrorRates {
+            typo: 0.0,
+            ocr: 0.0,
+            phonetic: 0.0,
+            abbreviation: 0.0,
+            missing: 0.0,
+            case_flip: 0.0,
+        }
+    }
+
+    /// Sum of all rates (must stay ≤ 1).
+    pub fn total(&self) -> f64 {
+        self.typo + self.ocr + self.phonetic + self.abbreviation + self.missing + self.case_flip
+    }
+}
+
+impl Default for ErrorRates {
+    /// Rates calibrated to reproduce the error-frequency *order* of the
+    /// paper's Table 4 (missing ≫ abbreviation ≫ typo ≈ phonetic ≫ OCR).
+    fn default() -> Self {
+        ErrorRates {
+            typo: 0.015,
+            ocr: 0.0005,
+            phonetic: 0.008,
+            abbreviation: 0.02,
+            missing: 0.01,
+            case_flip: 0.003,
+        }
+    }
+}
+
+/// Full generator configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// RNG seed; equal configs generate identical archives.
+    pub seed: u64,
+    /// Number of voters registered before the first snapshot.
+    pub initial_population: usize,
+    /// Fraction of the population newly registered per year (baseline).
+    pub annual_growth: f64,
+    /// Extra growth multiplier in presidential election years
+    /// (2008/2012/2016/2020 show large new-object spikes in Table 1).
+    pub election_year_boost: f64,
+    /// Probability per snapshot that an existing voter re-registers
+    /// (re-entering their data by hand, picking up fresh errors).
+    pub reregistration_rate: f64,
+    /// Probability per year that a voter moves (address + districts
+    /// change at the next re-registration).
+    pub move_rate: f64,
+    /// Probability per year that a voter changes their last name.
+    pub name_change_rate: f64,
+    /// Probability per year that a voter switches party.
+    pub party_switch_rate: f64,
+    /// Probability per year that a voter is removed from the rolls.
+    pub removal_rate: f64,
+    /// Years a removed voter keeps appearing in snapshots before being
+    /// purged (removed records stay listed for a while in the real data).
+    pub removed_retention_years: i32,
+    /// Probability that a *new* registration reuses a purged NCID,
+    /// creating an unsound cluster.
+    pub ncid_reuse_rate: f64,
+    /// Per-value corruption rates at (re-)registration.
+    pub error_rates: ErrorRates,
+    /// Probability that an emitted value carries stray whitespace (not
+    /// sticky: re-rolled at every snapshot emission, producing the
+    /// "exact after trimming" duplicate class of Table 2).
+    pub whitespace_rate: f64,
+    /// Probability that a record's names are confused between attributes
+    /// at re-registration.
+    pub confusion_rate: f64,
+    /// Probability that the middle name is integrated into the first name
+    /// at re-registration.
+    pub integration_rate: f64,
+    /// Probability that first/middle tokens are scattered differently at
+    /// re-registration.
+    pub scatter_rate: f64,
+    /// Probability that the recorded age becomes an outlier value.
+    pub age_outlier_rate: f64,
+    /// Probability that the emitted age is off by one (form filled before
+    /// vs after the birthday — the paper's YoB tolerance of 1).
+    pub age_jitter_rate: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 0x5EED_2021,
+            initial_population: 10_000,
+            annual_growth: 0.035,
+            election_year_boost: 3.0,
+            reregistration_rate: 0.10,
+            move_rate: 0.09,
+            name_change_rate: 0.012,
+            party_switch_rate: 0.02,
+            removal_rate: 0.02,
+            removed_retention_years: 3,
+            ncid_reuse_rate: 0.004,
+            error_rates: ErrorRates::default(),
+            whitespace_rate: 0.005,
+            confusion_rate: 0.004,
+            integration_rate: 0.004,
+            scatter_rate: 0.001,
+            age_outlier_rate: 0.003,
+            age_jitter_rate: 0.3,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A small configuration for unit tests and examples.
+    pub fn small(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            initial_population: 500,
+            ..Default::default()
+        }
+    }
+
+    /// Validate rates; returns a description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.initial_population == 0 {
+            return Err("initial_population must be positive".into());
+        }
+        let rates = [
+            ("annual_growth", self.annual_growth),
+            ("reregistration_rate", self.reregistration_rate),
+            ("move_rate", self.move_rate),
+            ("name_change_rate", self.name_change_rate),
+            ("party_switch_rate", self.party_switch_rate),
+            ("removal_rate", self.removal_rate),
+            ("ncid_reuse_rate", self.ncid_reuse_rate),
+            ("whitespace_rate", self.whitespace_rate),
+            ("confusion_rate", self.confusion_rate),
+            ("integration_rate", self.integration_rate),
+            ("scatter_rate", self.scatter_rate),
+            ("age_outlier_rate", self.age_outlier_rate),
+            ("age_jitter_rate", self.age_jitter_rate),
+        ];
+        for (name, r) in rates {
+            if !(0.0..=1.0).contains(&r) {
+                return Err(format!("{name} must be in [0,1], got {r}"));
+            }
+        }
+        if self.error_rates.total() > 1.0 {
+            return Err(format!(
+                "error rates sum to {} > 1",
+                self.error_rates.total()
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(GeneratorConfig::default().validate().is_ok());
+        assert!(GeneratorConfig::small(1).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_rates_rejected() {
+        let c = GeneratorConfig { reregistration_rate: 1.5, ..Default::default() };
+        assert!(c.validate().is_err());
+
+        let c = GeneratorConfig { initial_population: 0, ..Default::default() };
+        assert!(c.validate().is_err());
+
+        let mut c = GeneratorConfig::default();
+        c.error_rates.typo = 0.9;
+        c.error_rates.missing = 0.9;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn error_rates_total() {
+        assert_eq!(ErrorRates::none().total(), 0.0);
+        assert!(ErrorRates::default().total() < 0.1);
+    }
+}

@@ -1,0 +1,116 @@
+//! A minimal calendar date type (`YYYY-MM-DD`).
+//!
+//! The generator and the core pipeline only need day-resolution dates
+//! with ordering, formatting and year arithmetic, so a full chrono
+//! dependency is unnecessary.
+
+use std::fmt;
+
+/// A calendar date.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Date {
+    /// Four-digit year.
+    pub year: i32,
+    /// Month `1..=12`.
+    pub month: u8,
+    /// Day `1..=31`.
+    pub day: u8,
+}
+
+impl Date {
+    /// Construct a date; panics on out-of-range month/day.
+    pub fn new(year: i32, month: u8, day: u8) -> Self {
+        assert!((1..=12).contains(&month), "month out of range: {month}");
+        assert!(
+            day >= 1 && day <= days_in_month(year, month),
+            "day out of range: {year}-{month}-{day}"
+        );
+        Date { year, month, day }
+    }
+
+    /// Parse `YYYY-MM-DD`.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut parts = s.split('-');
+        let year: i32 = parts.next()?.parse().ok()?;
+        let month: u8 = parts.next()?.parse().ok()?;
+        let day: u8 = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        if !(1..=12).contains(&month) || day < 1 || day > days_in_month(year, month) {
+            return None;
+        }
+        Some(Date { year, month, day })
+    }
+}
+
+/// Number of days in a month, honoring leap years.
+pub fn days_in_month(year: i32, month: u8) -> u8 {
+    match month {
+        1 | 3 | 5 | 7 | 8 | 10 | 12 => 31,
+        4 | 6 | 9 | 11 => 30,
+        2 => {
+            if (year % 4 == 0 && year % 100 != 0) || year % 400 == 0 {
+                29
+            } else {
+                28
+            }
+        }
+        _ => unreachable!("validated month"),
+    }
+}
+
+impl fmt::Display for Date {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formatting_pads() {
+        assert_eq!(Date::new(2008, 1, 5).to_string(), "2008-01-05");
+    }
+
+    #[test]
+    fn parse_round_trip() {
+        for s in ["2008-11-04", "2020-02-29", "1999-12-31"] {
+            assert_eq!(Date::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn parse_rejects_invalid() {
+        assert!(Date::parse("2019-02-29").is_none()); // not a leap year
+        assert!(Date::parse("2019-13-01").is_none());
+        assert!(Date::parse("2019-00-01").is_none());
+        assert!(Date::parse("2019-01-32").is_none());
+        assert!(Date::parse("garbage").is_none());
+        assert!(Date::parse("2019-01-01-01").is_none());
+    }
+
+    #[test]
+    fn ordering_is_chronological() {
+        let a = Date::new(2008, 11, 4);
+        let b = Date::new(2009, 1, 1);
+        let c = Date::new(2009, 1, 2);
+        assert!(a < b && b < c);
+    }
+
+    #[test]
+    fn leap_years() {
+        assert_eq!(days_in_month(2000, 2), 29);
+        assert_eq!(days_in_month(1900, 2), 28);
+        assert_eq!(days_in_month(2016, 2), 29);
+        assert_eq!(days_in_month(2019, 2), 28);
+    }
+
+    #[test]
+    #[should_panic(expected = "day out of range")]
+    fn invalid_day_panics() {
+        let _ = Date::new(2019, 2, 29);
+    }
+}

@@ -1,0 +1,200 @@
+//! Value pools for the synthetic voter population.
+//!
+//! Pools are modeled on the value distributions of the real NC register:
+//! upper-case names, NC county and city names, US states as birth
+//! places, and the NC party/race/ethnicity code books.
+
+/// Common female first names.
+pub const FEMALE_FIRST: &[&str] = &[
+    "MARY", "PATRICIA", "LINDA", "BARBARA", "ELIZABETH", "JENNIFER", "MARIA", "SUSAN",
+    "MARGARET", "DOROTHY", "LISA", "NANCY", "KAREN", "BETTY", "HELEN", "SANDRA", "DONNA",
+    "CAROL", "RUTH", "SHARON", "MICHELLE", "LAURA", "SARAH", "KIMBERLY", "DEBORAH", "JESSICA",
+    "SHIRLEY", "CYNTHIA", "ANGELA", "MELISSA", "BRENDA", "AMY", "ANNA", "REBECCA", "VIRGINIA",
+    "KATHLEEN", "PAMELA", "MARTHA", "DEBRA", "AMANDA", "STEPHANIE", "CAROLYN", "CHRISTINE",
+    "MARIE", "JANET", "CATHERINE", "FRANCES", "ANN", "JOYCE", "DIANE", "ALICE", "JULIE",
+    "HEATHER", "TERESA", "DORIS", "GLORIA", "EVELYN", "JEAN", "CHERYL", "MILDRED", "KATHERINE",
+    "JOAN", "ASHLEY", "JUDITH", "ROSE", "JANICE", "KELLY", "NICOLE", "JUDY", "CHRISTINA",
+    "KATHY", "THERESA", "BEVERLY", "DENISE", "TAMMY", "IRENE", "JANE", "LORI", "RACHEL",
+    "MARILYN", "ANDREA", "KATHRYN", "LOUISE", "SARA", "ANNE", "JACQUELINE", "WANDA", "BONNIE",
+    "JULIA", "RUBY", "LOIS", "TINA", "PHYLLIS", "NORMA", "PAULA", "DIANA", "ANNIE", "LILLIAN",
+    "EMILY", "ROBIN", "MARY ANN", "ANH THI", "BETTY JO",
+];
+
+/// Common male first names.
+pub const MALE_FIRST: &[&str] = &[
+    "JAMES", "JOHN", "ROBERT", "MICHAEL", "WILLIAM", "DAVID", "RICHARD", "CHARLES", "JOSEPH",
+    "THOMAS", "CHRISTOPHER", "DANIEL", "PAUL", "MARK", "DONALD", "GEORGE", "KENNETH", "STEVEN",
+    "EDWARD", "BRIAN", "RONALD", "ANTHONY", "KEVIN", "JASON", "MATTHEW", "GARY", "TIMOTHY",
+    "JOSE", "LARRY", "JEFFREY", "FRANK", "SCOTT", "ERIC", "STEPHEN", "ANDREW", "RAYMOND",
+    "GREGORY", "JOSHUA", "JERRY", "DENNIS", "WALTER", "PATRICK", "PETER", "HAROLD", "DOUGLAS",
+    "HENRY", "CARL", "ARTHUR", "RYAN", "ROGER", "JOE", "JUAN", "JACK", "ALBERT", "JONATHAN",
+    "JUSTIN", "TERRY", "GERALD", "KEITH", "SAMUEL", "WILLIE", "RALPH", "LAWRENCE", "NICHOLAS",
+    "ROY", "BENJAMIN", "BRUCE", "BRANDON", "ADAM", "HARRY", "FRED", "WAYNE", "BILLY", "STEVE",
+    "LOUIS", "JEREMY", "AARON", "RANDY", "HOWARD", "EUGENE", "CARLOS", "RUSSELL", "BOBBY",
+    "VICTOR", "MARTIN", "ERNEST", "PHILLIP", "TODD", "JESSE", "CRAIG", "ALAN", "SHAWN",
+    "CLARENCE", "SEAN", "PHILIP", "CHRIS", "JOHNNY", "EARL", "JIMMY", "ANTONIO",
+    "JUAN CARLOS", "VAN MINH", "BILLY RAY",
+];
+
+/// Common middle names (either sex).
+pub const MIDDLE: &[&str] = &[
+    "ANN", "MARIE", "LYNN", "LEE", "MAE", "JEAN", "LOUISE", "GRACE", "ROSE", "ELIZABETH",
+    "ALLEN", "WAYNE", "EUGENE", "RAY", "DEAN", "EARL", "GLENN", "DALE", "SCOTT", "ALAN",
+    "EDWARD", "JAMES", "JOSEPH", "MICHAEL", "DAVID", "THOMAS", "PAUL", "MARK", "ANTHONY",
+    "NICOLE", "RENEE", "MICHELLE", "DAWN", "DENISE", "KAY", "SUE", "JO", "BETH", "FAYE",
+    "ANH", "THI", "VAN", "MINH",
+];
+
+/// Common last names.
+pub const LAST: &[&str] = &[
+    "SMITH", "JOHNSON", "WILLIAMS", "JONES", "BROWN", "DAVIS", "MILLER", "WILSON", "MOORE",
+    "TAYLOR", "ANDERSON", "THOMAS", "JACKSON", "WHITE", "HARRIS", "MARTIN", "THOMPSON",
+    "GARCIA", "MARTINEZ", "ROBINSON", "CLARK", "RODRIGUEZ", "LEWIS", "LEE", "WALKER", "HALL",
+    "ALLEN", "YOUNG", "HERNANDEZ", "KING", "WRIGHT", "LOPEZ", "HILL", "SCOTT", "GREEN",
+    "ADAMS", "BAKER", "GONZALEZ", "NELSON", "CARTER", "MITCHELL", "PEREZ", "ROBERTS",
+    "TURNER", "PHILLIPS", "CAMPBELL", "PARKER", "EVANS", "EDWARDS", "COLLINS", "STEWART",
+    "SANCHEZ", "MORRIS", "ROGERS", "REED", "COOK", "MORGAN", "BELL", "MURPHY", "BAILEY",
+    "RIVERA", "COOPER", "RICHARDSON", "COX", "HOWARD", "WARD", "TORRES", "PETERSON", "GRAY",
+    "RAMIREZ", "JAMES", "WATSON", "BROOKS", "KELLY", "SANDERS", "PRICE", "BENNETT", "WOOD",
+    "BARNES", "ROSS", "HENDERSON", "COLEMAN", "JENKINS", "PERRY", "POWELL", "LONG",
+    "PATTERSON", "HUGHES", "FLORES", "WASHINGTON", "BUTLER", "SIMMONS", "FOSTER", "BRYANT",
+    "ALEXANDER", "RUSSELL", "GRIFFIN", "DIAZ", "HAYES", "OEHRLE", "BETHEA", "FIELDS",
+    "LOCKLEAR", "OXENDINE", "BULLARD",
+];
+
+/// Name suffixes (rare).
+pub const SUFFIXES: &[&str] = &["JR", "SR", "II", "III", "IV"];
+
+/// A subset of NC counties with their official ids.
+pub const COUNTIES: &[(u32, &str)] = &[
+    (1, "ALAMANCE"), (2, "ALEXANDER"), (3, "ALLEGHANY"), (4, "ANSON"), (5, "ASHE"),
+    (10, "BLADEN"), (11, "BRUNSWICK"), (12, "BUNCOMBE"), (13, "BURKE"), (14, "CABARRUS"),
+    (18, "CATAWBA"), (19, "CHATHAM"), (25, "CRAVEN"), (26, "CUMBERLAND"), (31, "DURHAM"),
+    (32, "EDGECOMBE"), (33, "FORSYTH"), (34, "FRANKLIN"), (35, "GASTON"), (40, "GUILFORD"),
+    (41, "HALIFAX"), (43, "HARNETT"), (45, "HENDERSON"), (49, "IREDELL"), (51, "JOHNSTON"),
+    (54, "LENOIR"), (55, "LINCOLN"), (60, "MECKLENBURG"), (63, "MOORE"), (64, "NASH"),
+    (65, "NEW HANOVER"), (67, "ONSLOW"), (68, "ORANGE"), (70, "PASQUOTANK"), (74, "PITT"),
+    (76, "RANDOLPH"), (77, "RICHMOND"), (78, "ROBESON"), (79, "ROCKINGHAM"), (80, "ROWAN"),
+    (82, "SAMPSON"), (84, "STANLY"), (86, "SURRY"), (90, "UNION"), (92, "WAKE"),
+    (93, "WARREN"), (95, "WATAUGA"), (96, "WAYNE"), (98, "WILSON"), (100, "YANCEY"),
+];
+
+/// NC cities used for residence/mailing addresses.
+pub const CITIES: &[&str] = &[
+    "RALEIGH", "CHARLOTTE", "GREENSBORO", "DURHAM", "WINSTON SALEM", "FAYETTEVILLE", "CARY",
+    "WILMINGTON", "HIGH POINT", "ASHEVILLE", "CONCORD", "GASTONIA", "GREENVILLE",
+    "JACKSONVILLE", "CHAPEL HILL", "ROCKY MOUNT", "HUNTERSVILLE", "BURLINGTON", "WILSON",
+    "KANNAPOLIS", "APEX", "HICKORY", "GOLDSBORO", "INDIAN TRAIL", "MOORESVILLE", "MONROE",
+    "SANFORD", "NEW BERN", "MATTHEWS", "SALISBURY", "HOLLY SPRINGS", "THOMASVILLE",
+    "CORNELIUS", "GARNER", "ASHEBORO", "STATESVILLE", "KERNERSVILLE", "MINT HILL",
+    "LUMBERTON", "KINSTON", "FUQUAY VARINA", "HAVELOCK", "CARRBORO", "SHELBY", "CLEMMONS",
+    "LEXINGTON", "ELIZABETH CITY", "BOONE", "CLAYTON", "HENDERSON",
+];
+
+/// Street base names.
+pub const STREETS: &[&str] = &[
+    "MAIN", "CHURCH", "MILL", "OAK", "PINE", "MAPLE", "CEDAR", "ELM", "WASHINGTON", "LAKE",
+    "HILL", "WALNUT", "SPRING", "NORTH", "RIDGE", "DOGWOOD", "HOLLY", "CHESTNUT", "POPLAR",
+    "FOREST", "SUNSET", "RAILROAD", "PARK", "COLLEGE", "ACADEMY", "HIGHLAND", "RIVER",
+    "JONES FERRY", "OLD STAGE", "FIRETOWER", "MILLBROOK", "FALLS OF NEUSE", "SIX FORKS",
+    "TRYON", "WADE", "PERSON", "BLOUNT", "MORGAN", "HARGETT", "MARTIN",
+];
+
+/// Street types.
+pub const STREET_TYPES: &[&str] = &["ST", "RD", "AVE", "DR", "LN", "CT", "PL", "BLVD", "WAY", "CIR"];
+
+/// US states (abbreviation, name) used for birth places.
+pub const STATES: &[(&str, &str)] = &[
+    ("NC", "NORTH CAROLINA"), ("SC", "SOUTH CAROLINA"), ("VA", "VIRGINIA"), ("GA", "GEORGIA"),
+    ("TN", "TENNESSEE"), ("NY", "NEW YORK"), ("NJ", "NEW JERSEY"), ("PA", "PENNSYLVANIA"),
+    ("FL", "FLORIDA"), ("OH", "OHIO"), ("MI", "MICHIGAN"), ("IL", "ILLINOIS"),
+    ("CA", "CALIFORNIA"), ("TX", "TEXAS"), ("MD", "MARYLAND"), ("WV", "WEST VIRGINIA"),
+    ("AL", "ALABAMA"), ("MA", "MASSACHUSETTS"), ("CT", "CONNECTICUT"), ("KY", "KENTUCKY"),
+];
+
+/// Party code book: (code, description).
+pub const PARTIES: &[(&str, &str)] = &[
+    ("DEM", "DEMOCRATIC"),
+    ("REP", "REPUBLICAN"),
+    ("UNA", "UNAFFILIATED"),
+    ("LIB", "LIBERTARIAN"),
+];
+
+/// Race code book: (code, description).
+pub const RACES: &[(&str, &str)] = &[
+    ("W", "WHITE"),
+    ("B", "BLACK or AFRICAN AMERICAN"),
+    ("A", "ASIAN"),
+    ("I", "AMERICAN INDIAN or ALASKA NATIVE"),
+    ("M", "TWO or MORE RACES"),
+    ("O", "OTHER"),
+    ("U", "UNDESIGNATED"),
+];
+
+/// Ethnicity code book: (code, description).
+pub const ETHNICITIES: &[(&str, &str)] = &[
+    ("HL", "HISPANIC or LATINO"),
+    ("NL", "NOT HISPANIC or NOT LATINO"),
+    ("UN", "UNDESIGNATED"),
+];
+
+/// Voter status values: (status, removal reason when status = REMOVED).
+pub const STATUSES: &[&str] = &["ACTIVE", "INACTIVE", "REMOVED", "DENIED"];
+
+/// Status reasons by status.
+pub const STATUS_REASONS: &[(&str, &str)] = &[
+    ("ACTIVE", "VERIFIED"),
+    ("ACTIVE", "VERIFICATION PENDING"),
+    ("INACTIVE", "CONFIRMATION NOT RETURNED"),
+    ("INACTIVE", "CONFIRMATION RETURNED UNDELIVERABLE"),
+    ("REMOVED", "MOVED FROM COUNTY"),
+    ("REMOVED", "DECEASED"),
+    ("REMOVED", "VOTER REQUESTED"),
+    ("REMOVED", "DUPLICATE"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pools_are_nonempty_and_unique() {
+        fn assert_unique(pool: &[&str], name: &str) {
+            let mut v = pool.to_vec();
+            v.sort_unstable();
+            let before = v.len();
+            v.dedup();
+            assert_eq!(v.len(), before, "duplicates in pool {name}");
+            assert!(!pool.is_empty());
+        }
+        assert_unique(FEMALE_FIRST, "FEMALE_FIRST");
+        assert_unique(MALE_FIRST, "MALE_FIRST");
+        assert_unique(MIDDLE, "MIDDLE");
+        assert_unique(LAST, "LAST");
+        assert_unique(CITIES, "CITIES");
+        assert_unique(STREETS, "STREETS");
+    }
+
+    #[test]
+    fn county_ids_are_unique_and_sorted() {
+        let mut ids: Vec<u32> = COUNTIES.iter().map(|(id, _)| *id).collect();
+        let sorted = ids.windows(2).all(|w| w[0] < w[1]);
+        assert!(sorted, "county ids must be ascending");
+        ids.dedup();
+        assert_eq!(ids.len(), COUNTIES.len());
+    }
+
+    #[test]
+    fn all_values_are_uppercase() {
+        for &n in FEMALE_FIRST.iter().chain(MALE_FIRST).chain(LAST) {
+            assert_eq!(n, n.to_uppercase(), "pool value not uppercase: {n}");
+        }
+    }
+
+    #[test]
+    fn code_books_consistent() {
+        assert!(PARTIES.iter().any(|(c, _)| *c == "UNA"));
+        assert!(RACES.iter().any(|(c, _)| *c == "U"));
+        assert!(STATUS_REASONS.iter().all(|(s, _)| STATUSES.contains(s)));
+    }
+}

@@ -1,0 +1,259 @@
+//! The voter-record schema.
+//!
+//! The real NC register has 90 attributes split (by the paper) into four
+//! parts: *person*, *district*, *election* and *meta*. This module
+//! defines a representative 44-attribute schema with the same structure.
+//! Rows are stored as dense `Vec<String>`s indexed by [`AttrId`]; a
+//! missing value is the empty string (the register itself uses empty TSV
+//! fields).
+
+/// Index of an attribute within [`SCHEMA`] (and within every row).
+pub type AttrId = usize;
+
+/// The part of the record an attribute belongs to (the paper's four
+/// sub-documents).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttrGroup {
+    /// Personal data (names, demographics, addresses, phone).
+    Person,
+    /// Electoral districts (county, precinct, house/senate/congress, …).
+    District,
+    /// Election-related data (party, status, registration date, …).
+    Election,
+    /// Provenance metadata (snapshot/load/cancellation dates).
+    Meta,
+}
+
+/// Static description of one attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Attribute {
+    /// Canonical lower_snake_case name, as in the NC TSV header.
+    pub name: &'static str,
+    /// Which record part the attribute belongs to.
+    pub group: AttrGroup,
+    /// Whether the attribute is excluded from dedup hashing because it is
+    /// meta data or time-related (Section 4: dates and age).
+    pub hash_excluded: bool,
+}
+
+macro_rules! schema {
+    ( $( ($const:ident, $name:literal, $group:ident, $excl:literal) ),+ $(,)? ) => {
+        /// The full attribute list, in row order.
+        pub const SCHEMA: &[Attribute] = &[
+            $( Attribute { name: $name, group: AttrGroup::$group, hash_excluded: $excl } ),+
+        ];
+        schema!(@consts 0; $( ($const, $name, $group, $excl) ),+);
+    };
+    (@consts $idx:expr; ($const:ident, $name:literal, $group:ident, $excl:literal) $(, $rest:tt)*) => {
+        #[doc = concat!("Attribute id of `", $name, "`.")]
+        pub const $const: AttrId = $idx;
+        schema!(@consts $idx + 1; $( $rest ),*);
+    };
+    (@consts $idx:expr;) => {};
+}
+
+schema! {
+    (NCID, "ncid", Person, false),
+    (LAST_NAME, "last_name", Person, false),
+    (FIRST_NAME, "first_name", Person, false),
+    (MIDL_NAME, "midl_name", Person, false),
+    (NAME_SUFX, "name_sufx", Person, false),
+    (AGE, "age", Person, true),
+    (SEX_CODE, "sex_code", Person, false),
+    (SEX, "sex", Person, false),
+    (RACE_CODE, "race_code", Person, false),
+    (RACE_DESC, "race_desc", Person, false),
+    (ETHNIC_CODE, "ethnic_code", Person, false),
+    (ETHNIC_DESC, "ethnic_desc", Person, false),
+    (BIRTH_PLACE, "birth_place", Person, false),
+    (FULL_PHONE, "full_phone_number", Person, false),
+    (RES_STREET, "res_street_address", Person, false),
+    (RES_CITY, "res_city_desc", Person, false),
+    (RES_STATE, "state_cd", Person, false),
+    (ZIP_CODE, "zip_code", Person, false),
+    (MAIL_ADDR1, "mail_addr1", Person, false),
+    (MAIL_CITY, "mail_city", Person, false),
+    (MAIL_STATE, "mail_state", Person, false),
+    (MAIL_ZIP, "mail_zipcode", Person, false),
+    (AGE_GROUP, "age_group", Person, true),
+    (COUNTY_ID, "county_id", District, false),
+    (COUNTY_DESC, "county_desc", District, false),
+    (PRECINCT_ABBRV, "precinct_abbrv", District, false),
+    (PRECINCT_DESC, "precinct_desc", District, false),
+    (CONGR_DIST, "cong_dist_abbrv", District, false),
+    (NC_SENATE, "nc_senate_abbrv", District, false),
+    (NC_HOUSE, "nc_house_abbrv", District, false),
+    (JUDIC_DIST, "judic_dist_abbrv", District, false),
+    (SCHOOL_DIST, "school_dist_abbrv", District, false),
+    (MUNIC_ABBRV, "munic_abbrv", District, false),
+    (MUNIC_DESC, "munic_desc", District, false),
+    (WARD_ABBRV, "ward_abbrv", District, false),
+    (PARTY_CD, "party_cd", Election, false),
+    (PARTY_DESC, "party_desc", Election, false),
+    (STATUS, "voter_status_desc", Election, false),
+    (STATUS_REASON, "voter_status_reason_desc", Election, false),
+    (REGISTR_DT, "registr_dt", Election, true),
+    (DRIVERS_LIC, "drivers_lic", Election, false),
+    (SNAPSHOT_DT, "snapshot_dt", Meta, true),
+    (LOAD_DT, "load_dt", Meta, true),
+    (CANCELLATION_DT, "cancellation_dt", Meta, true),
+}
+
+/// Number of attributes in the schema.
+pub const NUM_ATTRS: usize = SCHEMA.len();
+
+/// Look up an attribute id by name.
+pub fn attr_id(name: &str) -> Option<AttrId> {
+    SCHEMA.iter().position(|a| a.name == name)
+}
+
+/// Ids of all attributes in a group.
+pub fn group_attrs(group: AttrGroup) -> Vec<AttrId> {
+    SCHEMA
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.group == group)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Ids of the attributes included in the *all attributes* hash input
+/// (everything except meta/time-related attributes; Section 4).
+pub fn hash_attrs_all() -> Vec<AttrId> {
+    SCHEMA
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| !a.hash_excluded)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Ids of the attributes included in the *person data* hash input.
+pub fn hash_attrs_person() -> Vec<AttrId> {
+    SCHEMA
+        .iter()
+        .enumerate()
+        .filter(|(_, a)| a.group == AttrGroup::Person && !a.hash_excluded)
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// One voter-roll row: dense values, one per schema attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Row {
+    /// Values indexed by [`AttrId`]; empty string means missing.
+    pub values: Vec<String>,
+}
+
+impl Row {
+    /// Create an all-missing row.
+    pub fn empty() -> Self {
+        Row {
+            values: vec![String::new(); NUM_ATTRS],
+        }
+    }
+
+    /// Value of an attribute (empty string = missing).
+    pub fn get(&self, id: AttrId) -> &str {
+        &self.values[id]
+    }
+
+    /// Set an attribute value.
+    pub fn set(&mut self, id: AttrId, value: impl Into<String>) {
+        self.values[id] = value.into();
+    }
+
+    /// The row's NCID.
+    pub fn ncid(&self) -> &str {
+        self.get(NCID)
+    }
+
+    /// Render as a TSV line in schema order.
+    pub fn to_tsv(&self) -> String {
+        self.values.join("\t")
+    }
+
+    /// Parse from a TSV line in schema order.
+    pub fn from_tsv(line: &str) -> Option<Self> {
+        let values: Vec<String> = line.split('\t').map(str::to_owned).collect();
+        if values.len() != NUM_ATTRS {
+            return None;
+        }
+        Some(Row { values })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_is_consistent() {
+        assert_eq!(NUM_ATTRS, 44);
+        assert_eq!(SCHEMA[NCID].name, "ncid");
+        assert_eq!(SCHEMA[CANCELLATION_DT].name, "cancellation_dt");
+        // Names are unique.
+        let mut names: Vec<&str> = SCHEMA.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), NUM_ATTRS);
+    }
+
+    #[test]
+    fn attr_id_round_trips() {
+        for (i, a) in SCHEMA.iter().enumerate() {
+            assert_eq!(attr_id(a.name), Some(i));
+        }
+        assert_eq!(attr_id("no_such_attr"), None);
+    }
+
+    #[test]
+    fn hash_attr_sets_exclude_dates_and_age() {
+        let all = hash_attrs_all();
+        assert!(!all.contains(&AGE));
+        assert!(!all.contains(&SNAPSHOT_DT));
+        assert!(!all.contains(&REGISTR_DT));
+        assert!(all.contains(&LAST_NAME));
+        assert!(all.contains(&NC_HOUSE));
+
+        let person = hash_attrs_person();
+        assert!(person.contains(&LAST_NAME));
+        assert!(!person.contains(&NC_HOUSE));
+        assert!(person.len() < all.len());
+    }
+
+    #[test]
+    fn group_partition_covers_schema() {
+        let total: usize = [
+            AttrGroup::Person,
+            AttrGroup::District,
+            AttrGroup::Election,
+            AttrGroup::Meta,
+        ]
+        .iter()
+        .map(|&g| group_attrs(g).len())
+        .sum();
+        assert_eq!(total, NUM_ATTRS);
+    }
+
+    #[test]
+    fn row_accessors() {
+        let mut r = Row::empty();
+        r.set(LAST_NAME, "SMITH");
+        r.set(NCID, "AA1");
+        assert_eq!(r.get(LAST_NAME), "SMITH");
+        assert_eq!(r.ncid(), "AA1");
+        assert_eq!(r.get(FIRST_NAME), "");
+    }
+
+    #[test]
+    fn tsv_round_trip() {
+        let mut r = Row::empty();
+        r.set(LAST_NAME, "SMITH");
+        r.set(AGE, "44");
+        let line = r.to_tsv();
+        let back = Row::from_tsv(&line).unwrap();
+        assert_eq!(r, back);
+        assert!(Row::from_tsv("too\tfew").is_none());
+    }
+}

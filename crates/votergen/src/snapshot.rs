@@ -1,0 +1,239 @@
+//! The snapshot calendar and per-era value formatting.
+//!
+//! The real archive consists of 40 snapshots published at elections and
+//! on New Year's Day between 2008 and 2020 (Table 1). Attribute formats
+//! drift over time — the paper cites `64TH HOUSE` → `NC HOUSE DISTRICT
+//! 64` and `66 AND ABOVE` → `Age Over 66` as the cause of surprising
+//! new-record spikes — so formatting is a function of the snapshot date.
+
+use crate::date::Date;
+use crate::schema::Row;
+
+/// One entry of the snapshot calendar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotInfo {
+    /// Position in the calendar (0-based).
+    pub index: usize,
+    /// Publication date.
+    pub date: Date,
+}
+
+/// A generated snapshot: the full voter roll at one date.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Calendar index.
+    pub index: usize,
+    /// Publication date (`YYYY-MM-DD`).
+    pub date: String,
+    /// All rows of the roll.
+    pub rows: Vec<Row>,
+}
+
+/// The standard 40-snapshot calendar (2008–2020), matching the per-year
+/// snapshot counts of the paper's Table 1.
+pub fn standard_calendar() -> Vec<SnapshotInfo> {
+    let dates = [
+        (2008, 11, 4),
+        (2009, 1, 1),
+        (2010, 5, 4),
+        (2010, 11, 2),
+        (2011, 1, 1),
+        (2011, 4, 5),
+        (2011, 9, 6),
+        (2011, 11, 8),
+        (2012, 5, 8),
+        (2012, 11, 6),
+        (2013, 1, 1),
+        (2014, 1, 1),
+        (2014, 5, 6),
+        (2014, 7, 15),
+        (2014, 11, 4),
+        (2015, 1, 1),
+        (2015, 4, 7),
+        (2015, 9, 15),
+        (2015, 11, 3),
+        (2016, 1, 1),
+        (2016, 3, 15),
+        (2016, 6, 7),
+        (2016, 11, 8),
+        (2017, 1, 1),
+        (2017, 3, 7),
+        (2017, 9, 12),
+        (2017, 11, 7),
+        (2018, 1, 1),
+        (2018, 5, 8),
+        (2018, 11, 6),
+        (2019, 1, 1),
+        (2019, 2, 26),
+        (2019, 4, 9),
+        (2019, 6, 11),
+        (2019, 9, 10),
+        (2019, 10, 8),
+        (2020, 1, 1),
+        (2020, 3, 3),
+        (2020, 6, 23),
+        (2020, 11, 3),
+    ];
+    dates
+        .iter()
+        .enumerate()
+        .map(|(index, &(y, m, d))| SnapshotInfo {
+            index,
+            date: Date::new(y, m, d),
+        })
+        .collect()
+}
+
+/// Append the English ordinal suffix (`1ST`, `2ND`, `3RD`, `4TH`, …).
+pub fn ordinal(n: u32) -> String {
+    let suffix = match (n % 10, n % 100) {
+        (1, 11) | (2, 12) | (3, 13) => "TH",
+        (1, _) => "ST",
+        (2, _) => "ND",
+        (3, _) => "RD",
+        _ => "TH",
+    };
+    format!("{n}{suffix}")
+}
+
+/// Format the NC-house district label for a given snapshot year.
+pub fn format_house_district(district: u32, year: i32) -> String {
+    if year < 2014 {
+        format!("{} HOUSE", ordinal(district))
+    } else {
+        format!("NC HOUSE DISTRICT {district}")
+    }
+}
+
+/// Format the congressional district label for a given snapshot year.
+pub fn format_congressional(district: u32, year: i32) -> String {
+    if year < 2012 {
+        format!("{} CONGRESSIONAL", ordinal(district))
+    } else {
+        format!("CO. DISTRICT {district}")
+    }
+}
+
+/// Format the NC-senate district label (stable over time).
+pub fn format_senate(district: u32) -> String {
+    format!("NC SENATE DISTRICT {district}")
+}
+
+/// Format the age-group band for a given snapshot year.
+pub fn format_age_group(age: i32, year: i32) -> String {
+    let (lo, hi) = match age {
+        i32::MIN..=25 => (18, 25),
+        26..=40 => (26, 40),
+        41..=65 => (41, 65),
+        _ => (66, i32::MAX),
+    };
+    if year < 2018 {
+        if hi == i32::MAX {
+            "66 AND ABOVE".to_owned()
+        } else {
+            format!("{lo} - {hi}")
+        }
+    } else if hi == i32::MAX {
+        "Age Over 66".to_owned()
+    } else {
+        format!("Age {lo} to {hi}")
+    }
+}
+
+/// Convenience: write a snapshot as TSV (header + one line per row).
+pub fn to_tsv(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    let header: Vec<&str> = crate::schema::SCHEMA.iter().map(|a| a.name).collect();
+    out.push_str(&header.join("\t"));
+    out.push('\n');
+    for row in &snapshot.rows {
+        out.push_str(&row.to_tsv());
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calendar_has_forty_snapshots() {
+        let cal = standard_calendar();
+        assert_eq!(cal.len(), 40);
+        // Strictly increasing dates, contiguous indexes.
+        for w in cal.windows(2) {
+            assert!(w[0].date < w[1].date);
+            assert_eq!(w[0].index + 1, w[1].index);
+        }
+        assert_eq!(cal[0].date.year, 2008);
+        assert_eq!(cal[39].date.year, 2020);
+    }
+
+    #[test]
+    fn calendar_matches_table1_yearly_counts() {
+        let cal = standard_calendar();
+        let count = |y: i32| cal.iter().filter(|s| s.date.year == y).count();
+        assert_eq!(count(2008), 1);
+        assert_eq!(count(2009), 1);
+        assert_eq!(count(2010), 2);
+        assert_eq!(count(2011), 4);
+        assert_eq!(count(2012), 2);
+        assert_eq!(count(2013), 1);
+        assert_eq!(count(2014), 4);
+        assert_eq!(count(2015), 4);
+        assert_eq!(count(2016), 4);
+        assert_eq!(count(2017), 4);
+        assert_eq!(count(2018), 3);
+        assert_eq!(count(2019), 6);
+        assert_eq!(count(2020), 4);
+    }
+
+    #[test]
+    fn ordinals() {
+        assert_eq!(ordinal(1), "1ST");
+        assert_eq!(ordinal(2), "2ND");
+        assert_eq!(ordinal(3), "3RD");
+        assert_eq!(ordinal(4), "4TH");
+        assert_eq!(ordinal(11), "11TH");
+        assert_eq!(ordinal(12), "12TH");
+        assert_eq!(ordinal(13), "13TH");
+        assert_eq!(ordinal(21), "21ST");
+        assert_eq!(ordinal(64), "64TH");
+        assert_eq!(ordinal(103), "103RD");
+    }
+
+    #[test]
+    fn house_format_drifts_at_2014() {
+        assert_eq!(format_house_district(64, 2013), "64TH HOUSE");
+        assert_eq!(format_house_district(64, 2014), "NC HOUSE DISTRICT 64");
+    }
+
+    #[test]
+    fn congressional_format_drifts_at_2012() {
+        assert_eq!(format_congressional(1, 2011), "1ST CONGRESSIONAL");
+        assert_eq!(format_congressional(1, 2012), "CO. DISTRICT 1");
+    }
+
+    #[test]
+    fn age_group_format_drifts_at_2018() {
+        assert_eq!(format_age_group(70, 2017), "66 AND ABOVE");
+        assert_eq!(format_age_group(70, 2018), "Age Over 66");
+        assert_eq!(format_age_group(30, 2017), "26 - 40");
+        assert_eq!(format_age_group(30, 2018), "Age 26 to 40");
+        assert_eq!(format_age_group(18, 2008), "18 - 25");
+    }
+
+    #[test]
+    fn tsv_rendering_includes_header() {
+        let snap = Snapshot {
+            index: 0,
+            date: "2008-11-04".into(),
+            rows: vec![Row::empty()],
+        };
+        let tsv = to_tsv(&snap);
+        let mut lines = tsv.lines();
+        assert!(lines.next().unwrap().starts_with("ncid\t"));
+        assert_eq!(lines.count(), 1);
+    }
+}
