@@ -1,0 +1,437 @@
+//! Checkpointed archive import: resume a multi-hour ingest instead of
+//! restarting it.
+//!
+//! The paper's archives span 40 snapshots and half a billion rows; an
+//! interrupted import must not throw away hours of work. After each
+//! snapshot, [`import_archive_dir_resumable`] persists the cluster
+//! store (atomically, with checksums — see [`nc_docstore::persist`])
+//! and a small JSON manifest recording exactly which snapshots are
+//! complete, under which dedup policy and version. A later run with the
+//! same parameters reloads the store, skips the completed snapshots,
+//! and continues — producing import statistics identical to an
+//! uninterrupted run.
+//!
+//! A damaged checkpoint (torn store file, unreadable manifest) is
+//! discarded and the import restarts from scratch — recovery degrades
+//! to correctness, never to silent corruption. Mismatched parameters
+//! (different policy or version) are an error instead: resuming under
+//! them would fabricate inconsistent data.
+
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::cluster::ClusterStore;
+use crate::import::ImportStats;
+use crate::record::DedupPolicy;
+use crate::tsv::{
+    self, ImportOptions, QuarantineReport, TsvError,
+};
+
+/// Manifest format version (bump on incompatible changes).
+const MANIFEST_FORMAT: u32 = 1;
+/// Manifest file name within the state directory.
+const MANIFEST_FILE: &str = "manifest.json";
+/// Persisted store file name within the state directory.
+const STORE_FILE: &str = "store.jsonl";
+
+/// The checkpoint manifest written after every completed snapshot.
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct Manifest {
+    format: u32,
+    policy: String,
+    version: u32,
+    completed: Vec<ImportStats>,
+    quarantine: QuarantineReport,
+}
+
+/// Everything produced by a resumable archive import.
+#[derive(Debug)]
+pub struct ResumeOutcome {
+    /// The populated cluster store (finalized).
+    pub store: ClusterStore,
+    /// Per-snapshot import statistics for the *whole* archive —
+    /// checkpointed snapshots first, then the ones imported by this
+    /// call. Identical to the statistics of an uninterrupted run.
+    pub stats: Vec<ImportStats>,
+    /// Aggregate quarantine accounting across all runs.
+    pub quarantine: QuarantineReport,
+    /// Snapshots skipped because the checkpoint already covered them.
+    pub resumed_snapshots: usize,
+    /// Snapshots newly imported by this call.
+    pub imported_snapshots: usize,
+    /// Why an existing checkpoint was discarded, if one was.
+    pub checkpoint_discarded: Option<String>,
+}
+
+/// Path of the manifest inside a state directory.
+pub fn manifest_path(state_dir: &Path) -> PathBuf {
+    state_dir.join(MANIFEST_FILE)
+}
+
+/// Path of the persisted store inside a state directory.
+pub fn store_path(state_dir: &Path) -> PathBuf {
+    state_dir.join(STORE_FILE)
+}
+
+/// Write `text` to `path` atomically (tmp + fsync + rename).
+fn write_atomic(path: &Path, text: &str) -> Result<(), TsvError> {
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("manifest.json");
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    let mut f = File::create(&tmp)?;
+    f.write_all(text.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    std::fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
+    Ok(())
+}
+
+/// Attempt to restore `(store, manifest)` from a state directory.
+///
+/// `Ok(None)` means no (intact) checkpoint exists — start fresh,
+/// carrying the reason in the second tuple slot. Parameter mismatches
+/// are a hard [`TsvError::Checkpoint`] error.
+fn restore(
+    state_dir: &Path,
+    policy: DedupPolicy,
+    version: u32,
+) -> Result<(Option<(ClusterStore, Manifest)>, Option<String>), TsvError> {
+    let manifest_file = manifest_path(state_dir);
+    if !manifest_file.exists() {
+        return Ok((None, None));
+    }
+    let text = match std::fs::read_to_string(&manifest_file) {
+        Ok(t) => t,
+        Err(e) => return Ok((None, Some(format!("unreadable manifest: {e}")))),
+    };
+    let manifest: Manifest = match serde_json::from_str(&text) {
+        Ok(m) => m,
+        Err(e) => return Ok((None, Some(format!("corrupt manifest: {e}")))),
+    };
+    if manifest.format != MANIFEST_FORMAT {
+        return Ok((
+            None,
+            Some(format!("manifest format {} unsupported", manifest.format)),
+        ));
+    }
+    // Parameter drift fabricates inconsistent data: refuse loudly.
+    if manifest.policy != policy.label() {
+        return Err(TsvError::Checkpoint {
+            message: format!(
+                "checkpoint used policy {:?}, run requests {:?}",
+                manifest.policy,
+                policy.label()
+            ),
+        });
+    }
+    if manifest.version != version {
+        return Err(TsvError::Checkpoint {
+            message: format!(
+                "checkpoint used version {}, run requests {version}",
+                manifest.version
+            ),
+        });
+    }
+    let collection = match nc_docstore::persist::load("clusters", &store_path(state_dir)) {
+        Ok(c) => c,
+        Err(e) => return Ok((None, Some(format!("damaged store checkpoint: {e}")))),
+    };
+    match ClusterStore::from_finalized_collection(collection) {
+        Ok(store) => Ok((Some((store, manifest)), None)),
+        Err(e) => Ok((None, Some(format!("inconsistent store checkpoint: {e}")))),
+    }
+}
+
+/// Import an archive directory with a checkpoint after every snapshot.
+///
+/// On the first run, `state_dir` is created and populated. If the
+/// process dies mid-import, calling this again with the same parameters
+/// resumes after the last fully imported snapshot; the returned
+/// [`ResumeOutcome::stats`] match an uninterrupted run exactly. The
+/// snapshot being imported when the crash hit is re-imported from
+/// scratch (imports are idempotent at snapshot granularity because the
+/// store checkpoint is only advanced after a snapshot completes).
+pub fn import_archive_dir_resumable(
+    archive_dir: &Path,
+    state_dir: &Path,
+    policy: DedupPolicy,
+    version: u32,
+    options: &ImportOptions,
+) -> Result<ResumeOutcome, TsvError> {
+    std::fs::create_dir_all(state_dir)?;
+    let (restored, checkpoint_discarded) = restore(state_dir, policy, version)?;
+    let (mut store, mut stats, mut quarantine, resumed_snapshots) = match restored {
+        Some((store, manifest)) => {
+            let n = manifest.completed.len();
+            (store, manifest.completed, manifest.quarantine, n)
+        }
+        None => (ClusterStore::new(), Vec::new(), QuarantineReport::default(), 0),
+    };
+    if resumed_snapshots == 0 {
+        // Fresh run: truncate the quarantine sink (resumed runs append).
+        if let Some(sink) = &options.quarantine_path {
+            File::create(sink)?;
+        }
+    }
+
+    let completed: std::collections::HashSet<String> =
+        stats.iter().map(|s| s.date.clone()).collect();
+    let mut imported_snapshots = 0;
+    for path in tsv::archive_files(archive_dir)? {
+        let date = tsv::date_from_file_name(&path).ok_or_else(|| TsvError::BadFileName {
+            file: path.clone(),
+        })?;
+        if completed.contains(&date) {
+            continue;
+        }
+        match tsv::read_snapshot_budgeted(&path, options, quarantine.events())? {
+            Some(parsed) => {
+                quarantine.lines_quarantined += parsed.quarantined;
+                if parsed.remapped {
+                    quarantine.remapped_headers += 1;
+                }
+                let mut st =
+                    crate::import::import_snapshot(&mut store, &parsed.snapshot, policy, version);
+                st.quarantined = parsed.quarantined;
+                quarantine.per_snapshot.push((st.date.clone(), parsed.quarantined));
+                stats.push(st);
+            }
+            None => {
+                quarantine.files_quarantined += 1;
+                if let Some(budget) = options.error_budget {
+                    if quarantine.events() > budget {
+                        return Err(TsvError::QuarantineBudget {
+                            budget,
+                            quarantined: quarantine.events(),
+                        });
+                    }
+                }
+                // A quarantined file is a terminal decision for this
+                // run; record nothing in `completed` so a later run
+                // with a repaired file picks it up.
+                continue;
+            }
+        }
+        imported_snapshots += 1;
+
+        // Checkpoint: persist the store, then advance the manifest.
+        // Order matters — a manifest must never promise snapshots the
+        // store file does not contain.
+        store.finalize();
+        nc_docstore::persist::save(store.collection(), &store_path(state_dir)).map_err(|e| {
+            TsvError::Checkpoint {
+                message: format!("cannot persist store checkpoint: {e}"),
+            }
+        })?;
+        let manifest = Manifest {
+            format: MANIFEST_FORMAT,
+            policy: policy.label().to_owned(),
+            version,
+            completed: stats.clone(),
+            quarantine: quarantine.clone(),
+        };
+        let text = serde_json::to_string_pretty(&manifest).map_err(|e| TsvError::Checkpoint {
+            message: format!("cannot serialize manifest: {e}"),
+        })?;
+        write_atomic(&manifest_path(state_dir), &text)?;
+    }
+    store.finalize();
+    Ok(ResumeOutcome {
+        store,
+        stats,
+        quarantine,
+        resumed_snapshots,
+        imported_snapshots,
+        checkpoint_discarded,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_votergen::config::GeneratorConfig;
+    use nc_votergen::registry::Registry;
+    use nc_votergen::snapshot::standard_calendar;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("nc_ckpt_{}_{}", std::process::id(), name));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn write_archive(dir: &Path, seed: u64, pop: usize, snapshots: usize) {
+        let mut reg = Registry::new(GeneratorConfig {
+            seed,
+            initial_population: pop,
+            ..Default::default()
+        });
+        for info in standard_calendar().iter().take(snapshots) {
+            let snap = reg.generate_snapshot(info);
+            tsv::write_snapshot(dir, &snap).unwrap();
+        }
+    }
+
+    #[test]
+    fn uninterrupted_run_checkpoints_and_matches_plain_import() {
+        let archive = tmp_dir("plain_archive");
+        let state = tmp_dir("plain_state");
+        write_archive(&archive, 21, 60, 3);
+
+        let mut direct = ClusterStore::new();
+        let direct_stats =
+            tsv::import_archive_dir(&mut direct, &archive, DedupPolicy::Trimmed, 1).unwrap();
+
+        let out = import_archive_dir_resumable(
+            &archive,
+            &state,
+            DedupPolicy::Trimmed,
+            1,
+            &ImportOptions::strict(),
+        )
+        .unwrap();
+        assert_eq!(out.stats, direct_stats);
+        assert_eq!(out.resumed_snapshots, 0);
+        assert_eq!(out.imported_snapshots, 3);
+        assert_eq!(out.store.record_count(), direct.record_count());
+        assert!(manifest_path(&state).exists());
+        assert!(store_path(&state).exists());
+
+        std::fs::remove_dir_all(archive).unwrap();
+        std::fs::remove_dir_all(state).unwrap();
+    }
+
+    #[test]
+    fn interrupted_run_resumes_with_identical_stats() {
+        let archive = tmp_dir("resume_archive");
+        let state = tmp_dir("resume_state");
+        write_archive(&archive, 22, 80, 4);
+
+        // Reference: uninterrupted run over all four snapshots.
+        let reference = import_archive_dir_resumable(
+            &archive,
+            &tmp_dir("resume_ref_state"),
+            DedupPolicy::Trimmed,
+            1,
+            &ImportOptions::strict(),
+        )
+        .unwrap();
+
+        // "Interrupted" run: import an archive that only contains the
+        // first two snapshots, then the full archive resumes on top.
+        let partial = tmp_dir("resume_partial");
+        std::fs::create_dir_all(&partial).unwrap();
+        let mut files = tsv::archive_files(&archive).unwrap();
+        files.truncate(2);
+        for f in &files {
+            std::fs::copy(f, partial.join(f.file_name().unwrap())).unwrap();
+        }
+        let first = import_archive_dir_resumable(
+            &partial,
+            &state,
+            DedupPolicy::Trimmed,
+            1,
+            &ImportOptions::strict(),
+        )
+        .unwrap();
+        assert_eq!(first.imported_snapshots, 2);
+
+        let second = import_archive_dir_resumable(
+            &archive,
+            &state,
+            DedupPolicy::Trimmed,
+            1,
+            &ImportOptions::strict(),
+        )
+        .unwrap();
+        assert_eq!(second.resumed_snapshots, 2);
+        assert_eq!(second.imported_snapshots, 2);
+        assert_eq!(second.checkpoint_discarded, None);
+        assert_eq!(second.stats, reference.stats, "resumed stats must be identical");
+        assert_eq!(second.store.record_count(), reference.store.record_count());
+        assert_eq!(second.store.cluster_count(), reference.store.cluster_count());
+
+        for d in [archive, state, partial, tmp_dir("resume_ref_state")] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn damaged_store_checkpoint_restarts_cleanly() {
+        let archive = tmp_dir("damage_archive");
+        let state = tmp_dir("damage_state");
+        write_archive(&archive, 23, 50, 2);
+        let first = import_archive_dir_resumable(
+            &archive,
+            &state,
+            DedupPolicy::Trimmed,
+            1,
+            &ImportOptions::strict(),
+        )
+        .unwrap();
+
+        // Tear the persisted store mid-file.
+        let store_file = store_path(&state);
+        let bytes = std::fs::read(&store_file).unwrap();
+        std::fs::write(&store_file, &bytes[..bytes.len() / 2]).unwrap();
+
+        let second = import_archive_dir_resumable(
+            &archive,
+            &state,
+            DedupPolicy::Trimmed,
+            1,
+            &ImportOptions::strict(),
+        )
+        .unwrap();
+        assert!(second.checkpoint_discarded.is_some(), "tear must be noticed");
+        assert_eq!(second.resumed_snapshots, 0, "restart from scratch");
+        assert_eq!(second.stats, first.stats, "restart result is identical");
+
+        std::fs::remove_dir_all(archive).unwrap();
+        std::fs::remove_dir_all(state).unwrap();
+    }
+
+    #[test]
+    fn parameter_drift_is_rejected() {
+        let archive = tmp_dir("drift_archive");
+        let state = tmp_dir("drift_state");
+        write_archive(&archive, 24, 40, 1);
+        import_archive_dir_resumable(
+            &archive,
+            &state,
+            DedupPolicy::Trimmed,
+            1,
+            &ImportOptions::strict(),
+        )
+        .unwrap();
+        let err = import_archive_dir_resumable(
+            &archive,
+            &state,
+            DedupPolicy::Exact,
+            1,
+            &ImportOptions::strict(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TsvError::Checkpoint { .. }), "{err}");
+        let err = import_archive_dir_resumable(
+            &archive,
+            &state,
+            DedupPolicy::Trimmed,
+            2,
+            &ImportOptions::strict(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, TsvError::Checkpoint { .. }), "{err}");
+
+        std::fs::remove_dir_all(archive).unwrap();
+        std::fs::remove_dir_all(state).unwrap();
+    }
+}

@@ -7,7 +7,7 @@ use crate::cluster::{ClusterStore, RowOutcome};
 use crate::record::DedupPolicy;
 
 /// Per-snapshot import accounting (the raw material of Table 1).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct ImportStats {
     /// Snapshot publication date (`YYYY-MM-DD`).
     pub date: String,
@@ -17,15 +17,16 @@ pub struct ImportStats {
     pub new_records: u64,
     /// New records that founded a new cluster (a never-seen NCID).
     pub new_clusters: u64,
+    /// Malformed lines diverted to quarantine while reading this
+    /// snapshot's file (always 0 for in-memory and strict imports).
+    #[serde(default)]
+    pub quarantined: u64,
 }
 
 impl ImportStats {
-    /// The snapshot's year.
-    pub fn year(&self) -> i32 {
-        self.date
-            .get(0..4)
-            .and_then(|y| y.parse().ok())
-            .unwrap_or(0)
+    /// The snapshot's year, if the date has a parseable `YYYY` prefix.
+    pub fn year(&self) -> Option<i32> {
+        self.date.get(0..4).and_then(|y| y.parse().ok())
     }
 }
 
@@ -41,6 +42,7 @@ pub fn import_snapshot(
         total_rows: 0,
         new_records: 0,
         new_clusters: 0,
+        quarantined: 0,
     };
     for row in &snapshot.rows {
         stats.total_rows += 1;
@@ -116,7 +118,7 @@ mod tests {
         assert_eq!(stats.total_rows, 120);
         assert_eq!(stats.new_clusters, 120);
         assert_eq!(stats.new_records, 120);
-        assert_eq!(stats.year(), 2008);
+        assert_eq!(stats.year(), Some(2008));
     }
 
     #[test]

@@ -25,6 +25,10 @@
 //!    published version reconstructible (Section 5.1–5.2).
 //! 5. **Customization** ([`customize`]): heterogeneity-bounded cluster
 //!    selection producing datasets like the paper's NC1/NC2/NC3.
+//! 6. **Fault tolerance** ([`tsv`], [`checkpoint`]): quarantine-mode
+//!    import that diverts malformed archive input instead of aborting,
+//!    and checkpointed archive ingest that resumes an interrupted run
+//!    after the last completed snapshot.
 //!
 //! # Quickstart
 //!
@@ -46,6 +50,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod cluster;
 pub mod customize;
 pub mod heterogeneity;

@@ -2,14 +2,17 @@
 //! import it under a dedup policy, publish a version.
 
 use std::collections::HashSet;
+use std::path::Path;
 
 use nc_votergen::config::GeneratorConfig;
 use nc_votergen::registry::Registry;
 use nc_votergen::snapshot::standard_calendar;
 
+use crate::checkpoint;
 use crate::cluster::ClusterStore;
 use crate::import::{import_archive_streaming, ImportStats};
 use crate::record::DedupPolicy;
+use crate::tsv::{self, ImportOptions, QuarantineReport, TsvError};
 use crate::version::VersionManager;
 
 /// Configuration of one full generation run.
@@ -45,6 +48,23 @@ pub struct GenerationOutcome {
     /// NCIDs known (by construction) to be reused for different persons —
     /// the ground truth for plausibility evaluation.
     pub unsound_ncids: HashSet<String>,
+}
+
+/// Everything produced by an on-disk archive run.
+#[derive(Debug)]
+pub struct ArchiveRunOutcome {
+    /// The populated cluster store (finalized).
+    pub store: ClusterStore,
+    /// Version history (one version published for the whole run).
+    pub versions: VersionManager,
+    /// Per-snapshot import statistics.
+    pub imports: Vec<ImportStats>,
+    /// Aggregate quarantine accounting (empty under strict mode).
+    pub quarantine: QuarantineReport,
+    /// Snapshots skipped because a checkpoint already covered them.
+    pub resumed_snapshots: usize,
+    /// Why an existing checkpoint was discarded, if one was.
+    pub checkpoint_discarded: Option<String>,
 }
 
 /// The pipeline driver.
@@ -105,6 +125,60 @@ impl TestDataGenerator {
             store,
             versions,
             imports,
+        }
+    }
+
+    /// Run the pipeline over an on-disk archive directory, with
+    /// fault-tolerant ingest and optional checkpointing.
+    ///
+    /// With `state_dir = Some(..)` a checkpoint (store + manifest) is
+    /// persisted after every imported snapshot, so an interrupted run
+    /// resumes after the last completed snapshot when called again with
+    /// the same parameters (see [`checkpoint`]). With `None`, the
+    /// archive is imported in one pass without checkpoints. Quarantine
+    /// handling and the error budget follow `options`.
+    pub fn run_archive(
+        archive_dir: &Path,
+        state_dir: Option<&Path>,
+        policy: DedupPolicy,
+        options: &ImportOptions,
+    ) -> Result<ArchiveRunOutcome, TsvError> {
+        let mut versions = VersionManager::new();
+        let version = versions.next_version();
+        match state_dir {
+            Some(state) => {
+                let out = checkpoint::import_archive_dir_resumable(
+                    archive_dir,
+                    state,
+                    policy,
+                    version,
+                    options,
+                )?;
+                versions.publish(&out.store, &out.stats);
+                Ok(ArchiveRunOutcome {
+                    store: out.store,
+                    versions,
+                    imports: out.stats,
+                    quarantine: out.quarantine,
+                    resumed_snapshots: out.resumed_snapshots,
+                    checkpoint_discarded: out.checkpoint_discarded,
+                })
+            }
+            None => {
+                let mut store = ClusterStore::new();
+                let outcome =
+                    tsv::import_archive_dir_with(&mut store, archive_dir, policy, version, options)?;
+                versions.publish(&store, &outcome.stats);
+                store.finalize();
+                Ok(ArchiveRunOutcome {
+                    store,
+                    versions,
+                    imports: outcome.stats,
+                    quarantine: outcome.quarantine,
+                    resumed_snapshots: 0,
+                    checkpoint_discarded: None,
+                })
+            }
         }
     }
 }
@@ -170,5 +244,90 @@ mod tests {
     fn snapshots_capped_at_calendar_length() {
         let out = TestDataGenerator::run(cfg(15, 30, 500));
         assert_eq!(out.imports.len(), 40);
+    }
+
+    fn write_archive(dir: &std::path::Path, seed: u64, pop: usize, snapshots: usize) {
+        let mut reg = Registry::new(GeneratorConfig {
+            seed,
+            initial_population: pop,
+            ..Default::default()
+        });
+        for info in standard_calendar().iter().take(snapshots) {
+            let snap = reg.generate_snapshot(info);
+            tsv::write_snapshot(dir, &snap).unwrap();
+        }
+    }
+
+    #[test]
+    fn archive_run_matches_in_memory_run() {
+        let dir = std::env::temp_dir()
+            .join(format!("nc_pipe_archive_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        write_archive(&dir, 16, 50, 3);
+
+        let mem = TestDataGenerator::run(cfg(16, 50, 3));
+        let disk = TestDataGenerator::run_archive(
+            &dir,
+            None,
+            DedupPolicy::Trimmed,
+            &ImportOptions::strict(),
+        )
+        .unwrap();
+        assert_eq!(disk.imports, mem.imports);
+        assert_eq!(disk.store.record_count(), mem.store.record_count());
+        assert_eq!(disk.store.cluster_count(), mem.store.cluster_count());
+        assert_eq!(disk.quarantine, QuarantineReport::default());
+        assert_eq!(
+            disk.versions.current().unwrap().records_total,
+            disk.store.record_count()
+        );
+
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn archive_run_with_state_dir_checkpoints_and_agrees() {
+        let dir = std::env::temp_dir()
+            .join(format!("nc_pipe_ckpt_archive_{}", std::process::id()));
+        let state = std::env::temp_dir()
+            .join(format!("nc_pipe_ckpt_state_{}", std::process::id()));
+        for d in [&dir, &state] {
+            let _ = std::fs::remove_dir_all(d);
+        }
+        write_archive(&dir, 17, 40, 2);
+
+        let plain = TestDataGenerator::run_archive(
+            &dir,
+            None,
+            DedupPolicy::Trimmed,
+            &ImportOptions::strict(),
+        )
+        .unwrap();
+        let ckpt = TestDataGenerator::run_archive(
+            &dir,
+            Some(&state),
+            DedupPolicy::Trimmed,
+            &ImportOptions::strict(),
+        )
+        .unwrap();
+        assert_eq!(ckpt.imports, plain.imports);
+        assert_eq!(ckpt.resumed_snapshots, 0);
+        assert!(checkpoint::manifest_path(&state).exists());
+
+        // A second run resumes entirely from the checkpoint.
+        let resumed = TestDataGenerator::run_archive(
+            &dir,
+            Some(&state),
+            DedupPolicy::Trimmed,
+            &ImportOptions::strict(),
+        )
+        .unwrap();
+        assert_eq!(resumed.resumed_snapshots, 2);
+        assert_eq!(resumed.imports, plain.imports);
+        assert_eq!(resumed.store.record_count(), plain.store.record_count());
+
+        for d in [dir, state] {
+            std::fs::remove_dir_all(d).unwrap();
+        }
     }
 }

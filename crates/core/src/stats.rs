@@ -45,8 +45,11 @@ impl YearStats {
 pub fn snapshot_table(imports: &[ImportStats]) -> Vec<YearStats> {
     let mut by_year: BTreeMap<i32, YearStats> = BTreeMap::new();
     for s in imports {
-        let e = by_year.entry(s.year()).or_insert(YearStats {
-            year: s.year(),
+        // Snapshots with unparseable dates carry no year; skip them
+        // rather than silently aggregating under a bogus year 0.
+        let Some(year) = s.year() else { continue };
+        let e = by_year.entry(year).or_insert(YearStats {
+            year,
             snapshots: 0,
             total_rows: 0,
             new_records: 0,
@@ -233,10 +236,10 @@ mod tests {
     #[test]
     fn snapshot_table_aggregates_by_year() {
         let imports = vec![
-            ImportStats { date: "2008-11-04".into(), total_rows: 100, new_records: 100, new_clusters: 100 },
-            ImportStats { date: "2009-01-01".into(), total_rows: 110, new_records: 20, new_clusters: 5 },
-            ImportStats { date: "2010-05-04".into(), total_rows: 120, new_records: 30, new_clusters: 10 },
-            ImportStats { date: "2010-11-02".into(), total_rows: 125, new_records: 15, new_clusters: 5 },
+            ImportStats { date: "2008-11-04".into(), total_rows: 100, new_records: 100, new_clusters: 100, quarantined: 0 },
+            ImportStats { date: "2009-01-01".into(), total_rows: 110, new_records: 20, new_clusters: 5, quarantined: 0 },
+            ImportStats { date: "2010-05-04".into(), total_rows: 120, new_records: 30, new_clusters: 10, quarantined: 0 },
+            ImportStats { date: "2010-11-02".into(), total_rows: 125, new_records: 15, new_clusters: 5, quarantined: 0 },
         ];
         let table = snapshot_table(&imports);
         assert_eq!(table.len(), 3);

@@ -6,12 +6,27 @@
 //! can run against on-disk archives exactly like the real one — one
 //! file per snapshot, named `VR_Snapshot_<YYYY-MM-DD>.tsv`, first line
 //! the header.
+//!
+//! # Fault tolerance
+//!
+//! Real registries arrive dirty: torn lines, drifting headers, stray
+//! encodings. Import therefore runs in one of two [`ImportMode`]s:
+//!
+//! * **Strict** (the default) fails fast on the first malformed line or
+//!   header — the historical behavior, right for generated archives.
+//! * **Quarantine** diverts malformed lines (and whole files with
+//!   unmappable headers) to a quarantine sink instead of aborting. A
+//!   drifted header — permuted, or with extra/missing columns — is
+//!   remapped by column name when possible. An optional error budget
+//!   escalates to a hard [`TsvError::QuarantineBudget`] failure once
+//!   too much input has been diverted, so a systematically broken
+//!   archive still fails loudly rather than importing near-nothing.
 
 use std::fs::File;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read as _, Write};
 use std::path::{Path, PathBuf};
 
-use nc_votergen::schema::{Row, SCHEMA};
+use nc_votergen::schema::{self, Row, NCID, NUM_ATTRS, SCHEMA};
 use nc_votergen::snapshot::Snapshot;
 
 use crate::cluster::ClusterStore;
@@ -40,6 +55,20 @@ pub enum TsvError {
         /// The offending file.
         file: PathBuf,
     },
+    /// Quarantine-mode import diverted more input than the configured
+    /// error budget allows: the archive is systematically broken.
+    QuarantineBudget {
+        /// The configured budget (maximum quarantine events).
+        budget: u64,
+        /// Quarantine events observed when the budget tripped.
+        quarantined: u64,
+    },
+    /// A checkpoint manifest exists but cannot be resumed under the
+    /// requested parameters (see [`crate::checkpoint`]).
+    Checkpoint {
+        /// What went wrong.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for TsvError {
@@ -54,6 +83,15 @@ impl std::fmt::Display for TsvError {
             }
             TsvError::BadFileName { file } => {
                 write!(f, "cannot parse snapshot date from {}", file.display())
+            }
+            TsvError::QuarantineBudget { budget, quarantined } => {
+                write!(
+                    f,
+                    "quarantine error budget exceeded: {quarantined} events > budget {budget}"
+                )
+            }
+            TsvError::Checkpoint { message } => {
+                write!(f, "cannot resume from checkpoint: {message}")
             }
         }
     }
@@ -131,6 +169,317 @@ pub fn read_snapshot(path: &Path) -> Result<Snapshot, TsvError> {
     })
 }
 
+/// How import reacts to malformed archive input.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ImportMode {
+    /// Abort on the first malformed line or header (historical behavior).
+    #[default]
+    Strict,
+    /// Divert malformed input to the quarantine sink and keep going.
+    Quarantine,
+}
+
+/// Options controlling fault handling during archive import.
+#[derive(Debug, Clone, Default)]
+pub struct ImportOptions {
+    /// Strict or quarantine handling.
+    pub mode: ImportMode,
+    /// Maximum quarantine events (lines + whole files) tolerated across
+    /// an import before it hard-fails with
+    /// [`TsvError::QuarantineBudget`]. `None` = unlimited.
+    pub error_budget: Option<u64>,
+    /// File receiving quarantined raw lines with provenance comments.
+    /// `None` = count only, keep no copies.
+    pub quarantine_path: Option<PathBuf>,
+}
+
+impl ImportOptions {
+    /// Strict mode (fail fast), no sink.
+    pub fn strict() -> Self {
+        ImportOptions::default()
+    }
+
+    /// Quarantine mode with unlimited budget and no sink.
+    pub fn quarantine() -> Self {
+        ImportOptions {
+            mode: ImportMode::Quarantine,
+            ..ImportOptions::default()
+        }
+    }
+
+    /// Set the error budget.
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.error_budget = Some(budget);
+        self
+    }
+
+    /// Set the quarantine sink file.
+    pub fn with_sink(mut self, path: impl Into<PathBuf>) -> Self {
+        self.quarantine_path = Some(path.into());
+        self
+    }
+}
+
+/// Aggregate quarantine accounting for one archive import.
+#[derive(Debug, Clone, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct QuarantineReport {
+    /// Malformed data lines diverted.
+    pub lines_quarantined: u64,
+    /// Whole files diverted (unmappable headers).
+    pub files_quarantined: u64,
+    /// Files imported through a remapped (drifted) header.
+    pub remapped_headers: u64,
+    /// `(snapshot date, lines quarantined)` per imported snapshot.
+    pub per_snapshot: Vec<(String, u64)>,
+}
+
+impl QuarantineReport {
+    /// Total quarantine events (lines + files).
+    pub fn events(&self) -> u64 {
+        self.lines_quarantined + self.files_quarantined
+    }
+}
+
+/// A snapshot read leniently, plus what was diverted on the way.
+#[derive(Debug)]
+pub struct ParsedSnapshot {
+    /// The rows that survived.
+    pub snapshot: Snapshot,
+    /// Lines diverted to quarantine in this file.
+    pub quarantined: u64,
+    /// Whether the header had drifted and was remapped by column name.
+    pub remapped: bool,
+}
+
+/// Append quarantined material to the sink file, with provenance.
+struct QuarantineSink<'a> {
+    path: Option<&'a Path>,
+    writer: Option<BufWriter<File>>,
+}
+
+impl<'a> QuarantineSink<'a> {
+    fn new(path: Option<&'a Path>) -> Self {
+        QuarantineSink { path, writer: None }
+    }
+
+    fn write(&mut self, source: &Path, line: Option<usize>, reason: &str, raw: &[u8]) -> Result<(), TsvError> {
+        let Some(path) = self.path else { return Ok(()) };
+        if self.writer.is_none() {
+            let file = std::fs::OpenOptions::new().create(true).append(true).open(path)?;
+            self.writer = Some(BufWriter::new(file));
+        }
+        let w = self.writer.as_mut().expect("just created");
+        match line {
+            Some(n) => writeln!(w, "# source={} line={n} reason={reason}", source.display())?,
+            None => writeln!(w, "# source={} reason={reason}", source.display())?,
+        }
+        w.write_all(raw)?;
+        w.write_all(b"\n")?;
+        Ok(())
+    }
+
+    fn finish(mut self) -> Result<(), TsvError> {
+        if let Some(w) = self.writer.as_mut() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Map a drifted header onto the schema by column name.
+///
+/// Returns `Some(column -> attribute)` when every recognizable column
+/// maps to a distinct attribute and the NCID column is present;
+/// unknown columns map to `None` (dropped). Returns `None` when the
+/// header cannot be mapped at all.
+fn map_drifted_header(header: &str) -> Option<Vec<Option<usize>>> {
+    let cols: Vec<&str> = header.split('\t').collect();
+    let mut mapping: Vec<Option<usize>> = Vec::with_capacity(cols.len());
+    let mut seen = vec![false; NUM_ATTRS];
+    for col in &cols {
+        match schema::attr_id(col.trim()) {
+            Some(attr) => {
+                if seen[attr] {
+                    return None; // duplicated column
+                }
+                seen[attr] = true;
+                mapping.push(Some(attr));
+            }
+            None => mapping.push(None),
+        }
+    }
+    if !seen[NCID] {
+        return None; // rows without an NCID cannot be clustered
+    }
+    Some(mapping)
+}
+
+/// Read one snapshot file under the given options.
+///
+/// In [`ImportMode::Strict`] this is exactly [`read_snapshot`]. In
+/// [`ImportMode::Quarantine`], malformed lines (wrong field count,
+/// invalid UTF-8) are diverted — to the sink, if one is configured —
+/// and a drifted header is remapped by column name when possible.
+/// `Ok(None)` means the whole file was quarantined (unmappable header).
+pub fn read_snapshot_lenient(
+    path: &Path,
+    options: &ImportOptions,
+) -> Result<Option<ParsedSnapshot>, TsvError> {
+    read_snapshot_budgeted(path, options, 0)
+}
+
+/// [`read_snapshot_lenient`] with `prior_events` quarantine events
+/// already charged against the budget (archive-level accounting).
+pub(crate) fn read_snapshot_budgeted(
+    path: &Path,
+    options: &ImportOptions,
+    prior_events: u64,
+) -> Result<Option<ParsedSnapshot>, TsvError> {
+    if options.mode == ImportMode::Strict {
+        return read_snapshot(path).map(|snapshot| {
+            Some(ParsedSnapshot { snapshot, quarantined: 0, remapped: false })
+        });
+    }
+    let date = date_from_file_name(path).ok_or_else(|| TsvError::BadFileName {
+        file: path.to_owned(),
+    })?;
+    let mut bytes = Vec::new();
+    BufReader::new(File::open(path)?).read_to_end(&mut bytes)?;
+    let mut sink = QuarantineSink::new(options.quarantine_path.as_deref());
+    let mut lines = bytes.split(|&b| b == b'\n');
+
+    // Header: exact, remappable, or the whole file is quarantined.
+    let header_raw = lines.next().unwrap_or_default();
+    let expected: Vec<&str> = SCHEMA.iter().map(|a| a.name).collect();
+    let header = std::str::from_utf8(header_raw).unwrap_or("");
+    let (mapping, remapped) = if header.split('\t').collect::<Vec<_>>() == expected {
+        (None, false)
+    } else {
+        match map_drifted_header(header) {
+            Some(m) => (Some(m), true),
+            None => {
+                sink.write(path, None, "header-unmappable (file quarantined)", header_raw)?;
+                sink.finish()?;
+                return Ok(None);
+            }
+        }
+    };
+
+    let mut rows = Vec::new();
+    let mut quarantined: u64 = 0;
+    let mut check_budget = |quarantined: u64| -> Result<(), TsvError> {
+        if let Some(budget) = options.error_budget {
+            let events = prior_events + quarantined;
+            if events > budget {
+                return Err(TsvError::QuarantineBudget { budget, quarantined: events });
+            }
+        }
+        Ok(())
+    };
+    for (i, raw) in lines.enumerate() {
+        if raw.is_empty() || raw.iter().all(|b| b.is_ascii_whitespace()) {
+            continue;
+        }
+        let lineno = i + 2; // 1-based, after the header
+        let Ok(line) = std::str::from_utf8(raw) else {
+            quarantined += 1;
+            sink.write(path, Some(lineno), "invalid-utf8", raw)?;
+            check_budget(quarantined)?;
+            continue;
+        };
+        let row = match &mapping {
+            None => Row::from_tsv(line),
+            Some(map) => {
+                let fields: Vec<&str> = line.split('\t').collect();
+                if fields.len() != map.len() {
+                    None
+                } else {
+                    let mut row = Row::empty();
+                    for (field, attr) in fields.iter().zip(map.iter()) {
+                        if let Some(attr) = attr {
+                            row.set(*attr, *field);
+                        }
+                    }
+                    Some(row)
+                }
+            }
+        };
+        match row {
+            Some(row) => rows.push(row),
+            None => {
+                quarantined += 1;
+                sink.write(path, Some(lineno), "field-count-mismatch", raw)?;
+                check_budget(quarantined)?;
+            }
+        }
+    }
+    sink.finish()?;
+    Ok(Some(ParsedSnapshot {
+        snapshot: Snapshot { index: 0, date, rows },
+        quarantined,
+        remapped,
+    }))
+}
+
+/// Everything produced by a fault-tolerant archive import.
+#[derive(Debug)]
+pub struct ArchiveImportOutcome {
+    /// Per-snapshot import statistics (quarantine counts included).
+    pub stats: Vec<ImportStats>,
+    /// Aggregate quarantine accounting.
+    pub quarantine: QuarantineReport,
+}
+
+/// Import every snapshot file of an archive directory under the given
+/// fault-handling options.
+///
+/// In quarantine mode the sink file (if configured) is truncated at the
+/// start of the run and receives every diverted line with provenance
+/// comments. The error budget is enforced across the whole run.
+pub fn import_archive_dir_with(
+    store: &mut ClusterStore,
+    dir: &Path,
+    policy: DedupPolicy,
+    version: u32,
+    options: &ImportOptions,
+) -> Result<ArchiveImportOutcome, TsvError> {
+    if let Some(sink) = &options.quarantine_path {
+        // Fresh sink per run; read_snapshot_budgeted appends.
+        File::create(sink)?;
+    }
+    let mut stats = Vec::new();
+    let mut report = QuarantineReport::default();
+    for path in archive_files(dir)? {
+        match read_snapshot_budgeted(&path, options, report.events())? {
+            Some(parsed) => {
+                report.lines_quarantined += parsed.quarantined;
+                if parsed.remapped {
+                    report.remapped_headers += 1;
+                }
+                let mut st =
+                    crate::import::import_snapshot(store, &parsed.snapshot, policy, version);
+                st.quarantined = parsed.quarantined;
+                report
+                    .per_snapshot
+                    .push((st.date.clone(), parsed.quarantined));
+                stats.push(st);
+            }
+            None => {
+                report.files_quarantined += 1;
+                if let Some(budget) = options.error_budget {
+                    if report.events() > budget {
+                        return Err(TsvError::QuarantineBudget {
+                            budget,
+                            quarantined: report.events(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+    Ok(ArchiveImportOutcome { stats, quarantine: report })
+}
+
 /// List the snapshot files of an archive directory, sorted by date
 /// (belatedly published snapshots thus import in calendar order).
 pub fn archive_files(dir: &Path) -> Result<Vec<PathBuf>, TsvError> {
@@ -147,19 +496,16 @@ pub fn archive_files(dir: &Path) -> Result<Vec<PathBuf>, TsvError> {
     Ok(files.into_iter().map(|(_, p)| p).collect())
 }
 
-/// Import every snapshot file of an archive directory into a store.
+/// Import every snapshot file of an archive directory into a store,
+/// failing fast on malformed input ([`ImportMode::Strict`]).
 pub fn import_archive_dir(
     store: &mut ClusterStore,
     dir: &Path,
     policy: DedupPolicy,
     version: u32,
 ) -> Result<Vec<ImportStats>, TsvError> {
-    let mut stats = Vec::new();
-    for path in archive_files(dir)? {
-        let snapshot = read_snapshot(&path)?;
-        stats.push(crate::import::import_snapshot(store, &snapshot, policy, version));
-    }
-    Ok(stats)
+    import_archive_dir_with(store, dir, policy, version, &ImportOptions::strict())
+        .map(|outcome| outcome.stats)
 }
 
 #[cfg(test)]
@@ -268,5 +614,159 @@ mod tests {
         let back = read_snapshot(&path).unwrap();
         assert_eq!(back.rows.len(), s0.rows.len());
         std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    /// Append raw bytes (plus a newline) to a snapshot file.
+    fn append_raw(path: &Path, bytes: &[u8]) {
+        use std::io::Write as _;
+        let mut f = std::fs::OpenOptions::new().append(true).open(path).unwrap();
+        f.write_all(bytes).unwrap();
+        f.write_all(b"\n").unwrap();
+    }
+
+    #[test]
+    fn lenient_strict_mode_equals_read_snapshot() {
+        let dir = tmp_dir("lenient_strict");
+        let (s0, _) = two_snapshots(5);
+        let path = write_snapshot(&dir, &s0).unwrap();
+        let parsed = read_snapshot_lenient(&path, &ImportOptions::strict())
+            .unwrap()
+            .unwrap();
+        assert_eq!(parsed.snapshot.rows, read_snapshot(&path).unwrap().rows);
+        assert_eq!(parsed.quarantined, 0);
+        assert!(!parsed.remapped);
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn quarantine_diverts_bad_lines_and_keeps_good_rows() {
+        let dir = tmp_dir("quarantine_lines");
+        let (s0, _) = two_snapshots(6);
+        let path = write_snapshot(&dir, &s0).unwrap();
+        append_raw(&path, b"too\tfew\tfields");
+        append_raw(&path, &[0xFF, 0xFE, b'\t', b'x']); // invalid UTF-8
+        let sink = dir.join("quarantine.tsv");
+
+        let options = ImportOptions::quarantine().with_sink(&sink);
+        let parsed = read_snapshot_lenient(&path, &options).unwrap().unwrap();
+        assert_eq!(parsed.snapshot.rows, s0.rows, "good rows survive intact");
+        assert_eq!(parsed.quarantined, 2);
+
+        let quarantined = std::fs::read(&sink).unwrap();
+        let text = String::from_utf8_lossy(&quarantined);
+        assert!(text.contains("field-count-mismatch"), "{text}");
+        assert!(text.contains("invalid-utf8"), "{text}");
+        assert!(text.contains("too\tfew\tfields"), "raw line preserved");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn strict_mode_still_fails_fast_on_bad_line() {
+        let dir = tmp_dir("strict_fails");
+        let (s0, _) = two_snapshots(7);
+        let path = write_snapshot(&dir, &s0).unwrap();
+        append_raw(&path, b"too\tfew\tfields");
+        let err = read_snapshot_lenient(&path, &ImportOptions::strict()).unwrap_err();
+        assert!(matches!(err, TsvError::BadLine { .. }), "{err}");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn drifted_header_is_remapped_by_name() {
+        let dir = tmp_dir("drifted_header");
+        let (s0, _) = two_snapshots(8);
+        // Rebuild the file with an extra unknown trailing column.
+        let path = dir.join(snapshot_file_name(&s0.date));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut text = String::new();
+        let header: Vec<&str> = SCHEMA.iter().map(|a| a.name).collect();
+        text.push_str(&header.join("\t"));
+        text.push_str("\tlegacy_junk\n");
+        for row in &s0.rows {
+            text.push_str(&row.to_tsv());
+            text.push_str("\textra\n");
+        }
+        std::fs::write(&path, text).unwrap();
+
+        let parsed = read_snapshot_lenient(&path, &ImportOptions::quarantine())
+            .unwrap()
+            .unwrap();
+        assert!(parsed.remapped);
+        assert_eq!(parsed.quarantined, 0);
+        assert_eq!(parsed.snapshot.rows, s0.rows, "unknown column dropped");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn unmappable_header_quarantines_whole_file() {
+        let dir = tmp_dir("unmappable");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(snapshot_file_name("2008-11-04"));
+        std::fs::write(&path, "alpha\tbeta\nA\tB\n").unwrap();
+        let sink = dir.join("quarantine.tsv");
+
+        let options = ImportOptions::quarantine().with_sink(&sink);
+        assert!(read_snapshot_lenient(&path, &options).unwrap().is_none());
+        let text = std::fs::read_to_string(&sink).unwrap();
+        assert!(text.contains("header-unmappable"), "{text}");
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn error_budget_escalates_to_hard_failure() {
+        let dir = tmp_dir("budget");
+        let (s0, _) = two_snapshots(9);
+        let path = write_snapshot(&dir, &s0).unwrap();
+        append_raw(&path, b"bad\tline");
+        append_raw(&path, b"another\tbad\tline");
+
+        // Budget 2 tolerates both diverted lines...
+        let lenient = ImportOptions::quarantine().with_budget(2);
+        assert!(read_snapshot_lenient(&path, &lenient).is_ok());
+        // ...budget 1 trips on the second.
+        let tight = ImportOptions::quarantine().with_budget(1);
+        let err = read_snapshot_lenient(&path, &tight).unwrap_err();
+        assert!(
+            matches!(err, TsvError::QuarantineBudget { budget: 1, quarantined: 2 }),
+            "{err}"
+        );
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn archive_quarantine_run_equals_clean_run_minus_bad_rows() {
+        let clean_dir = tmp_dir("clean_archive");
+        let dirty_dir = tmp_dir("dirty_archive");
+        let (s0, s1) = two_snapshots(10);
+        write_snapshot(&clean_dir, &s0).unwrap();
+        write_snapshot(&clean_dir, &s1).unwrap();
+        write_snapshot(&dirty_dir, &s0).unwrap();
+        let dirty_path = write_snapshot(&dirty_dir, &s1).unwrap();
+        append_raw(&dirty_path, b"torn\trow");
+
+        let mut clean = ClusterStore::new();
+        let clean_stats =
+            import_archive_dir(&mut clean, &clean_dir, DedupPolicy::Trimmed, 1).unwrap();
+
+        let mut dirty = ClusterStore::new();
+        let outcome = import_archive_dir_with(
+            &mut dirty,
+            &dirty_dir,
+            DedupPolicy::Trimmed,
+            1,
+            &ImportOptions::quarantine(),
+        )
+        .unwrap();
+        assert_eq!(outcome.quarantine.lines_quarantined, 1);
+        assert_eq!(outcome.stats[1].quarantined, 1);
+        assert_eq!(dirty.record_count(), clean.record_count());
+        assert_eq!(dirty.cluster_count(), clean.cluster_count());
+        // Stats agree except for the quarantine count of the torn file.
+        assert_eq!(outcome.stats[0], clean_stats[0]);
+        assert_eq!(outcome.stats[1].total_rows, clean_stats[1].total_rows);
+        assert_eq!(outcome.stats[1].new_records, clean_stats[1].new_records);
+
+        std::fs::remove_dir_all(clean_dir).unwrap();
+        std::fs::remove_dir_all(dirty_dir).unwrap();
     }
 }

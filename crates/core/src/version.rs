@@ -158,6 +158,7 @@ mod tests {
             total_rows: 2,
             new_records: 2,
             new_clusters: 2,
+            quarantined: 0,
         };
         let info = vm.publish(&store, std::slice::from_ref(&stats));
         assert_eq!(info.records_total, 2);

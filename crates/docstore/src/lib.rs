@@ -14,7 +14,11 @@
 //! * an aggregation [`pipeline`] with `match`, `project`, `unwind`,
 //!   `group`, `sort`, `skip`, `limit` and `count` stages — enough to
 //!   express the paper's customization queries,
-//! * file [`persist`]ence (JSON-lines snapshots) for durability, and
+//! * crash-safe file [`persist`]ence (atomic JSON-lines snapshots with
+//!   per-line CRC-32 checksums, a count/checksum footer, and a
+//!   salvage-on-load recovery path),
+//! * a deterministic [`faults`] injection harness for testing the IO
+//!   path against truncation, torn lines, and bit rot, and
 //! * a thread-safe [`store::DocStore`] holding named collections.
 //!
 //! # Example
@@ -35,6 +39,8 @@
 #![warn(missing_docs)]
 
 pub mod collection;
+pub mod crc32;
+pub mod faults;
 pub mod index;
 pub mod persist;
 pub mod pipeline;
@@ -47,6 +53,7 @@ pub mod prelude {
     pub use crate::collection::{Collection, DocId};
     pub use crate::doc;
     pub use crate::index::IndexKind;
+    pub use crate::persist::{FooterStatus, Salvage, SalvageReport};
     pub use crate::pipeline::{Accumulator, Pipeline, Stage};
     pub use crate::query::Filter;
     pub use crate::store::DocStore;

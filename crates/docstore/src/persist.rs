@@ -3,13 +3,38 @@
 //! The format is one JSON document per line; the `_id` field stored in
 //! each document is preserved on load, as is the id counter, so ids
 //! remain stable across save/load cycles.
+//!
+//! # Durability
+//!
+//! [`save`] is crash-safe: the collection is written to a temporary
+//! file in the same directory, fsynced, and renamed over the target, so
+//! a crash mid-save never tears an existing file — readers observe
+//! either the old or the new contents. Every data line carries a
+//! CRC-32 suffix (`\t#crc:xxxxxxxx`) and the file ends with a footer
+//! record holding the document count and a running checksum, so
+//! truncation, torn writes, and bit rot are all detectable.
+//!
+//! [`load`] is strict: any checksum mismatch, missing footer, or count
+//! drift is an error. [`salvage`] is the recovery path: it loads every
+//! intact prefix line of a damaged file and reports exactly what was
+//! dropped ([`SalvageReport`]). Files written before checksums existed
+//! (plain JSON lines) still load through both paths.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
 use crate::collection::Collection;
+use crate::crc32::{crc32, Crc32};
 use crate::value::Document;
+
+/// Prefix of the footer line closing a checksummed file.
+const FOOTER_PREFIX: &str = "#nc-footer:";
+
+/// Separator between a data line's JSON body and its checksum. JSON
+/// escapes raw tabs inside strings, so the last tab on a line always
+/// belongs to the suffix.
+const CRC_SEP: &str = "\t#crc:";
 
 /// Errors produced by persistence operations.
 #[derive(Debug)]
@@ -28,6 +53,28 @@ pub enum PersistError {
         /// 1-based line number.
         line: usize,
     },
+    /// A data line's CRC-32 suffix does not match its contents.
+    Checksum {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A checksummed file is missing its footer, or the footer's count
+    /// or running checksum disagrees with the data lines (truncated or
+    /// torn file).
+    Truncated {
+        /// Document count promised by the footer, if one was readable.
+        expected: Option<u64>,
+        /// Intact documents actually present.
+        found: u64,
+    },
+    /// The file structure is invalid (e.g. data after the footer, or an
+    /// unreadable footer).
+    Corrupt {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
 }
 
 impl std::fmt::Display for PersistError {
@@ -39,6 +86,16 @@ impl std::fmt::Display for PersistError {
             }
             PersistError::MissingId { line } => {
                 write!(f, "document on line {line} has no _id")
+            }
+            PersistError::Checksum { line } => {
+                write!(f, "checksum mismatch on line {line}")
+            }
+            PersistError::Truncated { expected, found } => match expected {
+                Some(n) => write!(f, "truncated file: footer promises {n} documents, found {found}"),
+                None => write!(f, "truncated file: no valid footer after {found} documents"),
+            },
+            PersistError::Corrupt { line, message } => {
+                write!(f, "corrupt file at line {line}: {message}")
             }
         }
     }
@@ -52,46 +109,89 @@ impl From<std::io::Error> for PersistError {
     }
 }
 
-/// Write a collection to `path` as JSON lines (ascending `_id`).
+/// The footer record closing every file written by [`save`].
+#[derive(Debug, serde::Serialize, serde::Deserialize)]
+struct Footer {
+    /// Number of data lines in the file.
+    count: u64,
+    /// Running CRC-32 (hex) over every data line's JSON body + `\n`.
+    crc: String,
+}
+
+/// Write a collection to `path` as checksummed JSON lines (ascending
+/// `_id`), atomically.
+///
+/// The data is first written to a sibling temporary file, fsynced, and
+/// renamed into place, so an interrupted save never corrupts a
+/// previously saved file.
 pub fn save(collection: &Collection, path: &Path) -> Result<(), PersistError> {
-    let file = File::create(path)?;
-    let mut w = BufWriter::new(file);
+    let file_name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("collection.jsonl");
+    let tmp = path.with_file_name(format!("{file_name}.tmp"));
+    let mut w = BufWriter::new(File::create(&tmp)?);
+    let mut running = Crc32::new();
+    let mut count: u64 = 0;
     for (_, doc) in collection.iter_ordered() {
         let json = serde_json::to_string(doc)
             .map_err(|e| PersistError::Parse { line: 0, message: e.to_string() })?;
+        running.update(json.as_bytes());
+        running.update(b"\n");
+        let line_crc = crc32(json.as_bytes());
         w.write_all(json.as_bytes())?;
-        w.write_all(b"\n")?;
+        writeln!(w, "{CRC_SEP}{line_crc:08x}")?;
+        count += 1;
     }
+    let footer = Footer {
+        count,
+        crc: format!("{:08x}", running.finalize()),
+    };
+    let footer_json = serde_json::to_string(&footer)
+        .map_err(|e| PersistError::Parse { line: 0, message: e.to_string() })?;
+    writeln!(w, "{FOOTER_PREFIX}{footer_json}")?;
     w.flush()?;
+    let file = w.into_inner().map_err(|e| PersistError::Io(e.into_error()))?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(&tmp, path)?;
+    // Make the rename itself durable. Directory fsync is best-effort:
+    // not every filesystem permits opening a directory for sync.
+    if let Some(parent) = path.parent() {
+        if let Ok(dir) = File::open(parent) {
+            let _ = dir.sync_all();
+        }
+    }
     Ok(())
 }
 
-/// Load a collection from a JSON-lines file written by [`save`].
-///
-/// Documents are re-inserted preserving their `_id`s; the collection's id
-/// counter resumes after the maximum loaded id. Declared indexes must be
-/// re-created by the caller (index definitions are not persisted).
-pub fn load(name: &str, path: &Path) -> Result<Collection, PersistError> {
-    let file = File::open(path)?;
-    let reader = BufReader::new(file);
-    let mut docs: Vec<(u64, Document)> = Vec::new();
-    for (i, line) in reader.lines().enumerate() {
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        let doc: Document = serde_json::from_str(&line).map_err(|e| PersistError::Parse {
-            line: i + 1,
-            message: e.to_string(),
-        })?;
-        let id = doc
-            .get_i64("_id")
-            .and_then(|v| u64::try_from(v).ok())
-            .ok_or(PersistError::MissingId { line: i + 1 })?;
-        docs.push((id, doc));
+/// Split a data line into its JSON body and CRC-32 suffix, if it has one.
+fn split_checksum(line: &str) -> Option<(&str, u32)> {
+    let idx = line.rfind(CRC_SEP)?;
+    let body = &line[..idx];
+    let hex = &line[idx + CRC_SEP.len()..];
+    if hex.len() != 8 {
+        return None;
     }
-    docs.sort_by_key(|(id, _)| *id);
+    u32::from_str_radix(hex, 16).ok().map(|crc| (body, crc))
+}
 
+/// Parse one JSON body into `(id, document)`.
+fn parse_doc(body: &str, line: usize) -> Result<(u64, Document), PersistError> {
+    let doc: Document = serde_json::from_str(body).map_err(|e| PersistError::Parse {
+        line,
+        message: e.to_string(),
+    })?;
+    let id = doc
+        .get_i64("_id")
+        .and_then(|v| u64::try_from(v).ok())
+        .ok_or(PersistError::MissingId { line })?;
+    Ok((id, doc))
+}
+
+/// Rebuild a collection from `(id, doc)` pairs, preserving ids.
+fn rebuild(name: &str, mut docs: Vec<(u64, Document)>) -> Collection {
+    docs.sort_by_key(|(id, _)| *id);
     // Rebuild by inserting in id order; pad gaps so ids are preserved.
     let mut coll = Collection::new(name);
     let mut next = 0u64;
@@ -105,7 +205,226 @@ pub fn load(name: &str, path: &Path) -> Result<Collection, PersistError> {
         debug_assert_eq!(got, id);
         next = id + 1;
     }
-    Ok(coll)
+    coll
+}
+
+/// Load a collection from a JSON-lines file written by [`save`].
+///
+/// Documents are re-inserted preserving their `_id`s; the collection's id
+/// counter resumes after the maximum loaded id. Declared indexes must be
+/// re-created by the caller (index definitions are not persisted).
+///
+/// Loading is strict: a checksummed file with any damaged line, a
+/// missing footer, or a count/checksum drift fails with the precise
+/// error. Use [`salvage`] to recover the intact prefix of a damaged
+/// file. Legacy files without checksums load unverified.
+pub fn load(name: &str, path: &Path) -> Result<Collection, PersistError> {
+    let file = File::open(path)?;
+    let reader = BufReader::new(file);
+    let mut docs: Vec<(u64, Document)> = Vec::new();
+    let mut running = Crc32::new();
+    let mut data_count: u64 = 0;
+    let mut checksummed = false;
+    let mut footer: Option<Footer> = None;
+    for (i, line) in reader.lines().enumerate() {
+        let line = line?;
+        let lineno = i + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if footer.is_some() {
+            return Err(PersistError::Corrupt {
+                line: lineno,
+                message: "content after footer".into(),
+            });
+        }
+        if let Some(rest) = line.strip_prefix(FOOTER_PREFIX) {
+            let f: Footer = serde_json::from_str(rest).map_err(|e| PersistError::Corrupt {
+                line: lineno,
+                message: format!("unreadable footer: {e}"),
+            })?;
+            footer = Some(f);
+            checksummed = true;
+            continue;
+        }
+        let body = match split_checksum(&line) {
+            Some((body, crc)) => {
+                checksummed = true;
+                if crc32(body.as_bytes()) != crc {
+                    return Err(PersistError::Checksum { line: lineno });
+                }
+                body
+            }
+            None => line.as_str(),
+        };
+        running.update(body.as_bytes());
+        running.update(b"\n");
+        data_count += 1;
+        docs.push(parse_doc(body, lineno)?);
+    }
+    if checksummed {
+        let ok = footer.as_ref().is_some_and(|f| {
+            f.count == data_count && f.crc == format!("{:08x}", running.finalize())
+        });
+        if !ok {
+            return Err(PersistError::Truncated {
+                expected: footer.map(|f| f.count),
+                found: data_count,
+            });
+        }
+    }
+    Ok(rebuild(name, docs))
+}
+
+/// Integrity of the footer observed by [`salvage`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FooterStatus {
+    /// Footer present and consistent with the recovered documents: the
+    /// file is complete.
+    Valid,
+    /// No footer reached (truncated file, or a pre-checksum legacy file).
+    Missing,
+    /// Footer present but inconsistent (count or checksum drift).
+    Invalid,
+}
+
+/// What [`salvage`] recovered — and, precisely, what it did not.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SalvageReport {
+    /// Documents recovered from the intact prefix.
+    pub docs_recovered: usize,
+    /// Non-empty lines dropped from the first damaged line to EOF
+    /// (includes a torn trailing line with no newline).
+    pub lines_dropped: usize,
+    /// Bytes dropped from the first damaged byte offset to EOF.
+    pub bytes_dropped: u64,
+    /// Footer integrity.
+    pub footer: FooterStatus,
+    /// Human-readable description of the first damage encountered.
+    pub detail: Option<String>,
+}
+
+impl SalvageReport {
+    /// Whether the file was fully intact (nothing dropped, footer valid
+    /// or legacy-complete).
+    pub fn is_clean(&self) -> bool {
+        self.lines_dropped == 0 && self.bytes_dropped == 0 && self.footer != FooterStatus::Invalid
+    }
+}
+
+/// A salvaged collection plus the loss report.
+#[derive(Debug)]
+pub struct Salvage {
+    /// The recovered collection (intact prefix documents).
+    pub collection: Collection,
+    /// Exactly what was recovered and what was dropped.
+    pub report: SalvageReport,
+}
+
+/// Recover the intact prefix of a (possibly damaged) collection file.
+///
+/// Every line up to the first checksum failure, parse failure, torn
+/// line, or invalid UTF-8 is loaded; everything from the first damaged
+/// byte onward is dropped and accounted for in the [`SalvageReport`].
+/// A file truncated at an arbitrary byte offset therefore loses at most
+/// the final partial line. Never panics on any input; the only error is
+/// failing to read the file at all.
+pub fn salvage(name: &str, path: &Path) -> Result<Salvage, PersistError> {
+    let bytes = std::fs::read(path)?;
+    let mut docs: Vec<(u64, Document)> = Vec::new();
+    let mut running = Crc32::new();
+    let mut data_count: u64 = 0;
+    let mut pos: usize = 0;
+    let mut lineno: usize = 0;
+    let mut footer_status = FooterStatus::Missing;
+    let mut footer_seen = false;
+    // (byte offset, reason) of the first damage, if any.
+    let mut failure: Option<(usize, String)> = None;
+
+    while pos < bytes.len() {
+        let Some(rel) = bytes[pos..].iter().position(|&b| b == b'\n') else {
+            lineno += 1;
+            failure = Some((pos, format!("line {lineno}: torn trailing line (no newline)")));
+            break;
+        };
+        let line_end = pos + rel;
+        lineno += 1;
+        let Ok(line) = std::str::from_utf8(&bytes[pos..line_end]) else {
+            failure = Some((pos, format!("line {lineno}: invalid utf-8")));
+            break;
+        };
+        if line.trim().is_empty() {
+            pos = line_end + 1;
+            continue;
+        }
+        if footer_seen {
+            failure = Some((pos, format!("line {lineno}: content after footer")));
+            break;
+        }
+        if let Some(rest) = line.strip_prefix(FOOTER_PREFIX) {
+            footer_seen = true;
+            footer_status = match serde_json::from_str::<Footer>(rest) {
+                Ok(f)
+                    if f.count == data_count
+                        && f.crc == format!("{:08x}", running.finalize()) =>
+                {
+                    FooterStatus::Valid
+                }
+                _ => FooterStatus::Invalid,
+            };
+            pos = line_end + 1;
+            continue;
+        }
+        let body = match split_checksum(line) {
+            Some((body, crc)) => {
+                if crc32(body.as_bytes()) != crc {
+                    failure = Some((pos, format!("line {lineno}: checksum mismatch")));
+                    break;
+                }
+                body
+            }
+            None => line,
+        };
+        match parse_doc(body, lineno) {
+            Ok(pair) => {
+                running.update(body.as_bytes());
+                running.update(b"\n");
+                data_count += 1;
+                docs.push(pair);
+            }
+            Err(e) => {
+                failure = Some((pos, format!("{e}")));
+                break;
+            }
+        }
+        pos = line_end + 1;
+    }
+
+    let (lines_dropped, bytes_dropped, detail) = match failure {
+        Some((offset, reason)) => {
+            let dropped = bytes[offset..]
+                .split(|&b| b == b'\n')
+                .filter(|chunk| chunk.iter().any(|b| !b.is_ascii_whitespace()))
+                .count();
+            (dropped, (bytes.len() - offset) as u64, Some(reason))
+        }
+        None => (0, 0, None),
+    };
+    Ok(Salvage {
+        collection: rebuild(name, docs),
+        report: SalvageReport {
+            docs_recovered: docs_count(data_count),
+            lines_dropped,
+            bytes_dropped,
+            footer: footer_status,
+            detail,
+        },
+    })
+}
+
+/// `u64` data-line count as `usize` (cannot realistically overflow).
+fn docs_count(n: u64) -> usize {
+    usize::try_from(n).unwrap_or(usize::MAX)
 }
 
 #[cfg(test)]
@@ -192,6 +511,158 @@ mod tests {
         std::fs::write(&path, "").unwrap();
         let loaded = load("v", &path).unwrap();
         assert!(loaded.is_empty());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn legacy_plain_jsonl_still_loads() {
+        let path = tmp("legacy");
+        std::fs::write(&path, "{\"_id\":0,\"name\":\"A\"}\n{\"_id\":1,\"name\":\"B\"}\n").unwrap();
+        let loaded = load("v", &path).unwrap();
+        assert_eq!(loaded.len(), 2);
+        let s = salvage("v", &path).unwrap();
+        assert_eq!(s.collection.len(), 2);
+        assert_eq!(s.report.footer, FooterStatus::Missing);
+        assert!(s.report.lines_dropped == 0 && s.report.bytes_dropped == 0);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn saved_files_carry_checksums_and_footer() {
+        let mut c = Collection::new("v");
+        c.insert(doc! { "name" => "A" });
+        let path = tmp("format");
+        save(&c, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains(CRC_SEP), "{}", lines[0]);
+        assert!(lines[1].starts_with(FOOTER_PREFIX), "{}", lines[1]);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn save_is_atomic_no_tmp_left_behind() {
+        let mut c = Collection::new("v");
+        c.insert(doc! { "k" => 1_i64 });
+        let path = tmp("atomic");
+        save(&c, &path).unwrap();
+        let tmp_path = path.with_file_name(format!(
+            "{}.tmp",
+            path.file_name().unwrap().to_str().unwrap()
+        ));
+        assert!(!tmp_path.exists());
+        // Overwriting an existing file also goes through the tmp path.
+        save(&c, &path).unwrap();
+        assert!(!tmp_path.exists());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn strict_load_detects_bit_flip() {
+        let mut c = Collection::new("v");
+        c.insert(doc! { "name" => "AAAA" });
+        c.insert(doc! { "name" => "BBBB" });
+        let path = tmp("bitflip");
+        save(&c, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip one bit inside the first line's JSON body.
+        let flip_at = bytes.iter().position(|&b| b == b'A').unwrap();
+        bytes[flip_at] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let err = load("v", &path).unwrap_err();
+        assert!(matches!(err, PersistError::Checksum { line: 1 }), "{err}");
+        // Salvage drops the damaged line and everything after it.
+        let s = salvage("v", &path).unwrap();
+        assert_eq!(s.collection.len(), 0);
+        assert_eq!(s.report.lines_dropped, 3);
+        assert!(s.report.detail.is_some());
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn strict_load_detects_truncation() {
+        let mut c = Collection::new("v");
+        for i in 0..10_i64 {
+            c.insert(doc! { "i" => i });
+        }
+        let path = tmp("trunc_strict");
+        save(&c, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        let err = load("v", &path).unwrap_err();
+        assert!(
+            matches!(err, PersistError::Truncated { .. } | PersistError::Checksum { .. }),
+            "{err}"
+        );
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn salvage_recovers_prefix_of_truncated_file() {
+        let mut c = Collection::new("v");
+        for i in 0..10_i64 {
+            c.insert(doc! { "i" => i });
+        }
+        let path = tmp("trunc_salvage");
+        save(&c, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Cut in the middle of a line somewhere past the first few docs.
+        std::fs::write(&path, &bytes[..bytes.len() * 2 / 3]).unwrap();
+        let s = salvage("v", &path).unwrap();
+        assert!(s.collection.len() >= 5, "recovered {}", s.collection.len());
+        assert!(s.collection.len() < 10);
+        assert_eq!(s.report.footer, FooterStatus::Missing);
+        assert!(s.report.bytes_dropped > 0);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn salvage_of_intact_file_is_clean() {
+        let mut c = Collection::new("v");
+        c.insert(doc! { "x" => 1_i64 });
+        let path = tmp("clean");
+        save(&c, &path).unwrap();
+        let s = salvage("v", &path).unwrap();
+        assert_eq!(s.report.footer, FooterStatus::Valid);
+        assert!(s.report.is_clean());
+        assert_eq!(s.report.docs_recovered, 1);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn footer_count_drift_detected() {
+        let mut c = Collection::new("v");
+        c.insert(doc! { "x" => 1_i64 });
+        c.insert(doc! { "y" => 2_i64 });
+        let path = tmp("drift");
+        save(&c, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Remove the first data line but keep the footer.
+        let without_first: String = text.lines().skip(1).map(|l| format!("{l}\n")).collect();
+        std::fs::write(&path, without_first).unwrap();
+        let err = load("v", &path).unwrap_err();
+        assert!(matches!(err, PersistError::Truncated { expected: Some(2), found: 1 }), "{err}");
+        let s = salvage("v", &path).unwrap();
+        assert_eq!(s.report.footer, FooterStatus::Invalid);
+        assert_eq!(s.collection.len(), 1);
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn salvage_never_panics_on_arbitrary_bytes() {
+        let path = tmp("fuzzish");
+        for garbage in [
+            &b"\x00\xff\xfe"[..],
+            b"{\"_id\":0}\nnot json at all",
+            b"#nc-footer:{\"count\":5,\"crc\":\"00000000\"}\n",
+            b"\n\n\n",
+            b"{\"_id\":0}\t#crc:zzzzzzzz\n",
+        ] {
+            std::fs::write(&path, garbage).unwrap();
+            let s = salvage("v", &path).unwrap();
+            assert!(s.report.docs_recovered <= 1);
+        }
         std::fs::remove_file(path).unwrap();
     }
 }

@@ -7,7 +7,7 @@ use std::sync::Arc;
 use parking_lot::RwLock;
 
 use crate::collection::Collection;
-use crate::persist::{self, PersistError};
+use crate::persist::{self, PersistError, SalvageReport};
 
 /// A database: a set of named [`Collection`]s behind reader/writer locks.
 ///
@@ -62,6 +62,9 @@ impl DocStore {
     }
 
     /// Load every `*.jsonl` file in `dir` as a collection.
+    ///
+    /// Loading is strict: a single damaged file fails the whole load.
+    /// Use [`DocStore::salvage_all`] to recover what is intact instead.
     pub fn load_all(dir: &Path) -> Result<Self, PersistError> {
         let store = Self::new();
         for entry in std::fs::read_dir(dir)? {
@@ -81,6 +84,34 @@ impl DocStore {
             }
         }
         Ok(store)
+    }
+
+    /// Salvage every `*.jsonl` file in `dir`: each collection keeps its
+    /// intact prefix, and the per-collection [`SalvageReport`]s say
+    /// exactly what (if anything) was dropped. Only failing to read the
+    /// directory or a file at all is an error.
+    pub fn salvage_all(dir: &Path) -> Result<(Self, Vec<(String, SalvageReport)>), PersistError> {
+        let store = Self::new();
+        let mut reports = Vec::new();
+        let mut files: Vec<std::path::PathBuf> = std::fs::read_dir(dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|e| e == "jsonl"))
+            .collect();
+        files.sort();
+        for path in files {
+            let name = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("unnamed")
+                .to_owned();
+            let salvage = persist::salvage(&name, &path)?;
+            reports.push((name.clone(), salvage.report));
+            store
+                .collections
+                .write()
+                .insert(name, Arc::new(RwLock::new(salvage.collection)));
+        }
+        Ok((store, reports))
     }
 }
 
@@ -151,6 +182,30 @@ mod tests {
         let y = loaded.collection("y");
         let y = y.read();
         assert!(y.find_one(&Filter::eq("v", "two")).is_some());
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_all_recovers_intact_collections() {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("nc_docstore_salvage_{}", std::process::id()));
+        let store = DocStore::new();
+        store.collection("ok").write().insert(doc! { "v" => "fine" });
+        store.collection("hurt").write().insert(doc! { "v" => "gone" });
+        store.save_all(&dir).unwrap();
+
+        // Tear the second collection's file mid-line.
+        let hurt = dir.join("hurt.jsonl");
+        let bytes = std::fs::read(&hurt).unwrap();
+        std::fs::write(&hurt, &bytes[..bytes.len() / 2]).unwrap();
+
+        assert!(DocStore::load_all(&dir).is_err(), "strict load must fail");
+        let (salvaged, reports) = DocStore::salvage_all(&dir).unwrap();
+        assert_eq!(salvaged.collection_names(), vec!["hurt", "ok"]);
+        let by_name: HashMap<_, _> = reports.into_iter().collect();
+        assert!(by_name["ok"].is_clean());
+        assert!(!by_name["hurt"].is_clean());
+        assert_eq!(salvaged.collection("ok").read().len(), 1);
         std::fs::remove_dir_all(dir).unwrap();
     }
 }

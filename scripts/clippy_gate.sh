@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Lint gate: the workspace must be clippy-clean at -D warnings.
+#
+# Run locally or in CI before merging:
+#   ./scripts/clippy_gate.sh
+#
+# Any extra arguments are forwarded to cargo clippy, e.g.:
+#   ./scripts/clippy_gate.sh --no-deps
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+exec cargo clippy --workspace --all-targets "$@" -- -D warnings
