@@ -555,3 +555,37 @@ mod tests {
         assert_eq!(store.cluster_rows_seen(), vec![3]);
     }
 }
+
+#[cfg(test)]
+mod review_repro {
+    use super::*;
+    use crate::record::DedupPolicy;
+    use nc_votergen::schema::Row;
+
+    fn row(ncid: &str, last: &str, age: &str, date: &str) -> Row {
+        let mut r = Row::empty();
+        r.set(nc_votergen::schema::NCID, ncid);
+        r.set(nc_votergen::schema::attr_id("last_name").unwrap(), last);
+        r.set(nc_votergen::schema::attr_id("age").unwrap(), age);
+        let _ = date;
+        r
+    }
+
+    #[test]
+    fn duplicate_only_snapshot_after_finalize_leaves_meta_stale() {
+        let mut store = ClusterStore::new();
+        store.import_row(row("A1", "SMITH", "40", "s1"), DedupPolicy::Trimmed, "s1", 1);
+        store.finalize();
+        // Snapshot 2: same row again -> DuplicateDropped only.
+        let out = store.import_row(row("A1", "SMITH", "40", "s2"), DedupPolicy::Trimmed, "s2", 1);
+        assert_eq!(out, RowOutcome::DuplicateDropped);
+        // In-memory state saw snapshot s2...
+        assert_eq!(store.record_snapshots("A1").unwrap()[0], vec!["s1".to_string(), "s2".to_string()]);
+        store.finalize();
+        let doc = store.cluster_doc("A1").unwrap();
+        // ...but the persisted meta must too (this is what a checkpoint saves).
+        assert_eq!(doc.get_i64("meta.rows_seen"), Some(2), "meta.rows_seen is stale");
+        let snaps = doc.get_array("meta.record_snapshots").unwrap();
+        assert_eq!(snaps[0].as_array().unwrap().len(), 2, "meta.record_snapshots is stale");
+    }
+}
