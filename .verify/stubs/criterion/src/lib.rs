@@ -1,0 +1,134 @@
+//! Offline stub of `criterion` 0.5: benches compile and smoke-run
+//! (each closure executed a handful of times, wall-clock printed); no
+//! statistics, reports, or CLI. Real measurements require the real
+//! crate on a networked runner.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Benchmark manager (stub).
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let _ = self;
+        BenchmarkGroup {
+            name: name.to_string(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Bench a standalone function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Self {
+        run_one("", id, f);
+        self
+    }
+}
+
+/// A group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Requested sample count (ignored by the stub).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Requested measurement time (ignored by the stub).
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    /// Bench a function in this group.
+    pub fn bench_function<I: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.to_string(), f);
+        self
+    }
+
+    /// Bench a function with an input value.
+    pub fn bench_with_input<I: Display, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.name, &id.to_string(), |b| f(b, input));
+        self
+    }
+
+    /// Finish the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, mut f: F) {
+    let mut b = Bencher { iters: 3 };
+    let start = Instant::now();
+    f(&mut b);
+    eprintln!(
+        "stub-bench {group}/{id}: {:.3} ms ({} iters)",
+        start.elapsed().as_secs_f64() * 1e3,
+        b.iters
+    );
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    iters: u32,
+}
+
+impl Bencher {
+    /// Run the routine a fixed small number of times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+    }
+}
+
+/// Benchmark identifier combining a name and a parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Build from a function name and a parameter value.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId(format!("{function_name}/{parameter}"))
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Collect benchmark functions into a runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Entry point calling every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

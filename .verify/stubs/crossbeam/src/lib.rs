@@ -1,0 +1,100 @@
+//! Offline stub of `crossbeam` 0.8 over the standard library.
+//!
+//! Covers the subset the workspace uses: `channel::bounded` (over
+//! `std::sync::mpsc::sync_channel`) and `thread::scope`/`Scope::spawn`
+//! (over `std::thread::scope`). One semantic difference: a panicking
+//! scoped thread aborts the whole scope with a propagated panic rather
+//! than surfacing as `Err` from `scope` — callers here always `expect`
+//! the result, so behaviour under panic is equivalent in practice.
+
+/// Multi-producer multi-consumer-ish channels (stub: mpsc).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Sending half of a bounded channel.
+    pub struct Sender<T>(mpsc::SyncSender<T>);
+
+    /// Receiving half of a bounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    /// Error returned when the receiving side disconnected.
+    pub type SendError<T> = mpsc::SendError<T>;
+    /// Error returned when the sending side disconnected.
+    pub type RecvError = mpsc::RecvError;
+
+    impl<T> Sender<T> {
+        /// Blocking send.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocking receive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv()
+        }
+
+        /// Iterate until the channel disconnects.
+        pub fn iter(&self) -> mpsc::Iter<'_, T> {
+            self.0.iter()
+        }
+    }
+
+    impl<'a, T> IntoIterator for &'a Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::Iter<'a, T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// A channel holding at most `cap` in-flight messages.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(tx), Receiver(rx))
+    }
+}
+
+/// Scoped threads (stub: `std::thread::scope`).
+pub mod thread {
+    use std::thread as stdthread;
+
+    /// Scope handle passed to the closure and to spawned threads.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope stdthread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a scoped thread; the closure receives the scope so it
+        /// can spawn further threads (crossbeam signature).
+        pub fn spawn<F, T>(&self, f: F) -> stdthread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope in which borrowing threads can be spawned.
+    ///
+    /// All spawned threads are joined before this returns. Returns
+    /// `Ok` always; a panicking child propagates its panic instead of
+    /// producing `Err` (see module docs).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(stdthread::scope(|s| f(&Scope { inner: s })))
+    }
+}

@@ -1,0 +1,580 @@
+//! Offline miniature of `proptest` 1.x for network-less verification.
+//!
+//! Unlike the other stubs this one is functional: `proptest!` expands
+//! to a deterministic loop of 24 generated cases per test, strategies
+//! generate real values (including a small regex-pattern generator for
+//! the `"[A-Z]{1,3}"`-style string strategies the workspace uses), and
+//! `prop_assert*` maps to `assert*`. No shrinking, no persistence —
+//! a failing case panics with the generated inputs in the message.
+
+/// Deterministic per-test seed derived from the test name (FNV-1a).
+pub fn seed_for(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h | 1
+}
+
+/// SplitMix64 step shared by every strategy.
+pub fn next_u64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+/// Core strategy abstraction.
+pub mod strategy {
+    use super::next_u64;
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        /// Generated value type.
+        type Value;
+
+        /// Generate one value, advancing `rng`.
+        fn gen_value(&self, rng: &mut u64) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keep only values passing `f` (stub: regenerates, panics
+        /// after 1000 rejections).
+        fn prop_filter<F>(self, _whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { inner: self, f }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn gen_value(&self, rng: &mut u64) -> U {
+            (self.f)(self.inner.gen_value(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn gen_value(&self, rng: &mut u64) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.gen_value(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!("prop_filter rejected 1000 consecutive candidates");
+        }
+    }
+
+    /// Constant strategy.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut u64) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Uniform choice among boxed arms (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Fn(&mut u64) -> V>>,
+    }
+
+    impl<V> Union<V> {
+        /// Build from pre-boxed arms.
+        pub fn new(arms: Vec<Box<dyn Fn(&mut u64) -> V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn gen_value(&self, rng: &mut u64) -> V {
+            let i = (next_u64(rng) % self.arms.len() as u64) as usize;
+            (self.arms[i])(rng)
+        }
+    }
+
+    /// Box a strategy into a `Union` arm.
+    pub fn boxed_arm<S: Strategy + 'static>(s: S) -> Box<dyn Fn(&mut u64) -> S::Value> {
+        Box::new(move |rng| s.gen_value(rng))
+    }
+
+    macro_rules! int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut u64) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (next_u64(rng) as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut u64) -> $t {
+                    let (a, b) = (*self.start(), *self.end());
+                    assert!(a <= b, "empty range strategy");
+                    let span = (b as i128 - a as i128) as u128 + 1;
+                    let v = (next_u64(rng) as u128) % span;
+                    (a as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+    int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn gen_value(&self, rng: &mut u64) -> f64 {
+            assert!(self.start < self.end, "empty range strategy");
+            let unit = (next_u64(rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            self.start + unit * (self.end - self.start)
+        }
+    }
+
+    /// String-literal strategies generate from the literal as a regex.
+    impl Strategy for &str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut u64) -> String {
+            super::minire::generate(self, rng)
+                .unwrap_or_else(|e| panic!("bad regex strategy {self:?}: {e}"))
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($n:tt $s:ident),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn gen_value(&self, rng: &mut u64) -> Self::Value {
+                    ($(self.$n.gen_value(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy! {
+        (0 A)
+        (0 A, 1 B)
+        (0 A, 1 B, 2 C)
+        (0 A, 1 B, 2 C, 3 D)
+        (0 A, 1 B, 2 C, 3 D, 4 E)
+        (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    }
+}
+
+/// Tiny regex-subset *generator*: literals, `.`, `[...]` classes with
+/// ranges and escapes, and `{n}` / `{m,n}` / `?` / `*` / `+`
+/// quantifiers. Enough for every string strategy in this workspace.
+pub mod minire {
+    use super::next_u64;
+
+    struct Unit {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    fn printable() -> Vec<char> {
+        (32u8..=126).map(|b| b as char).collect()
+    }
+
+    fn parse(pattern: &str) -> Result<Vec<Unit>, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut units = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set: Vec<char> = match chars[i] {
+                '.' => {
+                    i += 1;
+                    printable()
+                }
+                '[' => {
+                    i += 1;
+                    let mut set = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            *chars.get(i).ok_or("dangling escape in class")?
+                        } else {
+                            chars[i]
+                        };
+                        if chars.get(i + 1) == Some(&'-') && chars.get(i + 2) != Some(&']') {
+                            let hi = *chars.get(i + 2).ok_or("dangling range in class")?;
+                            if lo as u32 > hi as u32 {
+                                return Err(format!("bad range {lo}-{hi}"));
+                            }
+                            for c in lo as u32..=hi as u32 {
+                                set.push(char::from_u32(c).unwrap());
+                            }
+                            i += 3;
+                        } else {
+                            set.push(lo);
+                            i += 1;
+                        }
+                    }
+                    if i >= chars.len() {
+                        return Err("unterminated class".into());
+                    }
+                    i += 1; // ']'
+                    set
+                }
+                '\\' => {
+                    i += 1;
+                    let c = *chars.get(i).ok_or("dangling escape")?;
+                    i += 1;
+                    vec![c]
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            if set.is_empty() {
+                return Err("empty character class".into());
+            }
+            // Optional quantifier.
+            let (min, max) = match chars.get(i) {
+                Some('{') => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .ok_or("unterminated quantifier")?
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    match body.split_once(',') {
+                        Some((m, n)) => (
+                            m.trim().parse().map_err(|_| "bad quantifier")?,
+                            n.trim().parse().map_err(|_| "bad quantifier")?,
+                        ),
+                        None => {
+                            let n: usize = body.trim().parse().map_err(|_| "bad quantifier")?;
+                            (n, n)
+                        }
+                    }
+                }
+                Some('?') => {
+                    i += 1;
+                    (0, 1)
+                }
+                Some('*') => {
+                    i += 1;
+                    (0, 8)
+                }
+                Some('+') => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            };
+            if min > max {
+                return Err("quantifier min > max".into());
+            }
+            units.push(Unit {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        Ok(units)
+    }
+
+    /// Generate one string matching `pattern`.
+    pub fn generate(pattern: &str, rng: &mut u64) -> Result<String, String> {
+        let units = parse(pattern)?;
+        let mut out = String::new();
+        for u in &units {
+            let count = u.min + (next_u64(rng) % (u.max - u.min + 1) as u64) as usize;
+            for _ in 0..count {
+                let i = (next_u64(rng) % u.chars.len() as u64) as usize;
+                out.push(u.chars[i]);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// `proptest::string`.
+pub mod string {
+    use super::strategy::Strategy;
+
+    /// A compiled regex string strategy.
+    pub struct RegexStrategy(String);
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+        fn gen_value(&self, rng: &mut u64) -> String {
+            super::minire::generate(&self.0, rng)
+                .unwrap_or_else(|e| panic!("bad regex strategy {:?}: {e}", self.0))
+        }
+    }
+
+    /// Strategy generating strings matching `pattern`.
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, String> {
+        // Validate eagerly so `.unwrap()` surfaces bad patterns here.
+        super::minire::generate(pattern, &mut 1)?;
+        Ok(RegexStrategy(pattern.to_string()))
+    }
+}
+
+/// `proptest::collection`.
+pub mod collection {
+    use super::next_u64;
+    use super::strategy::Strategy;
+    use std::collections::BTreeMap;
+
+    /// Size specification for collection strategies.
+    pub trait SizeRange {
+        /// Pick a size.
+        fn pick(&self, rng: &mut u64) -> usize;
+    }
+
+    impl SizeRange for core::ops::Range<usize> {
+        fn pick(&self, rng: &mut u64) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + (next_u64(rng) % (self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut u64) -> usize {
+            *self
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut u64) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    /// Vector of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`btree_map`].
+    pub struct BTreeMapStrategy<K, V, R> {
+        key: K,
+        value: V,
+        size: R,
+    }
+
+    impl<K, V, R> Strategy for BTreeMapStrategy<K, V, R>
+    where
+        K: Strategy,
+        K::Value: Ord,
+        V: Strategy,
+        R: SizeRange,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+        fn gen_value(&self, rng: &mut u64) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n)
+                .map(|_| (self.key.gen_value(rng), self.value.gen_value(rng)))
+                .collect()
+        }
+    }
+
+    /// Map of up to `size` entries (duplicate keys collapse).
+    pub fn btree_map<K: Strategy, V: Strategy, R: SizeRange>(
+        key: K,
+        value: V,
+        size: R,
+    ) -> BTreeMapStrategy<K, V, R> {
+        BTreeMapStrategy { key, value, size }
+    }
+}
+
+/// `proptest::char`.
+pub mod char {
+    use super::next_u64;
+    use super::strategy::Strategy;
+
+    /// See [`range`].
+    pub struct CharRange(u32, u32);
+
+    impl Strategy for CharRange {
+        type Value = char;
+        fn gen_value(&self, rng: &mut u64) -> char {
+            let span = (self.1 - self.0 + 1) as u64;
+            char::from_u32(self.0 + (next_u64(rng) % span) as u32).unwrap()
+        }
+    }
+
+    /// Chars in `start..=end`.
+    pub fn range(start: char, end: char) -> CharRange {
+        assert!(start <= end, "empty char range");
+        CharRange(start as u32, end as u32)
+    }
+}
+
+/// `proptest::arbitrary` (subset).
+pub mod arbitrary {
+    use super::next_u64;
+    use super::strategy::Strategy;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// Sample one arbitrary value.
+        fn arbitrary(rng: &mut u64) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut u64) -> bool {
+            next_u64(rng) & 1 == 1
+        }
+    }
+
+    macro_rules! arb_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut u64) -> $t {
+                    next_u64(rng) as $t
+                }
+            }
+        )*};
+    }
+    arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut u64) -> f64 {
+            (next_u64(rng) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// See [`any`].
+    pub struct AnyStrategy<A>(core::marker::PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+        type Value = A;
+        fn gen_value(&self, rng: &mut u64) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `A`.
+    pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+        AnyStrategy(core::marker::PhantomData)
+    }
+}
+
+/// `proptest::test_runner` (subset).
+pub mod test_runner {
+    /// Runner configuration (stub: case count ignored, 24 cases run).
+    #[derive(Debug, Clone, Default)]
+    pub struct ProptestConfig {
+        /// Requested number of cases.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config with an explicit case count.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+}
+
+/// The macro-and-names prelude.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Entry point: expands each test to a 24-case deterministic loop.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest! { $($rest)* }
+    };
+    ($( $(#[$attr:meta])* fn $name:ident( $($pat:pat in $strat:expr),* $(,)? ) $body:block )+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __pt_rng: u64 = $crate::seed_for(stringify!($name));
+                for __pt_case in 0..24u32 {
+                    let _ = __pt_case;
+                    $(let $pat = $crate::strategy::Strategy::gen_value(&($strat), &mut __pt_rng);)*
+                    let __pt_run = move || { $body };
+                    __pt_run();
+                }
+            }
+        )+
+    };
+}
+
+/// `prop_assert!` → `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!` → `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!` → `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// `prop_assume!`: skip the rest of the current case.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// `prop_oneof!`: uniform choice among arms of a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed_arm($arm)),+])
+    };
+}

@@ -1,0 +1,233 @@
+//! Offline stub of `serde` 1.x: full trait *surface* for the subset the
+//! workspace compiles against, with no working data model. Derived
+//! impls and `serde_json` calls type-check but fail at runtime with a
+//! "offline stub" error — tests that round-trip JSON are expected to
+//! fail under this stub and are tracked in `.verify/README.md`.
+
+use std::fmt::Display;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Serialization half.
+pub trait Serialize {
+    /// Serialize `self` into the given serializer.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// Output side of serialization.
+pub trait Serializer: Sized {
+    /// Success value.
+    type Ok;
+    /// Error type.
+    type Error: ser::Error;
+
+    /// Serialize a unit value.
+    fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+}
+
+/// Serialization error plumbing.
+pub mod ser {
+    use super::Display;
+
+    /// Serialization errors constructible from a message.
+    pub trait Error: Sized {
+        /// Build an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// Deserialization half.
+pub trait Deserialize<'de>: Sized {
+    /// Deserialize from the given deserializer.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// Owned-deserializable marker (real serde: blanket over lifetimes).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Input side of deserialization.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: de::Error;
+
+    /// Drive the visitor from self-describing input.
+    fn deserialize_any<V: de::Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+}
+
+/// Deserialization visitor plumbing.
+pub mod de {
+    use super::{Deserialize, Display};
+    use std::fmt;
+
+    /// Deserialization errors constructible from a message.
+    pub trait Error: Sized {
+        /// Build an error from a display-able message.
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+
+    /// Visitor over a self-describing input.
+    pub trait Visitor<'de>: Sized {
+        /// Value produced by this visitor.
+        type Value;
+
+        /// What this visitor expects, for error messages.
+        fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+        /// Visit a unit/null.
+        fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected unit"))
+        }
+        /// Visit a boolean.
+        fn visit_bool<E: Error>(self, _v: bool) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected bool"))
+        }
+        /// Visit a signed integer.
+        fn visit_i64<E: Error>(self, _v: i64) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected i64"))
+        }
+        /// Visit an unsigned integer.
+        fn visit_u64<E: Error>(self, _v: u64) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected u64"))
+        }
+        /// Visit a float.
+        fn visit_f64<E: Error>(self, _v: f64) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected f64"))
+        }
+        /// Visit a borrowed string.
+        fn visit_str<E: Error>(self, _v: &str) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected str"))
+        }
+        /// Visit an owned string.
+        fn visit_string<E: Error>(self, _v: String) -> Result<Self::Value, E> {
+            Err(E::custom("unexpected string"))
+        }
+        /// Visit a sequence.
+        fn visit_seq<A: SeqAccess<'de>>(self, _seq: A) -> Result<Self::Value, A::Error> {
+            Err(<A::Error as Error>::custom("unexpected seq"))
+        }
+        /// Visit a map.
+        fn visit_map<A: MapAccess<'de>>(self, _map: A) -> Result<Self::Value, A::Error> {
+            Err(<A::Error as Error>::custom("unexpected map"))
+        }
+    }
+
+    /// Access to the elements of a sequence being deserialized.
+    pub trait SeqAccess<'de> {
+        /// Error type.
+        type Error: Error;
+
+        /// Next element, if any.
+        fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error>;
+
+        /// Number of remaining elements, if known.
+        fn size_hint(&self) -> Option<usize> {
+            None
+        }
+    }
+
+    /// Access to the entries of a map being deserialized.
+    pub trait MapAccess<'de> {
+        /// Error type.
+        type Error: Error;
+
+        /// Next key/value entry, if any.
+        fn next_entry<K, V>(&mut self) -> Result<Option<(K, V)>, Self::Error>
+        where
+            K: Deserialize<'de>,
+            V: Deserialize<'de>;
+    }
+}
+
+macro_rules! stub_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+                Err(<S::Error as ser::Error>::custom("offline serde stub"))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+                Err(<D::Error as de::Error>::custom("offline serde stub"))
+            }
+        }
+    )*};
+}
+stub_impls!(
+    bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, char, String
+);
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        Err(<S::Error as ser::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize<S: Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(s)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        Err(<S::Error as ser::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+        Err(<D::Error as de::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        Err(<S::Error as ser::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+        Err(<D::Error as de::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        Err(<S::Error as ser::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        Err(<S::Error as ser::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+        Err(<D::Error as de::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<K: Serialize, V: Serialize, S2> Serialize for std::collections::HashMap<K, V, S2> {
+    fn serialize<S: Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {
+        Err(<S::Error as ser::Error>::custom("offline serde stub"))
+    }
+}
+
+impl<'de, K, V, S2> Deserialize<'de> for std::collections::HashMap<K, V, S2>
+where
+    K: Deserialize<'de> + Eq + std::hash::Hash,
+    V: Deserialize<'de>,
+    S2: std::hash::BuildHasher + Default,
+{
+    fn deserialize<D: Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {
+        Err(<D::Error as de::Error>::custom("offline serde stub"))
+    }
+}

@@ -1,0 +1,55 @@
+//! Offline stub of `serde_derive`: emits trivial always-`Err` impls so
+//! derived types type-check against the stub `serde` traits. No `syn`
+//! dependency — the type name is scraped from the raw token stream.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Find the identifier following the `struct`/`enum` keyword.
+fn type_name(input: &TokenStream) -> String {
+    let mut saw_kw = false;
+    for tt in input.clone() {
+        match tt {
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if saw_kw {
+                    return s;
+                }
+                if s == "struct" || s == "enum" {
+                    saw_kw = true;
+                }
+            }
+            _ => {}
+        }
+    }
+    panic!("serde_derive stub: no struct/enum name found");
+}
+
+/// Stub `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn serialize<S: serde::Serializer>(&self, _s: S) -> Result<S::Ok, S::Error> {{\n\
+                 Err(<S::Error as serde::ser::Error>::custom(\"offline serde stub\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}
+
+/// Stub `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(&input);
+    format!(
+        "impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<D: serde::Deserializer<'de>>(_d: D) -> Result<Self, D::Error> {{\n\
+                 Err(<D::Error as serde::de::Error>::custom(\"offline serde stub\"))\n\
+             }}\n\
+         }}"
+    )
+    .parse()
+    .unwrap()
+}

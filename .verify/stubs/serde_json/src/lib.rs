@@ -1,0 +1,46 @@
+//! Offline stub of `serde_json`: signatures only; every call fails at
+//! runtime with an "offline stub" error.
+
+use std::fmt;
+
+/// JSON error type (stub).
+#[derive(Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json stub: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl serde::ser::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl serde::de::Error for Error {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to compact JSON (stub: always errors).
+pub fn to_string<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    Err(Error("to_string unavailable offline".into()))
+}
+
+/// Serialize to pretty JSON (stub: always errors).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(_value: &T) -> Result<String> {
+    Err(Error("to_string_pretty unavailable offline".into()))
+}
+
+/// Deserialize from JSON text (stub: always errors).
+pub fn from_str<'a, T: serde::Deserialize<'a>>(_s: &'a str) -> Result<T> {
+    Err(Error("from_str unavailable offline".into()))
+}

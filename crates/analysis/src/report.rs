@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use nc_detect::dataset::Dataset;
+use nc_detect::dataset::{Dataset, Pair};
 
 use crate::pairwise;
 use crate::singleton::{self, SingletonConfig};
@@ -95,6 +95,10 @@ pub struct AnalysisConfig {
     /// Attribute indices analyzed for pair-based single-attribute
     /// irregularities; empty means all attributes.
     pub analyzed_attrs: Vec<usize>,
+    /// Worker threads for the pair-based scan; `0` means one per
+    /// available hardware thread. Counts are summed over workers, so
+    /// the profile is identical for every thread count.
+    pub threads: usize,
 }
 
 /// One line of the error profile.
@@ -139,43 +143,36 @@ impl ErrorProfile {
     }
 }
 
-/// Run the full irregularity analysis over a labeled dataset.
-pub fn analyze(data: &Dataset, config: &AnalysisConfig) -> ErrorProfile {
-    // counts[type][attr] = occurrences.
-    let mut counts: HashMap<ErrorType, HashMap<usize, u64>> = HashMap::new();
+/// Per-type, per-attribute occurrence counts.
+type Counts = HashMap<ErrorType, HashMap<usize, u64>>;
+
+/// Add every count of `other` into `counts`. Addition of `u64` is
+/// commutative and associative, so the merged totals are independent
+/// of how the pair scan was sharded.
+fn merge_counts(counts: &mut Counts, other: Counts) {
+    for (t, per_attr) in other {
+        let into = counts.entry(t).or_default();
+        for (a, c) in per_attr {
+            *into.entry(a).or_insert(0) += c;
+        }
+    }
+}
+
+/// Run the pair-based detectors over one shard of the gold standard.
+fn scan_pairs(
+    data: &Dataset,
+    config: &AnalysisConfig,
+    analyzed: &[usize],
+    gold: &[Pair],
+) -> Counts {
+    let mut counts = Counts::new();
     let mut bump = |t: ErrorType, attr: usize| {
         *counts.entry(t).or_default().entry(attr).or_insert(0) += 1;
     };
-
-    let analyzed: Vec<usize> = if config.analyzed_attrs.is_empty() {
-        (0..data.num_attrs()).collect()
-    } else {
-        config.analyzed_attrs.clone()
-    };
-
-    // Singletons.
-    for r in &data.records {
-        for &a in &analyzed {
-            let v = &r.values[a];
-            if singleton::is_missing(v) {
-                bump(ErrorType::Missing, a);
-                continue;
-            }
-            if singleton::is_abbreviation(v) {
-                bump(ErrorType::Abbreviation, a);
-            }
-            if singleton::is_outlier(&config.singleton, a, v) {
-                bump(ErrorType::Outlier, a);
-            }
-        }
-    }
-
-    // Pair-based, over the gold standard.
-    let gold = data.gold_pairs();
-    for p in &gold {
+    for p in gold {
         let r1 = &data.records[p.0];
         let r2 = &data.records[p.1];
-        for &a in &analyzed {
+        for &a in analyzed {
             let (x, y) = (r1.values[a].as_str(), r2.values[a].as_str());
             if pairwise::is_typo(x, y) {
                 bump(ErrorType::Typo, a);
@@ -212,6 +209,74 @@ pub fn analyze(data: &Dataset, config: &AnalysisConfig) -> ErrorProfile {
                 bump(ErrorType::ScatteredValues, a);
             }
         }
+    }
+    counts
+}
+
+/// Run the full irregularity analysis over a labeled dataset.
+///
+/// The pair-based scan (the expensive part: every detector on every
+/// gold pair) is sharded over [`AnalysisConfig::threads`] workers;
+/// per-worker counts are summed, so the resulting profile is identical
+/// for every thread count.
+pub fn analyze(data: &Dataset, config: &AnalysisConfig) -> ErrorProfile {
+    // counts[type][attr] = occurrences.
+    let mut counts: Counts = HashMap::new();
+    let mut bump = |t: ErrorType, attr: usize| {
+        *counts.entry(t).or_default().entry(attr).or_insert(0) += 1;
+    };
+
+    let analyzed: Vec<usize> = if config.analyzed_attrs.is_empty() {
+        (0..data.num_attrs()).collect()
+    } else {
+        config.analyzed_attrs.clone()
+    };
+
+    // Singletons (linear in records; not worth sharding).
+    for r in &data.records {
+        for &a in &analyzed {
+            let v = &r.values[a];
+            if singleton::is_missing(v) {
+                bump(ErrorType::Missing, a);
+                continue;
+            }
+            if singleton::is_abbreviation(v) {
+                bump(ErrorType::Abbreviation, a);
+            }
+            if singleton::is_outlier(&config.singleton, a, v) {
+                bump(ErrorType::Outlier, a);
+            }
+        }
+    }
+
+    // Pair-based, over the gold standard. The set is flattened for
+    // sharding; the per-pair counts are summed, so the (arbitrary)
+    // set iteration order does not affect the profile.
+    let gold: Vec<Pair> = data.gold_pairs().into_iter().collect();
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        config.threads
+    }
+    .min(gold.len())
+    .max(1);
+    if threads <= 1 {
+        merge_counts(&mut counts, scan_pairs(data, config, &analyzed, &gold));
+    } else {
+        let shard_len = gold.len().div_ceil(threads);
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = gold
+                .chunks(shard_len)
+                .map(|shard| {
+                    let analyzed = &analyzed;
+                    scope.spawn(move |_| scan_pairs(data, config, analyzed, shard))
+                })
+                .collect();
+            for handle in handles {
+                merge_counts(&mut counts, handle.join().expect("pair-scan worker panicked"));
+            }
+        })
+        .expect("pair-scan pool panicked");
     }
 
     let records = data.len() as u64;
@@ -277,6 +342,7 @@ mod tests {
             },
             confusable_pairs: vec![(0, 1), (0, 2), (1, 2)],
             analyzed_attrs: vec![],
+            threads: 0,
         };
         (d, cfg)
     }
@@ -332,6 +398,25 @@ mod tests {
             assert_eq!(s.count, 0);
             assert_eq!(s.total_count, 0);
             assert_eq!(s.percentage, 0.0);
+        }
+    }
+
+    #[test]
+    fn profile_is_thread_count_invariant() {
+        let (d, cfg) = fixture();
+        let base = analyze(&d, &AnalysisConfig { threads: 1, ..cfg.clone() });
+        for threads in [2, 3, 8] {
+            let par = analyze(&d, &AnalysisConfig { threads, ..cfg.clone() });
+            assert_eq!(base.records, par.records);
+            assert_eq!(base.duplicate_pairs, par.duplicate_pairs);
+            for (s, p) in base.stats.iter().zip(&par.stats) {
+                assert_eq!(s.error_type, p.error_type);
+                // The max count is well-defined even when the argmax
+                // attribute is tied, so compare counts, not attrs.
+                assert_eq!(s.count, p.count);
+                assert_eq!(s.total_count, p.total_count);
+                assert_eq!(s.percentage.to_bits(), p.percentage.to_bits());
+            }
         }
     }
 

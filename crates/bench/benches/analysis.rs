@@ -55,6 +55,7 @@ fn bench_full_profile(c: &mut Criterion) {
         },
         confusable_pairs: vec![(0, 1), (1, 2), (0, 2)],
         analyzed_attrs: vec![],
+        threads: 0,
     };
     let mut group = c.benchmark_group("error_profile");
     group.sample_size(20);

@@ -12,6 +12,7 @@ use std::path::PathBuf;
 use nc_bench::context::{ExperimentScale, NcContext};
 use nc_bench::table3::NcBandSizes;
 use nc_bench::{ablation, figure1, figure4, figure5, output, pollution, table1, table2, table3, table4, updates};
+use nc_core::scoring::ScoringConfig;
 
 struct Args {
     command: String,
@@ -19,6 +20,7 @@ struct Args {
     out_dir: PathBuf,
     sample: usize,
     output_clusters: usize,
+    scoring: ScoringConfig,
 }
 
 fn parse_args() -> Args {
@@ -27,6 +29,7 @@ fn parse_args() -> Args {
     let mut out_dir = PathBuf::from("results");
     let mut sample = 2_000;
     let mut output_clusters = 600;
+    let mut scoring = ScoringConfig::default();
 
     let mut args = std::env::args().skip(1).peekable();
     if let Some(first) = args.peek() {
@@ -46,6 +49,9 @@ fn parse_args() -> Args {
             "--out" => out_dir = PathBuf::from(value()),
             "--sample" => sample = value().parse().expect("--sample takes a number"),
             "--clusters" => output_clusters = value().parse().expect("--clusters takes a number"),
+            "--threads" => {
+                scoring.threads = value().parse().expect("--threads takes a number");
+            }
             other => {
                 eprintln!("unknown flag: {other}");
                 std::process::exit(2);
@@ -58,6 +64,7 @@ fn parse_args() -> Args {
         out_dir,
         sample,
         output_clusters,
+        scoring,
     }
 }
 
@@ -75,11 +82,11 @@ fn main() {
 
     let needs_context = matches!(
         args.command.as_str(),
-        "all" | "figure4a" | "figure4b" | "table3" | "table4" | "figure5" | "pollution"
+        "all" | "figure4a" | "figure4b" | "table3" | "table4" | "figure5" | "pollution" | "scores"
     );
     let ctx = needs_context.then(|| {
         eprintln!("building NC context (generate + import + weights)…");
-        NcContext::build(&scale)
+        NcContext::build_with(&scale, args.scoring)
     });
 
     let run_one = |name: &str, ctx: Option<&NcContext>| match name {
@@ -153,10 +160,29 @@ fn main() {
             println!("{}", ablation::render(&a));
             output::write_json(&args.out_dir, "ablation", &a).expect("write json");
         }
+        "scores" => {
+            let ctx = ctx.expect("context");
+            let scores = ctx
+                .outcome
+                .cluster_scores(&ctx.het_person, &ctx.scoring);
+            let multi = scores.iter().filter(|s| s.records >= 2).count();
+            let mean_p: f64 =
+                scores.iter().map(|s| s.plausibility).sum::<f64>() / scores.len().max(1) as f64;
+            let mean_h: f64 =
+                scores.iter().map(|s| s.heterogeneity).sum::<f64>() / scores.len().max(1) as f64;
+            println!(
+                "scored {} clusters ({} multi-record) on {} threads: mean plausibility {:.4}, mean heterogeneity {:.4}",
+                scores.len(),
+                multi,
+                ctx.scoring.effective_threads(),
+                mean_p,
+                mean_h
+            );
+        }
         other => {
             eprintln!("unknown experiment: {other}");
             eprintln!(
-                "available: table1 table2 table3 table4 figure1 figure4a figure4b figure4c figure5 updates ablation pollution all"
+                "available: table1 table2 table3 table4 figure1 figure4a figure4b figure4c figure5 updates ablation pollution scores all"
             );
             std::process::exit(2);
         }

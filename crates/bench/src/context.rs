@@ -4,6 +4,7 @@
 use nc_core::heterogeneity::{AttributeWeights, HeterogeneityScorer, Scope};
 use nc_core::pipeline::{GenerationConfig, GenerationOutcome, TestDataGenerator};
 use nc_core::record::DedupPolicy;
+use nc_core::scoring::ScoringConfig;
 use nc_votergen::config::GeneratorConfig;
 
 /// Scale of an experiment run.
@@ -66,11 +67,18 @@ pub struct NcContext {
     pub het_person: HeterogeneityScorer,
     /// Heterogeneity scorer over all attributes.
     pub het_all: HeterogeneityScorer,
+    /// Worker-pool configuration used by the scoring experiments.
+    pub scoring: ScoringConfig,
 }
 
 impl NcContext {
-    /// Build the context at a scale.
+    /// Build the context at a scale with the default worker pool.
     pub fn build(scale: &ExperimentScale) -> Self {
+        Self::build_with(scale, ScoringConfig::default())
+    }
+
+    /// Build the context at a scale with an explicit scoring pool.
+    pub fn build_with(scale: &ExperimentScale, scoring: ScoringConfig) -> Self {
         let outcome = scale.run(DedupPolicy::Trimmed);
         let firsts: Vec<_> = outcome
             .store
@@ -86,6 +94,7 @@ impl NcContext {
             outcome,
             het_person,
             het_all,
+            scoring,
         }
     }
 }

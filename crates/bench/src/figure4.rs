@@ -5,7 +5,9 @@
 use serde::Serialize;
 
 use nc_core::plausibility::PlausibilityScorer;
+use nc_core::scoring::map_clusters;
 use nc_core::stats::ScoreDistribution;
+use nc_votergen::schema::Row;
 use nc_datasets::characteristics::gold_pair_heterogeneities;
 use nc_datasets::{cddb, census, cora};
 
@@ -57,19 +59,29 @@ pub struct Figure4a {
     pub pairs: Distribution,
 }
 
-/// Run Figure 4a over a built NC context.
+/// The multi-record clusters of a store, in `cluster_ids` order.
+fn multi_record_clusters(ctx: &NcContext) -> Vec<Vec<Row>> {
+    let store = &ctx.outcome.store;
+    store
+        .cluster_ids()
+        .into_iter()
+        .map(|(ncid, _)| store.cluster_rows(&ncid))
+        .filter(|rows| rows.len() >= 2)
+        .collect()
+}
+
+/// Run Figure 4a over a built NC context. Clusters are scored on the
+/// context's worker pool; the distributions are filled in cluster
+/// order, so the figure is identical for every thread count.
 pub fn run_4a(ctx: &NcContext) -> Figure4a {
     let scorer = PlausibilityScorer::new();
-    let store = &ctx.outcome.store;
     let mut clusters = ScoreDistribution::new(BINS);
     let mut pairs = ScoreDistribution::new(BINS);
-    for (ncid, _) in store.cluster_ids() {
-        let rows = store.cluster_rows(&ncid);
-        if rows.len() < 2 {
-            continue;
-        }
-        let pair_scores = scorer.pair_scores(&rows);
-        for &p in &pair_scores {
+    let scored = map_clusters(&ctx.scoring, &multi_record_clusters(ctx), |scratch, rows| {
+        scorer.pair_scores_with(scratch, rows)
+    });
+    for pair_scores in &scored {
+        for &p in pair_scores {
             pairs.observe(p);
         }
         clusters.observe(pair_scores.iter().copied().fold(1.0, f64::min));
@@ -92,18 +104,19 @@ pub struct Figure4b {
 /// Run Figure 4b over a built NC context (person attributes, as in the
 /// paper's published scores).
 pub fn run_4b(ctx: &NcContext) -> Figure4b {
-    let store = &ctx.outcome.store;
     let mut clusters = ScoreDistribution::new(BINS);
     let mut pairs = ScoreDistribution::new(BINS);
-    for (ncid, _) in store.cluster_ids() {
-        let rows = store.cluster_rows(&ncid);
-        if rows.len() < 2 {
-            continue;
-        }
-        for h in ctx.het_person.pair_scores(&rows) {
+    let scored = map_clusters(&ctx.scoring, &multi_record_clusters(ctx), |scratch, rows| {
+        (
+            ctx.het_person.pair_scores_with(scratch, rows),
+            ctx.het_person.cluster_with(scratch, rows),
+        )
+    });
+    for (pair_scores, cluster_score) in &scored {
+        for &h in pair_scores {
             pairs.observe(h);
         }
-        clusters.observe(ctx.het_person.cluster(&rows));
+        clusters.observe(*cluster_score);
     }
     Figure4b {
         clusters: Distribution::from("cluster heterogeneity", &clusters),

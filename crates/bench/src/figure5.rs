@@ -91,7 +91,7 @@ pub fn panel(label: &str, data: &Dataset, name_group: Vec<usize>) -> Panel {
 /// Run the full experiment.
 pub fn run(ctx: &NcContext, sizes: &NcBandSizes, seed: u64) -> Figure5 {
     let attrs = Scope::Person.attrs();
-    let name_group = nc_suite::bridge::name_group_positions(&attrs);
+    let name_group = nc_suite::bridge::name_group_positions(attrs);
 
     let mut panels = Vec::new();
     for (label, params) in [
@@ -100,7 +100,7 @@ pub fn run(ctx: &NcContext, sizes: &NcBandSizes, seed: u64) -> Figure5 {
         ("NC3", CustomizeParams::nc3(sizes.sample, sizes.output, seed)),
     ] {
         let ds = customize(&ctx.outcome.store, &ctx.het_person, &params);
-        let data = nc_suite::bridge::dataset_from_custom(&ds, &attrs);
+        let data = nc_suite::bridge::dataset_from_custom(&ds, attrs);
         panels.push(panel(label, &data, name_group.clone()));
     }
     panels.push(panel("Cora", &cora::generate(seed), vec![]));

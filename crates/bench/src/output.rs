@@ -73,6 +73,8 @@ mod tests {
     fn json_round_trip() {
         #[derive(serde::Serialize)]
         struct T {
+            // Only read through the derived serializer.
+            #[allow(dead_code)]
             x: u32,
         }
         let dir = std::env::temp_dir().join(format!("nc_bench_out_{}", std::process::id()));

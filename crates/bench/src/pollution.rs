@@ -46,7 +46,7 @@ pub struct Pollution {
 /// Run the experiment over the NC1 band of a built context.
 pub fn run(ctx: &NcContext, sizes: &NcBandSizes, seed: u64) -> Pollution {
     let attrs = Scope::Person.attrs();
-    let name_group = nc_suite::bridge::name_group_positions(&attrs);
+    let name_group = nc_suite::bridge::name_group_positions(attrs);
     let base = customize(
         &ctx.outcome.store,
         &ctx.het_person,
@@ -74,7 +74,7 @@ pub fn run(ctx: &NcContext, sizes: &NcBandSizes, seed: u64) -> Pollution {
         };
         let stats: PollutionStats = pollute(&mut ds, &cfg);
 
-        let data = nc_suite::bridge::dataset_from_custom(&ds, &attrs);
+        let data = nc_suite::bridge::dataset_from_custom(&ds, attrs);
         let blocker = SortedNeighborhood::multi_pass(data.top_entropy_attrs(5));
         let weights = data.entropy_weights();
         let gold = data.gold_pairs();

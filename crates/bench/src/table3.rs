@@ -84,7 +84,7 @@ pub fn run(ctx: &NcContext, sizes: &NcBandSizes, seed: u64) -> Table3 {
         ("NC3", CustomizeParams::nc3(sizes.sample, sizes.output, seed)),
     ] {
         let ds = customize(&ctx.outcome.store, &ctx.het_person, &params);
-        let data = bridge::dataset_from_custom(&ds, &attrs);
+        let data = bridge::dataset_from_custom(&ds, attrs);
         rows.push(characteristics(name, &data).into());
     }
     Table3 { rows }

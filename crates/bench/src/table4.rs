@@ -60,8 +60,8 @@ pub fn run(ctx: &NcContext, seed: u64) -> Table4 {
     // NC data, person attributes (the paper analyzes the personal
     // attributes of the person-data dataset).
     let attrs = Scope::Person.attrs();
-    let nc_data = bridge::dataset_from_store(&ctx.outcome.store, &attrs);
-    let nc_profile = analyze(&nc_data, &bridge::nc_analysis_config(&attrs));
+    let nc_data = bridge::dataset_from_store(&ctx.outcome.store, attrs);
+    let nc_profile = analyze(&nc_data, &bridge::nc_analysis_config(attrs));
 
     // Cora: bibliographic; name-like attributes are authors/title.
     let cora_data = cora::generate(seed);
@@ -72,6 +72,7 @@ pub fn run(ctx: &NcContext, seed: u64) -> Table4 {
         },
         confusable_pairs: vec![(2, 3), (2, 4), (3, 4)], // venue/journal/booktitle
         analyzed_attrs: Vec::new(),
+        threads: 0,
     };
     let cora_profile = analyze(&cora_data, &cora_cfg);
 
@@ -84,6 +85,7 @@ pub fn run(ctx: &NcContext, seed: u64) -> Table4 {
         },
         confusable_pairs: vec![(0, 1), (1, 2), (0, 2)],
         analyzed_attrs: Vec::new(),
+        threads: 0,
     };
     let census_profile = analyze(&census_data, &census_cfg);
 

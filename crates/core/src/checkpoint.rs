@@ -94,16 +94,16 @@ fn write_atomic(path: &Path, text: &str) -> Result<(), TsvError> {
     Ok(())
 }
 
+/// A restored checkpoint (when one exists) plus the reason a fresh
+/// start was forced (when one was).
+type Restored = (Option<(ClusterStore, Manifest)>, Option<String>);
+
 /// Attempt to restore `(store, manifest)` from a state directory.
 ///
 /// `Ok(None)` means no (intact) checkpoint exists — start fresh,
 /// carrying the reason in the second tuple slot. Parameter mismatches
 /// are a hard [`TsvError::Checkpoint`] error.
-fn restore(
-    state_dir: &Path,
-    policy: DedupPolicy,
-    version: u32,
-) -> Result<(Option<(ClusterStore, Manifest)>, Option<String>), TsvError> {
+fn restore(state_dir: &Path, policy: DedupPolicy, version: u32) -> Result<Restored, TsvError> {
     let manifest_file = manifest_path(state_dir);
     if !manifest_file.exists() {
         return Ok((None, None));

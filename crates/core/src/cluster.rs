@@ -83,17 +83,49 @@ impl ClusterStore {
     /// reproducibility).
     pub fn import_row(
         &mut self,
-        mut row: Row,
+        row: Row,
+        policy: DedupPolicy,
+        snapshot_date: &str,
+        version: u32,
+    ) -> RowOutcome {
+        self.import_row_cow(std::borrow::Cow::Owned(row), policy, snapshot_date, version)
+    }
+
+    /// [`ClusterStore::import_row`] over a borrowed row: the row is
+    /// only cloned when it is actually kept, so bulk import loops (the
+    /// archive streaming path) pay nothing for the dominant
+    /// duplicate-dropped case.
+    pub fn import_row_ref(
+        &mut self,
+        row: &Row,
+        policy: DedupPolicy,
+        snapshot_date: &str,
+        version: u32,
+    ) -> RowOutcome {
+        self.import_row_cow(std::borrow::Cow::Borrowed(row), policy, snapshot_date, version)
+    }
+
+    fn import_row_cow(
+        &mut self,
+        row: std::borrow::Cow<'_, Row>,
         policy: DedupPolicy,
         snapshot_date: &str,
         version: u32,
     ) -> RowOutcome {
         self.rows_total += 1;
+        // Fingerprint and NCID need only a borrow: the fingerprint
+        // normalizes according to the policy itself, and the NCID is
+        // trimmed explicitly.
         let fp = record::fingerprint(&row, policy);
-        if policy.trims() {
-            record::trim_row(&mut row);
-        }
         let ncid = row.ncid().trim().to_owned();
+        // Materialize (clone a borrowed row) only on the kept paths.
+        let materialize = |row: std::borrow::Cow<'_, Row>| -> Row {
+            let mut row = row.into_owned();
+            if policy.trims() {
+                record::trim_row(&mut row);
+            }
+            row
+        };
 
         if let Some(&doc_id) = self.ncid_to_doc.get(&ncid) {
             let state = self.state.get_mut(&doc_id).expect("state exists");
@@ -110,9 +142,13 @@ impl ClusterStore {
                         snaps.push(snapshot_date.to_owned());
                     }
                 }
+                // rows_seen and the membership arrays changed, so the
+                // persisted meta must be rebuilt on the next finalize.
+                self.finalized = false;
                 return RowOutcome::DuplicateDropped;
             }
             // Append the record to the cluster document.
+            let row = materialize(row);
             let rec_doc = record::row_to_document(&row);
             self.collection.update(doc_id, |doc| {
                 doc.push_path("records", Value::Doc(rec_doc));
@@ -130,6 +166,7 @@ impl ClusterStore {
             self.finalized = false;
             RowOutcome::NewRecord
         } else {
+            let row = materialize(row);
             let rec_doc = record::row_to_document(&row);
             let mut doc = Document::new();
             doc.set("ncid", ncid.clone());

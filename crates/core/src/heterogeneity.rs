@@ -10,10 +10,12 @@
 //! record per cluster so duplicates do not distort the uniqueness
 //! estimate.
 
+use std::sync::OnceLock;
+
 use nc_similarity::damerau::DamerauLevenshtein;
 use nc_similarity::entropy::{normalize_weights, EntropyAccumulator};
 use nc_similarity::monge_elkan::MongeElkan;
-use nc_similarity::StringSimilarity;
+use nc_similarity::{with_thread_scratch, Scratch};
 use nc_votergen::schema::{AttrGroup, AttrId, Row, NUM_ATTRS, SCHEMA};
 
 /// Which attributes participate in the heterogeneity score. The paper
@@ -32,19 +34,30 @@ impl Scope {
     /// cancellation dates) never participate; time-varying values (age,
     /// registration date) are also excluded, matching the hash-attribute
     /// exclusions of Section 4.
-    pub fn attrs(self) -> Vec<AttrId> {
-        SCHEMA
-            .iter()
-            .enumerate()
-            .filter(|(_, a)| {
-                !a.hash_excluded
-                    && match self {
-                        Scope::All => a.group != AttrGroup::Meta,
-                        Scope::Person => a.group == AttrGroup::Person,
-                    }
-            })
-            .map(|(i, _)| i)
-            .collect()
+    ///
+    /// The schema is static, so the filtered list is computed once per
+    /// scope and handed out as a shared slice.
+    pub fn attrs(self) -> &'static [AttrId] {
+        static ALL: OnceLock<Vec<AttrId>> = OnceLock::new();
+        static PERSON: OnceLock<Vec<AttrId>> = OnceLock::new();
+        let cell = match self {
+            Scope::All => &ALL,
+            Scope::Person => &PERSON,
+        };
+        cell.get_or_init(|| {
+            SCHEMA
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| {
+                    !a.hash_excluded
+                        && match self {
+                            Scope::All => a.group != AttrGroup::Meta,
+                            Scope::Person => a.group == AttrGroup::Person,
+                        }
+                })
+                .map(|(i, _)| i)
+                .collect()
+        })
     }
 }
 
@@ -53,7 +66,7 @@ impl Scope {
 pub struct AttributeWeights {
     /// Normalized weight per schema attribute (zero outside the scope).
     weights: Vec<f64>,
-    attrs: Vec<AttrId>,
+    attrs: &'static [AttrId],
 }
 
 impl AttributeWeights {
@@ -85,7 +98,7 @@ impl AttributeWeights {
         let attrs = scope.attrs();
         let w = 1.0 / attrs.len() as f64;
         let mut weights = vec![0.0; NUM_ATTRS];
-        for &a in &attrs {
+        for &a in attrs {
             weights[a] = w;
         }
         AttributeWeights { weights, attrs }
@@ -99,10 +112,24 @@ impl AttributeWeights {
     /// Attributes in scope, by descending weight (most unique first) —
     /// used by the detection experiment to pick its blocking keys.
     pub fn attrs_by_weight(&self) -> Vec<AttrId> {
-        let mut v = self.attrs.clone();
+        let mut v = self.attrs.to_vec();
         v.sort_by(|&a, &b| self.weights[b].total_cmp(&self.weights[a]));
         v
     }
+}
+
+/// A record's scope attributes normalized once for scoring: every
+/// value trimmed, plus its lowercased form. The paper's four-way value
+/// comparison needs both casings of both values for every pair, so
+/// caching them per *record* turns the `O(n²)` per-pair `to_lowercase`
+/// of a cluster into `O(n)` work at view-build time.
+#[derive(Debug, Clone)]
+pub struct ScoredRecordView<'a> {
+    /// Trimmed value per scope attribute (index-parallel to the
+    /// scorer's attribute list).
+    trimmed: Vec<&'a str>,
+    /// Lowercased trimmed value per scope attribute.
+    lower: Vec<String>,
 }
 
 /// The heterogeneity scorer.
@@ -123,38 +150,85 @@ impl HeterogeneityScorer {
         }
     }
 
+    /// Precompute the normalized view of a record for this scorer's
+    /// scope (see [`ScoredRecordView`]).
+    pub fn view<'a>(&self, row: &'a Row) -> ScoredRecordView<'a> {
+        let attrs = self.weights.attrs;
+        let mut trimmed = Vec::with_capacity(attrs.len());
+        let mut lower = Vec::with_capacity(attrs.len());
+        for &attr in attrs {
+            let t = row.get(attr).trim();
+            trimmed.push(t);
+            lower.push(t.to_lowercase());
+        }
+        ScoredRecordView { trimmed, lower }
+    }
+
+    /// The four-way mean over pre-normalized inputs (`a`/`b` trimmed,
+    /// `la`/`lb` their lowercased forms).
+    fn value_similarity_parts(
+        &self,
+        scratch: &mut Scratch,
+        a: &str,
+        la: &str,
+        b: &str,
+        lb: &str,
+    ) -> f64 {
+        (self.damerau.sim_with(scratch, a, b)
+            + self.damerau.sim_with(scratch, la, lb)
+            + self.monge_elkan.sim_with(scratch, a, b)
+            + self.monge_elkan.sim_with(scratch, la, lb))
+            / 4.0
+    }
+
     /// The four-way value similarity: mean of {cased, lowercased} ×
     /// {Damerau–Levenshtein, Monge–Elkan}.
     pub fn value_similarity(&self, a: &str, b: &str) -> f64 {
+        with_thread_scratch(|s| self.value_similarity_with(s, a, b))
+    }
+
+    /// [`HeterogeneityScorer::value_similarity`] against caller-provided
+    /// scratch buffers; bit-identical scores.
+    pub fn value_similarity_with(&self, scratch: &mut Scratch, a: &str, b: &str) -> f64 {
         let (a, b) = (a.trim(), b.trim());
         if a == b {
             return 1.0;
         }
         let la = a.to_lowercase();
         let lb = b.to_lowercase();
-        (self.damerau.sim(a, b)
-            + self.damerau.sim(&la, &lb)
-            + self.monge_elkan.sim(a, b)
-            + self.monge_elkan.sim(&la, &lb))
-            / 4.0
+        self.value_similarity_parts(scratch, a, &la, b, &lb)
     }
 
     /// Heterogeneity of a record pair: the weighted average of the
     /// inverse value similarities across the scope's attributes.
     pub fn pair(&self, a: &Row, b: &Row) -> f64 {
+        with_thread_scratch(|s| self.pair_with(s, &self.view(a), &self.view(b)))
+    }
+
+    /// [`HeterogeneityScorer::pair`] over precomputed views with
+    /// caller-provided scratch buffers; bit-identical scores. Both
+    /// views must come from this scorer (same scope).
+    pub fn pair_with(
+        &self,
+        scratch: &mut Scratch,
+        a: &ScoredRecordView<'_>,
+        b: &ScoredRecordView<'_>,
+    ) -> f64 {
         let mut acc = 0.0;
         let mut total_w = 0.0;
-        for &attr in &self.weights.attrs {
+        for (k, &attr) in self.weights.attrs.iter().enumerate() {
             let w = self.weights.weights[attr];
             if w == 0.0 {
                 continue;
             }
-            let va = a.get(attr);
-            let vb = b.get(attr);
-            let sim = if va.trim().is_empty() && vb.trim().is_empty() {
+            let (ta, tb) = (a.trimmed[k], b.trimmed[k]);
+            // `ta == tb` covers the both-empty case of the row-based
+            // path; equal values short-circuit to similarity 1 exactly
+            // as `value_similarity` does.
+            let sim = if ta == tb {
                 1.0
             } else {
-                self.value_similarity(va, vb)
+                self.value_similarity_parts(scratch, ta, &a.lower[k], tb, &b.lower[k])
             };
             acc += w * (1.0 - sim);
             total_w += w;
@@ -169,14 +243,21 @@ impl HeterogeneityScorer {
     /// Heterogeneity of each record: the average of its pair scores
     /// against the other records.
     pub fn record_scores(&self, records: &[Row]) -> Vec<f64> {
+        with_thread_scratch(|s| self.record_scores_with(s, records))
+    }
+
+    /// [`HeterogeneityScorer::record_scores`] with caller-provided
+    /// scratch buffers; bit-identical scores.
+    pub fn record_scores_with(&self, scratch: &mut Scratch, records: &[Row]) -> Vec<f64> {
         let n = records.len();
         if n <= 1 {
             return vec![0.0; n];
         }
+        let views: Vec<ScoredRecordView<'_>> = records.iter().map(|r| self.view(r)).collect();
         let mut sums = vec![0.0f64; n];
         for i in 0..n {
             for j in (i + 1)..n {
-                let h = self.pair(&records[i], &records[j]);
+                let h = self.pair_with(scratch, &views[i], &views[j]);
                 sums[i] += h;
                 sums[j] += h;
             }
@@ -187,7 +268,13 @@ impl HeterogeneityScorer {
     /// Heterogeneity of a cluster: the average of its record scores.
     /// Clusters of size < 2 score 0 (the paper excludes them).
     pub fn cluster(&self, records: &[Row]) -> f64 {
-        let scores = self.record_scores(records);
+        with_thread_scratch(|s| self.cluster_with(s, records))
+    }
+
+    /// [`HeterogeneityScorer::cluster`] with caller-provided scratch
+    /// buffers; bit-identical scores.
+    pub fn cluster_with(&self, scratch: &mut Scratch, records: &[Row]) -> f64 {
+        let scores = self.record_scores_with(scratch, records);
         if scores.is_empty() {
             return 0.0;
         }
@@ -196,11 +283,18 @@ impl HeterogeneityScorer {
 
     /// All pairwise heterogeneity scores (i < j order).
     pub fn pair_scores(&self, records: &[Row]) -> Vec<f64> {
+        with_thread_scratch(|s| self.pair_scores_with(s, records))
+    }
+
+    /// [`HeterogeneityScorer::pair_scores`] with caller-provided
+    /// scratch buffers; bit-identical scores.
+    pub fn pair_scores_with(&self, scratch: &mut Scratch, records: &[Row]) -> Vec<f64> {
         let n = records.len();
+        let views: Vec<ScoredRecordView<'_>> = records.iter().map(|r| self.view(r)).collect();
         let mut out = Vec::with_capacity(n.saturating_sub(1) * n / 2);
         for i in 0..n {
             for j in (i + 1)..n {
-                out.push(self.pair(&records[i], &records[j]));
+                out.push(self.pair_with(scratch, &views[i], &views[j]));
             }
         }
         out

@@ -46,7 +46,7 @@ pub fn import_snapshot(
     };
     for row in &snapshot.rows {
         stats.total_rows += 1;
-        match store.import_row(row.clone(), policy, &snapshot.date, version) {
+        match store.import_row_ref(row, policy, &snapshot.date, version) {
             RowOutcome::NewCluster => {
                 stats.new_clusters += 1;
                 stats.new_records += 1;

@@ -61,6 +61,7 @@ pub mod plausibility;
 pub mod pollute;
 pub mod record;
 pub mod repair;
+pub mod scoring;
 pub mod stats;
 pub mod tsv;
 pub mod version;

@@ -10,10 +10,15 @@ use nc_votergen::snapshot::standard_calendar;
 
 use crate::checkpoint;
 use crate::cluster::ClusterStore;
+use crate::heterogeneity::HeterogeneityScorer;
 use crate::import::{import_archive_streaming, ImportStats};
+use crate::plausibility::PlausibilityScorer;
 use crate::record::DedupPolicy;
+use crate::scoring::{self, ClusterScore};
 use crate::tsv::{self, ImportOptions, QuarantineReport, TsvError};
 use crate::version::VersionManager;
+
+pub use crate::scoring::ScoringConfig;
 
 /// Configuration of one full generation run.
 #[derive(Debug, Clone)]
@@ -48,6 +53,20 @@ pub struct GenerationOutcome {
     /// NCIDs known (by construction) to be reused for different persons —
     /// the ground truth for plausibility evaluation.
     pub unsound_ncids: HashSet<String>,
+}
+
+impl GenerationOutcome {
+    /// Precalculate the per-cluster plausibility and heterogeneity
+    /// statistics of Section 6 over `scoring.threads` workers. The
+    /// result is in [`ClusterStore::cluster_ids`] order and
+    /// bit-identical for every thread count (see [`crate::scoring`]).
+    pub fn cluster_scores(
+        &self,
+        heterogeneity: &HeterogeneityScorer,
+        scoring: &ScoringConfig,
+    ) -> Vec<ClusterScore> {
+        scoring::score_store(&self.store, &PlausibilityScorer::new(), heterogeneity, scoring)
+    }
 }
 
 /// Everything produced by an on-disk archive run.
@@ -238,6 +257,22 @@ mod tests {
         let b = TestDataGenerator::run_incremental(cfg(14, 60, 3));
         assert_eq!(a.store.record_count(), b.store.record_count());
         assert_eq!(a.store.cluster_count(), b.store.cluster_count());
+    }
+
+    #[test]
+    fn cluster_scores_are_thread_count_invariant() {
+        use crate::heterogeneity::{AttributeWeights, Scope};
+        let out = TestDataGenerator::run(cfg(18, 60, 3));
+        let het = HeterogeneityScorer::new(AttributeWeights::uniform(Scope::Person));
+        let seq = out.cluster_scores(&het, &ScoringConfig::with_threads(1));
+        let par = out.cluster_scores(&het, &ScoringConfig::with_threads(4));
+        assert_eq!(seq.len(), out.store.cluster_count());
+        assert_eq!(seq.len(), par.len());
+        for (s, p) in seq.iter().zip(&par) {
+            assert_eq!(s.ncid, p.ncid);
+            assert_eq!(s.plausibility.to_bits(), p.plausibility.to_bits());
+            assert_eq!(s.heterogeneity.to_bits(), p.heterogeneity.to_bits());
+        }
     }
 
     #[test]

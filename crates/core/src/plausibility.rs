@@ -11,6 +11,7 @@
 
 use nc_similarity::damerau::ExtendedDamerauLevenshtein;
 use nc_similarity::gen_jaccard::GeneralizedJaccard;
+use nc_similarity::{with_thread_scratch, Scratch};
 use nc_votergen::schema::{
     Row, AGE, BIRTH_PLACE, FIRST_NAME, LAST_NAME, MIDL_NAME, SEX_CODE, SNAPSHOT_DT,
 };
@@ -47,9 +48,15 @@ impl PlausibilityScorer {
     /// which captures confused name order, typos, abbreviations and
     /// missing names.
     pub fn name_similarity(&self, a: &Row, b: &Row) -> f64 {
+        with_thread_scratch(|s| self.name_similarity_with(s, a, b))
+    }
+
+    /// [`PlausibilityScorer::name_similarity`] with caller-provided
+    /// scratch buffers; bit-identical scores.
+    pub fn name_similarity_with(&self, scratch: &mut Scratch, a: &Row, b: &Row) -> f64 {
         let ta = [a.get(FIRST_NAME).trim(), a.get(MIDL_NAME).trim(), a.get(LAST_NAME).trim()];
         let tb = [b.get(FIRST_NAME).trim(), b.get(MIDL_NAME).trim(), b.get(LAST_NAME).trim()];
-        self.name_measure.sim_tokens(&ta, &tb)
+        self.name_measure.sim_tokens_with(scratch, &ta, &tb)
     }
 
     /// Sex similarity: 1 on agreement, undesignated (`U`) or missing;
@@ -89,24 +96,42 @@ impl PlausibilityScorer {
     /// Birth-place similarity: extended Damerau–Levenshtein (missing or
     /// prefix ⇒ 1).
     pub fn birthplace_similarity(a: &Row, b: &Row) -> f64 {
+        with_thread_scratch(|s| Self::birthplace_similarity_with(s, a, b))
+    }
+
+    /// [`PlausibilityScorer::birthplace_similarity`] with
+    /// caller-provided scratch buffers; bit-identical scores.
+    pub fn birthplace_similarity_with(scratch: &mut Scratch, a: &Row, b: &Row) -> f64 {
         ExtendedDamerauLevenshtein::new()
-            .sim(a.get(BIRTH_PLACE), b.get(BIRTH_PLACE))
+            .sim_with(scratch, a.get(BIRTH_PLACE), b.get(BIRTH_PLACE))
     }
 
     /// Plausibility of a record pair: the weighted average of the four
     /// component similarities.
     pub fn pair(&self, a: &Row, b: &Row) -> f64 {
+        with_thread_scratch(|s| self.pair_with(s, a, b))
+    }
+
+    /// [`PlausibilityScorer::pair`] with caller-provided scratch
+    /// buffers; bit-identical scores.
+    pub fn pair_with(&self, scratch: &mut Scratch, a: &Row, b: &Row) -> f64 {
         let total = W_NAME + W_SEX + W_YOB + W_BIRTHPLACE;
-        (W_NAME * self.name_similarity(a, b)
+        (W_NAME * self.name_similarity_with(scratch, a, b)
             + W_SEX * Self::sex_similarity(a, b)
             + W_YOB * Self::yob_similarity(a, b)
-            + W_BIRTHPLACE * Self::birthplace_similarity(a, b))
+            + W_BIRTHPLACE * Self::birthplace_similarity_with(scratch, a, b))
             / total
     }
 
     /// Plausibility of each record: its minimal pair score against the
     /// other records of the cluster. Singleton clusters score 1.
     pub fn record_scores(&self, records: &[Row]) -> Vec<f64> {
+        with_thread_scratch(|s| self.record_scores_with(s, records))
+    }
+
+    /// [`PlausibilityScorer::record_scores`] with caller-provided
+    /// scratch buffers; bit-identical scores.
+    pub fn record_scores_with(&self, scratch: &mut Scratch, records: &[Row]) -> Vec<f64> {
         let n = records.len();
         if n <= 1 {
             return vec![1.0; n];
@@ -114,7 +139,7 @@ impl PlausibilityScorer {
         let mut mins = vec![1.0f64; n];
         for i in 0..n {
             for j in (i + 1)..n {
-                let s = self.pair(&records[i], &records[j]);
+                let s = self.pair_with(scratch, &records[i], &records[j]);
                 mins[i] = mins[i].min(s);
                 mins[j] = mins[j].min(s);
             }
@@ -126,26 +151,35 @@ impl PlausibilityScorer {
     /// record referring to another voter already makes the cluster
     /// unsound.
     pub fn cluster(&self, records: &[Row]) -> f64 {
-        self.record_scores(records)
+        with_thread_scratch(|s| self.cluster_with(s, records))
+    }
+
+    /// [`PlausibilityScorer::cluster`] with caller-provided scratch
+    /// buffers; bit-identical scores.
+    pub fn cluster_with(&self, scratch: &mut Scratch, records: &[Row]) -> f64 {
+        self.record_scores_with(scratch, records)
             .into_iter()
             .fold(1.0, f64::min)
     }
 
     /// All pairwise plausibility scores of a cluster (i < j order).
     pub fn pair_scores(&self, records: &[Row]) -> Vec<f64> {
+        with_thread_scratch(|s| self.pair_scores_with(s, records))
+    }
+
+    /// [`PlausibilityScorer::pair_scores`] with caller-provided
+    /// scratch buffers; bit-identical scores.
+    pub fn pair_scores_with(&self, scratch: &mut Scratch, records: &[Row]) -> Vec<f64> {
         let n = records.len();
         let mut out = Vec::with_capacity(n * (n - 1) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
-                out.push(self.pair(&records[i], &records[j]));
+                out.push(self.pair_with(scratch, &records[i], &records[j]));
             }
         }
         out
     }
 }
-
-// Re-export the trait needed for ExtendedDamerauLevenshtein::sim.
-use nc_similarity::StringSimilarity;
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,213 @@
+//! Deterministic parallel cluster scoring.
+//!
+//! The paper precalculates a plausibility and heterogeneity score for
+//! every duplicate cluster (Section 6.2–6.3) — embarrassingly parallel
+//! work, since each cluster is scored in isolation. This module shards
+//! the cluster list over a scoped worker pool: each worker owns one
+//! [`Scratch`] (so the similarity kernels allocate nothing per pair)
+//! and scores a contiguous shard; the shard results are concatenated in
+//! shard order. Because every score is computed with exactly the same
+//! arithmetic as the sequential path and the output order is the input
+//! order, the parallel result is **bit-identical** to `threads = 1`.
+
+use nc_similarity::Scratch;
+use nc_votergen::schema::Row;
+
+use crate::cluster::ClusterStore;
+use crate::heterogeneity::HeterogeneityScorer;
+use crate::plausibility::PlausibilityScorer;
+
+/// Worker-pool configuration for cluster scoring.
+///
+/// The default (`threads: 0`) uses one worker per hardware thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ScoringConfig {
+    /// Worker threads; `0` means one per available hardware thread.
+    pub threads: usize,
+}
+
+impl ScoringConfig {
+    /// A configuration with an explicit thread count.
+    pub fn with_threads(threads: usize) -> Self {
+        ScoringConfig { threads }
+    }
+
+    /// The number of workers that will actually run: `threads`, or the
+    /// hardware parallelism when `threads` is `0`.
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Map `f` over `clusters` with a pool of `config` workers, each owning
+/// its own [`Scratch`]. Results come back in input order regardless of
+/// the worker count, and `f` must be a pure function of its cluster (it
+/// may use the scratch freely — the scratch only changes where working
+/// memory lives), so the output is bit-identical for every thread
+/// count, including the inline `threads = 1` path.
+pub fn map_clusters<C, T, F>(config: &ScoringConfig, clusters: &[C], f: F) -> Vec<T>
+where
+    C: Sync,
+    T: Send,
+    F: Fn(&mut Scratch, &C) -> T + Sync,
+{
+    let threads = config.effective_threads().min(clusters.len()).max(1);
+    if threads <= 1 {
+        let mut scratch = Scratch::new();
+        return clusters.iter().map(|c| f(&mut scratch, c)).collect();
+    }
+    // Contiguous shards keep the output a plain concatenation; ceil
+    // division so at most `threads` shards exist.
+    let shard_len = clusters.len().div_ceil(threads);
+    let mut out = Vec::with_capacity(clusters.len());
+    crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = clusters
+            .chunks(shard_len)
+            .map(|shard| {
+                let f = &f;
+                scope.spawn(move |_| {
+                    let mut scratch = Scratch::new();
+                    shard.iter().map(|c| f(&mut scratch, c)).collect::<Vec<T>>()
+                })
+            })
+            .collect();
+        for handle in handles {
+            out.extend(handle.join().expect("scoring worker panicked"));
+        }
+    })
+    .expect("scoring pool panicked");
+    out
+}
+
+/// The precalculated scores of one cluster (the per-cluster statistics
+/// of Section 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterScore {
+    /// The cluster's NCID.
+    pub ncid: String,
+    /// Records in the cluster.
+    pub records: usize,
+    /// Cluster plausibility (minimum record score; 1 for singletons).
+    pub plausibility: f64,
+    /// Cluster heterogeneity (mean record score; 0 for singletons).
+    pub heterogeneity: f64,
+}
+
+/// Score every cluster of a store, sharded over `config` workers.
+///
+/// Clusters are scored in [`ClusterStore::cluster_ids`] order; the
+/// result is bit-identical for every thread count.
+pub fn score_store(
+    store: &ClusterStore,
+    plausibility: &PlausibilityScorer,
+    heterogeneity: &HeterogeneityScorer,
+    config: &ScoringConfig,
+) -> Vec<ClusterScore> {
+    let clusters: Vec<(String, Vec<Row>)> = store
+        .cluster_ids()
+        .into_iter()
+        .map(|(ncid, _)| {
+            let rows = store.cluster_rows(&ncid);
+            (ncid, rows)
+        })
+        .collect();
+    map_clusters(config, &clusters, |scratch, (ncid, rows)| ClusterScore {
+        ncid: ncid.clone(),
+        records: rows.len(),
+        plausibility: plausibility.cluster_with(scratch, rows),
+        heterogeneity: heterogeneity.cluster_with(scratch, rows),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heterogeneity::{AttributeWeights, Scope};
+    use crate::record::DedupPolicy;
+    use nc_votergen::schema::{FIRST_NAME, LAST_NAME, MIDL_NAME, NCID};
+
+    fn store() -> ClusterStore {
+        let mut store = ClusterStore::new();
+        let mut import = |ncid: &str, first: &str, midl: &str, last: &str, snap: &str| {
+            let mut r = Row::empty();
+            r.set(NCID, ncid);
+            r.set(FIRST_NAME, first);
+            r.set(MIDL_NAME, midl);
+            r.set(LAST_NAME, last);
+            store.import_row(r, DedupPolicy::Trimmed, snap, 1);
+        };
+        for i in 0..17 {
+            let ncid = format!("C{i}");
+            import(&ncid, "MARY", "ANN", &format!("SMITH{i}"), "s1");
+            if i % 3 != 0 {
+                import(&ncid, "MARY", "A.", &format!("SMYTH{i}"), "s2");
+            }
+            if i % 4 == 0 {
+                import(&ncid, "JO", "", &format!("BLOGGS{i}"), "s3");
+            }
+        }
+        store
+    }
+
+    fn scorers() -> (PlausibilityScorer, HeterogeneityScorer) {
+        (
+            PlausibilityScorer::new(),
+            HeterogeneityScorer::new(AttributeWeights::uniform(Scope::Person)),
+        )
+    }
+
+    #[test]
+    fn parallel_scores_are_bit_identical_to_sequential() {
+        let store = store();
+        let (plaus, het) = scorers();
+        let seq = score_store(&store, &plaus, &het, &ScoringConfig::with_threads(1));
+        for threads in [2, 3, 8, 64] {
+            let par = score_store(&store, &plaus, &het, &ScoringConfig::with_threads(threads));
+            assert_eq!(seq.len(), par.len());
+            for (s, p) in seq.iter().zip(&par) {
+                assert_eq!(s.ncid, p.ncid, "order must be preserved");
+                assert_eq!(s.records, p.records);
+                assert_eq!(s.plausibility.to_bits(), p.plausibility.to_bits());
+                assert_eq!(s.heterogeneity.to_bits(), p.heterogeneity.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scores_match_direct_scorer_calls() {
+        let store = store();
+        let (plaus, het) = scorers();
+        let scores = score_store(&store, &plaus, &het, &ScoringConfig::default());
+        assert_eq!(scores.len(), store.cluster_count());
+        for score in &scores {
+            let rows = store.cluster_rows(&score.ncid);
+            assert_eq!(score.records, rows.len());
+            assert_eq!(score.plausibility.to_bits(), plaus.cluster(&rows).to_bits());
+            assert_eq!(score.heterogeneity.to_bits(), het.cluster(&rows).to_bits());
+        }
+    }
+
+    #[test]
+    fn map_clusters_handles_edge_shapes() {
+        let cfg = ScoringConfig::with_threads(4);
+        let empty: Vec<u32> = Vec::new();
+        assert!(map_clusters(&cfg, &empty, |_, &x: &u32| x).is_empty());
+        // Fewer clusters than workers.
+        let two = vec![10u32, 20];
+        assert_eq!(map_clusters(&cfg, &two, |_, &x| x * 2), vec![20, 40]);
+        // More clusters than workers, order preserved.
+        let many: Vec<u32> = (0..100).collect();
+        let doubled = map_clusters(&cfg, &many, |_, &x| x * 2);
+        assert_eq!(doubled, many.iter().map(|&x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn effective_threads_resolves_zero() {
+        assert!(ScoringConfig::default().effective_threads() >= 1);
+        assert_eq!(ScoringConfig::with_threads(3).effective_threads(), 3);
+    }
+}

@@ -295,7 +295,7 @@ impl<'a> QuarantineSink<'a> {
 fn map_drifted_header(header: &str) -> Option<Vec<Option<usize>>> {
     let cols: Vec<&str> = header.split('\t').collect();
     let mut mapping: Vec<Option<usize>> = Vec::with_capacity(cols.len());
-    let mut seen = vec![false; NUM_ATTRS];
+    let mut seen = [false; NUM_ATTRS];
     for col in &cols {
         match schema::attr_id(col.trim()) {
             Some(attr) => {
@@ -367,7 +367,7 @@ pub(crate) fn read_snapshot_budgeted(
 
     let mut rows = Vec::new();
     let mut quarantined: u64 = 0;
-    let mut check_budget = |quarantined: u64| -> Result<(), TsvError> {
+    let check_budget = |quarantined: u64| -> Result<(), TsvError> {
         if let Some(budget) = options.error_budget {
             let events = prior_events + quarantined;
             if events > budget {

@@ -16,30 +16,45 @@ pub struct Assignment {
     pub total: f64,
 }
 
-/// Compute a maximum-weight 1:1 assignment for a (possibly rectangular)
-/// weight matrix `weights[i][j] ≥ 0`.
-///
-/// Every row and column is matched at most once; `min(rows, cols)` pairs
-/// are produced. Weights must be finite and non-negative.
-///
-/// # Panics
-///
-/// Panics if rows have inconsistent lengths or any weight is negative or
-/// non-finite.
-pub fn max_weight_assignment(weights: &[Vec<f64>]) -> Assignment {
-    let n = weights.len();
-    if n == 0 {
-        return Assignment { pairs: Vec::new(), total: 0.0 };
+/// Reusable working set for the Hungarian algorithm: potentials,
+/// matching state and the output pair list. Owned by
+/// [`crate::scratch::Scratch`] so repeated assignments allocate
+/// nothing after warm-up.
+#[derive(Debug, Default)]
+pub struct AssignScratch {
+    u: Vec<f64>,
+    v: Vec<f64>,
+    matched_col: Vec<usize>,
+    way: Vec<usize>,
+    minv: Vec<f64>,
+    used: Vec<bool>,
+    /// Assigned `(row, col)` pairs of the most recent run, sorted.
+    pub(crate) pairs: Vec<(usize, usize)>,
+}
+
+impl AssignScratch {
+    /// The `(row, col)` pairs assigned by the most recent run, sorted
+    /// by row.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
     }
-    let m = weights[0].len();
-    for row in weights {
-        assert_eq!(row.len(), m, "ragged weight matrix");
-        for &w in row {
-            assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
-        }
-    }
-    if m == 0 {
-        return Assignment { pairs: Vec::new(), total: 0.0 };
+}
+
+/// Hungarian algorithm over an abstract weight accessor with reusable
+/// buffers. `weight(i, j)` must be finite, non-negative and cheap (it
+/// is consulted `O(n³)` times — precompute a matrix for expensive
+/// weights). Fills `scratch.pairs` (sorted by row) and returns the
+/// total assigned weight. Produces exactly the pairs
+/// [`max_weight_assignment`] would.
+pub(crate) fn assign_core(
+    scratch: &mut AssignScratch,
+    n: usize,
+    m: usize,
+    weight: impl Fn(usize, usize) -> f64,
+) -> f64 {
+    scratch.pairs.clear();
+    if n == 0 || m == 0 {
+        return 0.0;
     }
 
     // The potential-based Hungarian algorithm minimizes cost over a matrix
@@ -49,25 +64,37 @@ pub fn max_weight_assignment(weights: &[Vec<f64>]) -> Assignment {
     let (rows, cols) = if transpose { (m, n) } else { (n, m) };
     let cost = |i: usize, j: usize| -> f64 {
         if transpose {
-            -weights[j][i]
+            -weight(j, i)
         } else {
-            -weights[i][j]
+            -weight(i, j)
         }
     };
 
     const INF: f64 = f64::INFINITY;
     // 1-indexed potentials and matching arrays, as in the classic
     // formulation.
-    let mut u = vec![0.0f64; rows + 1];
-    let mut v = vec![0.0f64; cols + 1];
-    let mut matched_col = vec![0usize; cols + 1]; // column -> row (0 = free)
-    let mut way = vec![0usize; cols + 1];
+    scratch.u.clear();
+    scratch.u.resize(rows + 1, 0.0);
+    scratch.v.clear();
+    scratch.v.resize(cols + 1, 0.0);
+    scratch.matched_col.clear();
+    scratch.matched_col.resize(cols + 1, 0); // column -> row (0 = free)
+    scratch.way.clear();
+    scratch.way.resize(cols + 1, 0);
+    let u = &mut scratch.u;
+    let v = &mut scratch.v;
+    let matched_col = &mut scratch.matched_col;
+    let way = &mut scratch.way;
 
     for i in 1..=rows {
         matched_col[0] = i;
         let mut j0 = 0usize;
-        let mut minv = vec![INF; cols + 1];
-        let mut used = vec![false; cols + 1];
+        scratch.minv.clear();
+        scratch.minv.resize(cols + 1, INF);
+        scratch.used.clear();
+        scratch.used.resize(cols + 1, false);
+        let minv = &mut scratch.minv;
+        let used = &mut scratch.used;
         loop {
             used[j0] = true;
             let i0 = matched_col[j0];
@@ -110,19 +137,45 @@ pub fn max_weight_assignment(weights: &[Vec<f64>]) -> Assignment {
         }
     }
 
-    let mut pairs = Vec::with_capacity(rows);
     let mut total = 0.0;
     #[allow(clippy::needless_range_loop)] // j is also the column id, not just an index
     for j in 1..=cols {
         let i = matched_col[j];
         if i != 0 {
             let (ri, cj) = if transpose { (j - 1, i - 1) } else { (i - 1, j - 1) };
-            pairs.push((ri, cj));
-            total += weights[ri][cj];
+            scratch.pairs.push((ri, cj));
+            total += weight(ri, cj);
         }
     }
-    pairs.sort_unstable();
-    Assignment { pairs, total }
+    scratch.pairs.sort_unstable();
+    total
+}
+
+/// Compute a maximum-weight 1:1 assignment for a (possibly rectangular)
+/// weight matrix `weights[i][j] ≥ 0`.
+///
+/// Every row and column is matched at most once; `min(rows, cols)` pairs
+/// are produced. Weights must be finite and non-negative.
+///
+/// # Panics
+///
+/// Panics if rows have inconsistent lengths or any weight is negative or
+/// non-finite.
+pub fn max_weight_assignment(weights: &[Vec<f64>]) -> Assignment {
+    let n = weights.len();
+    if n == 0 {
+        return Assignment { pairs: Vec::new(), total: 0.0 };
+    }
+    let m = weights[0].len();
+    for row in weights {
+        assert_eq!(row.len(), m, "ragged weight matrix");
+        for &w in row {
+            assert!(w.is_finite() && w >= 0.0, "weights must be finite and >= 0");
+        }
+    }
+    let mut scratch = AssignScratch::default();
+    let total = assign_core(&mut scratch, n, m, |i, j| weights[i][j]);
+    Assignment { pairs: scratch.pairs, total }
 }
 
 #[cfg(test)]

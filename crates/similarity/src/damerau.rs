@@ -14,7 +14,8 @@
 //!   and a value that is a *prefix* of the other (an abbreviation) also
 //!   scores `1.0`, because neither contradicts the duplicate assumption.
 
-use crate::{clamp01, OptionalSimilarity, StringSimilarity};
+use crate::scratch::Scratch;
+use crate::{clamp01, with_thread_scratch, OptionalSimilarity, ScratchSimilarity, StringSimilarity};
 
 /// Optimal-string-alignment Damerau–Levenshtein distance between two
 /// `char` slices.
@@ -54,9 +55,13 @@ pub fn osa_distance(a: &[char], b: &[char]) -> usize {
 
 /// Convenience wrapper over [`osa_distance`] for `&str` inputs.
 pub fn distance(a: &str, b: &str) -> usize {
-    let a: Vec<char> = a.chars().collect();
-    let b: Vec<char> = b.chars().collect();
-    osa_distance(&a, &b)
+    with_thread_scratch(|s| distance_with(s, a, b))
+}
+
+/// Allocation-free variant of [`distance`]: reuses the scratch's DP
+/// rows, taking the ASCII byte path when both inputs are ASCII.
+pub fn distance_with(scratch: &mut Scratch, a: &str, b: &str) -> usize {
+    scratch.osa(a, b)
 }
 
 /// Normalized Damerau–Levenshtein similarity:
@@ -69,18 +74,34 @@ impl DamerauLevenshtein {
     pub const fn new() -> Self {
         Self
     }
+
+    /// Allocation-free scoring against caller-provided scratch
+    /// buffers; bit-identical to [`StringSimilarity::sim`].
+    pub fn sim_with(&self, scratch: &mut Scratch, a: &str, b: &str) -> f64 {
+        // For ASCII inputs byte length equals char count, so the
+        // normalization denominator is unchanged on the fast path.
+        let max_len = if a.is_ascii() && b.is_ascii() {
+            a.len().max(b.len())
+        } else {
+            a.chars().count().max(b.chars().count())
+        };
+        if max_len == 0 {
+            return 1.0;
+        }
+        let d = scratch.osa(a, b);
+        clamp01(1.0 - d as f64 / max_len as f64)
+    }
 }
 
 impl StringSimilarity for DamerauLevenshtein {
     fn sim(&self, a: &str, b: &str) -> f64 {
-        let av: Vec<char> = a.chars().collect();
-        let bv: Vec<char> = b.chars().collect();
-        let max_len = av.len().max(bv.len());
-        if max_len == 0 {
-            return 1.0;
-        }
-        let d = osa_distance(&av, &bv);
-        clamp01(1.0 - d as f64 / max_len as f64)
+        with_thread_scratch(|s| self.sim_with(s, a, b))
+    }
+}
+
+impl ScratchSimilarity for DamerauLevenshtein {
+    fn sim_scratch(&self, scratch: &mut Scratch, a: &str, b: &str) -> f64 {
+        self.sim_with(scratch, a, b)
     }
 }
 
@@ -108,10 +129,10 @@ impl ExtendedDamerauLevenshtein {
     fn strip_trailing_punct(s: &str) -> &str {
         s.strip_suffix(['.', ',', ';']).unwrap_or(s)
     }
-}
 
-impl StringSimilarity for ExtendedDamerauLevenshtein {
-    fn sim(&self, a: &str, b: &str) -> f64 {
+    /// Allocation-free scoring against caller-provided scratch
+    /// buffers; bit-identical to [`StringSimilarity::sim`].
+    pub fn sim_with(&self, scratch: &mut Scratch, a: &str, b: &str) -> f64 {
         let a = a.trim();
         let b = b.trim();
         if a.is_empty() || b.is_empty() {
@@ -119,16 +140,24 @@ impl StringSimilarity for ExtendedDamerauLevenshtein {
         }
         let (short, long) = if a.len() <= b.len() { (a, b) } else { (b, a) };
         let short_stripped = Self::strip_trailing_punct(short);
-        if !short_stripped.is_empty() {
-            let long_chars: Vec<char> = long.chars().collect();
-            let short_chars: Vec<char> = short_stripped.chars().collect();
-            if long_chars.len() >= short_chars.len()
-                && long_chars[..short_chars.len()] == short_chars[..]
-            {
-                return 1.0;
-            }
+        // `str::starts_with` compares UTF-8 bytes, which is exactly a
+        // char-sequence prefix test — no decode buffers needed.
+        if !short_stripped.is_empty() && long.starts_with(short_stripped) {
+            return 1.0;
         }
-        DamerauLevenshtein::new().sim(a, b)
+        DamerauLevenshtein::new().sim_with(scratch, a, b)
+    }
+}
+
+impl StringSimilarity for ExtendedDamerauLevenshtein {
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        with_thread_scratch(|s| self.sim_with(s, a, b))
+    }
+}
+
+impl ScratchSimilarity for ExtendedDamerauLevenshtein {
+    fn sim_scratch(&self, scratch: &mut Scratch, a: &str, b: &str) -> f64 {
+        self.sim_with(scratch, a, b)
     }
 }
 

@@ -16,8 +16,9 @@
 //! With a threshold of `0` and exact matching this degrades gracefully to
 //! the classic Jaccard coefficient when `sim` is binary equality.
 
-use crate::assignment::max_weight_assignment;
-use crate::{clamp01, StringSimilarity};
+use crate::assignment::{self, max_weight_assignment};
+use crate::scratch::{self, Scratch};
+use crate::{clamp01, ScratchSimilarity, StringSimilarity};
 
 /// Generalized Jaccard Coefficient over whitespace tokens with inner
 /// measure `S`.
@@ -68,6 +69,85 @@ impl<S: StringSimilarity> GeneralizedJaccard<S> {
             return 1.0;
         }
         clamp01(total / denom)
+    }
+}
+
+impl<S: ScratchSimilarity> GeneralizedJaccard<S> {
+    /// Allocation-free [`GeneralizedJaccard::sim_tokens`]: the weight
+    /// matrix lives flattened in the scratch and the Hungarian
+    /// algorithm reuses its working set. Bit-identical scores.
+    pub fn sim_tokens_with(&self, scratch: &mut Scratch, a: &[&str], b: &[&str]) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        if a.is_empty() || b.is_empty() {
+            return 0.0;
+        }
+        let mut weights = std::mem::take(&mut scratch.weights);
+        weights.clear();
+        for ta in a {
+            for tb in b {
+                weights.push(self.inner.sim_scratch(scratch, ta, tb));
+            }
+        }
+        let score = self.score_weights(scratch, &weights, a.len(), b.len());
+        scratch.weights = weights;
+        score
+    }
+
+    /// Allocation-free [`StringSimilarity::sim`]: tokenizes into the
+    /// scratch's token-range buffers. Bit-identical scores.
+    pub fn sim_with(&self, scratch: &mut Scratch, a: &str, b: &str) -> f64 {
+        let mut ta = std::mem::take(&mut scratch.tokens_a);
+        let mut tb = std::mem::take(&mut scratch.tokens_b);
+        scratch::tokenize_into(a, &mut ta);
+        scratch::tokenize_into(b, &mut tb);
+        let out = if ta.is_empty() && tb.is_empty() {
+            1.0
+        } else if ta.is_empty() || tb.is_empty() {
+            0.0
+        } else {
+            let mut weights = std::mem::take(&mut scratch.weights);
+            weights.clear();
+            for &(s0, e0) in &ta {
+                for &(s1, e1) in &tb {
+                    weights.push(self.inner.sim_scratch(scratch, &a[s0..e0], &b[s1..e1]));
+                }
+            }
+            let score = self.score_weights(scratch, &weights, ta.len(), tb.len());
+            scratch.weights = weights;
+            score
+        };
+        scratch.tokens_a = ta;
+        scratch.tokens_b = tb;
+        out
+    }
+
+    /// Shared tail of the scratch paths: run the assignment over the
+    /// flattened `rows × cols` weight matrix and apply the threshold
+    /// and Jaccard normalization exactly as `sim_tokens` does.
+    fn score_weights(&self, scratch: &mut Scratch, weights: &[f64], rows: usize, cols: usize) -> f64 {
+        assignment::assign_core(&mut scratch.assign, rows, cols, |i, j| weights[i * cols + j]);
+        let mut total = 0.0;
+        let mut matched = 0usize;
+        for &(i, j) in scratch.assign.pairs() {
+            let w = weights[i * cols + j];
+            if w >= self.threshold && w > 0.0 {
+                total += w;
+                matched += 1;
+            }
+        }
+        let denom = (rows + cols - matched) as f64;
+        if denom <= 0.0 {
+            return 1.0;
+        }
+        clamp01(total / denom)
+    }
+}
+
+impl<S: ScratchSimilarity> ScratchSimilarity for GeneralizedJaccard<S> {
+    fn sim_scratch(&self, scratch: &mut Scratch, a: &str, b: &str) -> f64 {
+        self.sim_with(scratch, a, b)
     }
 }
 

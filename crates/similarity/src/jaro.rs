@@ -5,7 +5,8 @@
 //! sequential (character-level) measure that favours strings sharing a
 //! common prefix, which makes it well suited to person names.
 
-use crate::{clamp01, StringSimilarity};
+use crate::scratch::Scratch;
+use crate::{clamp01, with_thread_scratch, ScratchSimilarity, StringSimilarity};
 
 /// Plain Jaro similarity.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -15,6 +16,12 @@ impl Jaro {
     /// Create the measure.
     pub const fn new() -> Self {
         Self
+    }
+
+    /// Allocation-free scoring against caller-provided scratch
+    /// buffers; bit-identical to [`StringSimilarity::sim`].
+    pub fn sim_with(&self, scratch: &mut Scratch, a: &str, b: &str) -> f64 {
+        scratch.jaro(a, b)
     }
 }
 
@@ -68,9 +75,13 @@ pub fn jaro(a: &[char], b: &[char]) -> f64 {
 
 impl StringSimilarity for Jaro {
     fn sim(&self, a: &str, b: &str) -> f64 {
-        let av: Vec<char> = a.chars().collect();
-        let bv: Vec<char> = b.chars().collect();
-        jaro(&av, &bv)
+        with_thread_scratch(|s| self.sim_with(s, a, b))
+    }
+}
+
+impl ScratchSimilarity for Jaro {
+    fn sim_scratch(&self, scratch: &mut Scratch, a: &str, b: &str) -> f64 {
+        self.sim_with(scratch, a, b)
     }
 }
 
@@ -102,23 +113,33 @@ impl JaroWinkler {
     pub fn new() -> Self {
         Self::default()
     }
-}
 
-impl StringSimilarity for JaroWinkler {
-    fn sim(&self, a: &str, b: &str) -> f64 {
-        let av: Vec<char> = a.chars().collect();
-        let bv: Vec<char> = b.chars().collect();
-        let j = jaro(&av, &bv);
+    /// Allocation-free scoring against caller-provided scratch
+    /// buffers; bit-identical to [`StringSimilarity::sim`].
+    pub fn sim_with(&self, scratch: &mut Scratch, a: &str, b: &str) -> f64 {
+        let j = scratch.jaro(a, b);
         if j <= self.boost_threshold {
             return j;
         }
-        let prefix = av
-            .iter()
-            .zip(bv.iter())
+        let prefix = a
+            .chars()
+            .zip(b.chars())
             .take(self.max_prefix)
             .take_while(|(x, y)| x == y)
             .count();
         clamp01(j + prefix as f64 * self.prefix_scale * (1.0 - j))
+    }
+}
+
+impl StringSimilarity for JaroWinkler {
+    fn sim(&self, a: &str, b: &str) -> f64 {
+        with_thread_scratch(|s| self.sim_with(s, a, b))
+    }
+}
+
+impl ScratchSimilarity for JaroWinkler {
+    fn sim_scratch(&self, scratch: &mut Scratch, a: &str, b: &str) -> f64 {
+        self.sim_with(scratch, a, b)
     }
 }
 

@@ -46,8 +46,11 @@ pub mod gen_jaccard;
 pub mod jaro;
 pub mod monge_elkan;
 pub mod ngram;
+pub mod scratch;
 pub mod soundex;
 pub mod token;
+
+pub use scratch::Scratch;
 
 /// A normalized similarity measure over strings.
 ///
@@ -76,6 +79,37 @@ impl<T: StringSimilarity> OptionalSimilarity for T {
             _ => 1.0,
         }
     }
+}
+
+/// A similarity measure with an allocation-free entry point.
+///
+/// `sim_scratch` must return exactly the same value as
+/// [`StringSimilarity::sim`] — the scratch only changes *where*
+/// working memory lives, never the arithmetic. Implemented by the
+/// kernels on the scoring hot path (Damerau–Levenshtein and its
+/// extended variant, Jaro, Jaro–Winkler, and the hybrid measures
+/// built from them).
+pub trait ScratchSimilarity: StringSimilarity {
+    /// Similarity between `a` and `b` using caller-provided buffers.
+    fn sim_scratch(&self, scratch: &mut Scratch, a: &str, b: &str) -> f64;
+}
+
+thread_local! {
+    static THREAD_SCRATCH: std::cell::RefCell<Scratch> = std::cell::RefCell::new(Scratch::new());
+}
+
+/// Run `f` with this thread's shared scratch. The plain `sim()`
+/// wrappers route through here so every existing call site becomes
+/// allocation-free after warm-up; downstream scorers can use it the
+/// same way to offer scratch-based fast paths behind unchanged
+/// signatures. Falls back to a fresh scratch if the thread-local is
+/// already borrowed (a custom inner measure re-entering `sim()`
+/// mid-kernel) rather than panicking.
+pub fn with_thread_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    THREAD_SCRATCH.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut scratch) => f(&mut scratch),
+        Err(_) => f(&mut Scratch::new()),
+    })
 }
 
 /// Clamp a floating-point score into `[0, 1]`, mapping NaN to `0`.

@@ -7,7 +7,8 @@
 //! the paper's footnote 13 — [`MongeElkan`] computes it in both
 //! directions and averages.
 
-use crate::{clamp01, StringSimilarity};
+use crate::scratch::{self, Scratch};
+use crate::{clamp01, ScratchSimilarity, StringSimilarity};
 
 /// Symmetrized Monge–Elkan similarity with inner measure `S`.
 ///
@@ -50,6 +51,88 @@ impl<S: StringSimilarity> MongeElkan<S> {
             return 1.0;
         }
         clamp01((self.directed(a, b) + self.directed(b, a)) / 2.0)
+    }
+}
+
+impl<S: ScratchSimilarity> MongeElkan<S> {
+    /// Allocation-free [`MongeElkan::directed`]; bit-identical scores.
+    pub fn directed_with(&self, scratch: &mut Scratch, a: &[&str], b: &[&str]) -> f64 {
+        if a.is_empty() {
+            return f64::from(b.is_empty());
+        }
+        if b.is_empty() {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for ta in a {
+            let mut best = 0.0f64;
+            for tb in b {
+                best = best.max(self.inner.sim_scratch(scratch, ta, tb));
+            }
+            sum += best;
+        }
+        clamp01(sum / a.len() as f64)
+    }
+
+    /// Allocation-free [`MongeElkan::sim_tokens`]; bit-identical scores.
+    pub fn sim_tokens_with(&self, scratch: &mut Scratch, a: &[&str], b: &[&str]) -> f64 {
+        if a.is_empty() && b.is_empty() {
+            return 1.0;
+        }
+        clamp01((self.directed_with(scratch, a, b) + self.directed_with(scratch, b, a)) / 2.0)
+    }
+
+    /// Allocation-free [`StringSimilarity::sim`]: tokenizes into the
+    /// scratch's token-range buffers instead of allocating a token
+    /// vector per call. Bit-identical scores.
+    pub fn sim_with(&self, scratch: &mut Scratch, a: &str, b: &str) -> f64 {
+        let mut ta = std::mem::take(&mut scratch.tokens_a);
+        let mut tb = std::mem::take(&mut scratch.tokens_b);
+        scratch::tokenize_into(a, &mut ta);
+        scratch::tokenize_into(b, &mut tb);
+        let out = if ta.is_empty() && tb.is_empty() {
+            1.0
+        } else {
+            let ab = self.directed_ranges(scratch, a, &ta, b, &tb);
+            let ba = self.directed_ranges(scratch, b, &tb, a, &ta);
+            clamp01((ab + ba) / 2.0)
+        };
+        scratch.tokens_a = ta;
+        scratch.tokens_b = tb;
+        out
+    }
+
+    /// [`MongeElkan::directed`] over token byte ranges into the
+    /// original strings.
+    fn directed_ranges(
+        &self,
+        scratch: &mut Scratch,
+        sa: &str,
+        ta: &[(usize, usize)],
+        sb: &str,
+        tb: &[(usize, usize)],
+    ) -> f64 {
+        if ta.is_empty() {
+            return f64::from(tb.is_empty());
+        }
+        if tb.is_empty() {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        for &(s0, e0) in ta {
+            let mut best = 0.0f64;
+            for &(s1, e1) in tb {
+                best = best.max(self.inner.sim_scratch(scratch, &sa[s0..e0], &sb[s1..e1]));
+            }
+            sum += best;
+        }
+        clamp01(sum / ta.len() as f64)
+    }
+}
+
+impl<S: ScratchSimilarity> ScratchSimilarity for MongeElkan<S> {
+    fn sim_scratch(&self, scratch: &mut Scratch, a: &str, b: &str) -> f64 {
+        self.sim_with(scratch, a, b)
     }
 }
 

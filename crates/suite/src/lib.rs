@@ -118,6 +118,7 @@ pub mod bridge {
             },
             confusable_pairs,
             analyzed_attrs,
+            threads: 0,
         }
     }
 }
@@ -145,7 +146,7 @@ mod tests {
     #[test]
     fn name_group_positions_found() {
         let attrs = Scope::Person.attrs();
-        let group = bridge::name_group_positions(&attrs);
+        let group = bridge::name_group_positions(attrs);
         assert_eq!(group.len(), 3);
         for &g in &group {
             let a = attrs[g];

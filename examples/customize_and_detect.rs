@@ -54,7 +54,7 @@ fn main() {
 
     for (name, params) in presets {
         let custom = customize(store, &scorer, &params);
-        let data = bridge::dataset_from_custom(&custom, &attrs);
+        let data = bridge::dataset_from_custom(&custom, attrs);
         println!(
             "\n== {name} (heterogeneity {:.2}..{:.2}) — {} records, {} clusters, {} pairs ==",
             params.h_low,
@@ -68,7 +68,7 @@ fn main() {
         // attributes, window 20.
         let blocker = SortedNeighborhood::multi_pass(data.top_entropy_attrs(5));
         let entropy_weights = data.entropy_weights();
-        let name_group = bridge::name_group_positions(&attrs);
+        let name_group = bridge::name_group_positions(attrs);
         let gold = data.gold_pairs();
 
         println!(

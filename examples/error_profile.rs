@@ -44,8 +44,8 @@ fn main() {
         snapshots: 10,
     });
     let attrs = Scope::Person.attrs();
-    let nc_data = bridge::dataset_from_store(&outcome.store, &attrs);
-    let nc_profile = analyze(&nc_data, &bridge::nc_analysis_config(&attrs));
+    let nc_data = bridge::dataset_from_store(&outcome.store, attrs);
+    let nc_profile = analyze(&nc_data, &bridge::nc_analysis_config(attrs));
     print_profile("NC (synthetic archive)", &nc_profile);
 
     // Census comparator.
@@ -57,6 +57,7 @@ fn main() {
         },
         confusable_pairs: vec![(0, 1), (1, 2), (0, 2)],
         analyzed_attrs: vec![],
+        threads: 0,
     };
     let census_profile = analyze(&census_data, &census_cfg);
     print_profile("Census (comparator)", &census_profile);

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Scoring throughput benchmark: builds the release binary, runs the
+# sequential-vs-parallel comparison, and writes BENCH_scoring.json in
+# the repo root. Any extra arguments are passed through (e.g.
+# --pop 5000 --threads 8).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p nc-bench --bin bench_scoring
+exec target/release/bench_scoring --out BENCH_scoring.json "$@"

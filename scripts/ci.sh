@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The full local CI gate: release build, test suite, lint.
+#
+#   ./scripts/ci.sh
+#
+# Any extra arguments are forwarded to every cargo invocation (e.g.
+# --offline when a vendored registry is available).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== build (release) ==="
+cargo build --release --workspace "$@"
+
+echo "=== test ==="
+cargo test -q --workspace "$@"
+
+echo "=== clippy ==="
+./scripts/clippy_gate.sh "$@"
+
+echo "=== ci green ==="

@@ -1,0 +1,8 @@
+#!/usr/bin/env bash
+# Build + test in the network-less container using the .verify stubs.
+# See .verify/README.md for the expected (stub-induced) failures.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo --offline --config .verify/patch.toml build --release --workspace
+cargo --offline --config .verify/patch.toml test -q --workspace --no-fail-fast

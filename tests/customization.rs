@@ -103,7 +103,7 @@ fn bridge_preserves_gold_standard() {
         &CustomizeParams::nc1(500, 100, 9),
     );
     let attrs = Scope::Person.attrs();
-    let data = bridge::dataset_from_custom(&ds, &attrs);
+    let data = bridge::dataset_from_custom(&ds, attrs);
     assert_eq!(data.len(), ds.record_count());
     assert_eq!(data.gold_pairs().len() as u64, ds.duplicate_pairs());
     assert_eq!(data.num_attrs(), attrs.len());

@@ -70,8 +70,8 @@ fn nc_bands_order_detection_quality() {
         CustomizeParams::nc3(700, 150, 2),
     ] {
         let ds = customize(&outcome.store, &scorer, &params);
-        let data = bridge::dataset_from_custom(&ds, &attrs);
-        let group = bridge::name_group_positions(&attrs);
+        let data = bridge::dataset_from_custom(&ds, attrs);
+        let group = bridge::name_group_positions(attrs);
         let pairs = data.gold_pairs().len();
         results.push((best_f1_for(&data, MeasureKind::JaroWinkler, group), pairs));
     }
