@@ -312,6 +312,13 @@ impl ClusterStore {
         &self.collection
     }
 
+    /// A read-only query view of the underlying collection. Snapshot
+    /// capture and the serving layer read through this so published
+    /// cluster documents cannot be mutated by mistake.
+    pub fn collection_view(&self) -> nc_docstore::collection::CollectionView<'_> {
+        self.collection.view()
+    }
+
     /// Rebuild a store from a collection produced by a *finalized*
     /// store (e.g. persisted with [`nc_docstore::persist::save`] and
     /// reloaded). The side state needed for further imports —

@@ -113,6 +113,39 @@ impl CustomDataset {
     }
 }
 
+/// Step 2b of the recipe for one cluster: scan the records in order and
+/// keep every record whose heterogeneity to all previously *kept*
+/// records lies within the bounds (the first record is always kept).
+fn reduce_cluster<'a, I>(rows: I, scorer: &HeterogeneityScorer, params: &CustomizeParams) -> Vec<Row>
+where
+    I: IntoIterator<Item = &'a Row>,
+{
+    let mut kept: Vec<Row> = Vec::new();
+    for row in rows {
+        let ok = kept.iter().all(|prev| {
+            let h = scorer.pair(prev, row);
+            (params.h_low..=params.h_high).contains(&h)
+        });
+        if ok || kept.is_empty() {
+            kept.push(row.clone());
+        }
+    }
+    kept
+}
+
+/// Sort reduced clusters largest-first (NCID breaks ties) and keep the
+/// best `output_clusters` (step 3 of the recipe).
+fn rank_and_truncate(mut reduced: Vec<CustomCluster>, params: &CustomizeParams) -> CustomDataset {
+    reduced.sort_by(|a, b| {
+        b.records
+            .len()
+            .cmp(&a.records.len())
+            .then_with(|| a.ncid.cmp(&b.ncid))
+    });
+    reduced.truncate(params.output_clusters);
+    CustomDataset { clusters: reduced }
+}
+
 /// Run the customization recipe over a cluster store.
 pub fn customize(
     store: &ClusterStore,
@@ -131,28 +164,47 @@ pub fn customize(
     let mut reduced: Vec<CustomCluster> = Vec::with_capacity(ids.len());
     for (ncid, _) in ids {
         let rows = store.cluster_rows(&ncid);
-        let mut kept: Vec<Row> = Vec::with_capacity(rows.len());
-        for row in rows {
-            let ok = kept.iter().all(|prev| {
-                let h = scorer.pair(prev, &row);
-                (params.h_low..=params.h_high).contains(&h)
-            });
-            if ok || kept.is_empty() {
-                kept.push(row);
-            }
-        }
-        reduced.push(CustomCluster { ncid, records: kept });
+        let records = reduce_cluster(&rows, scorer, params);
+        reduced.push(CustomCluster { ncid, records });
     }
 
-    // Step 3: largest clusters win.
-    reduced.sort_by(|a, b| {
-        b.records
-            .len()
-            .cmp(&a.records.len())
-            .then_with(|| a.ncid.cmp(&b.ncid))
-    });
-    reduced.truncate(params.output_clusters);
-    CustomDataset { clusters: reduced }
+    rank_and_truncate(reduced, params)
+}
+
+/// Run the customization recipe over pre-materialized clusters — the
+/// borrowed-snapshot twin of [`customize`].
+///
+/// `clusters` must be in [`ClusterStore::cluster_ids`] order (which is
+/// what [`crate::snapshot::StoreSnapshot`] captures). Sampling shuffles
+/// the cluster *indices* with the same seeded RNG as [`customize`]
+/// shuffles its id list; a Fisher–Yates shuffle draws only from the
+/// slice length, so for the same store both paths sample the same
+/// clusters in the same order and the result is **bit-identical** to
+/// `customize(store, ..)` — asserted by the determinism tests
+/// (`crates/core/tests/customize_determinism.rs`).
+pub fn customize_clusters(
+    clusters: &[(String, Vec<Row>)],
+    scorer: &HeterogeneityScorer,
+    params: &CustomizeParams,
+) -> CustomDataset {
+    assert!(params.h_low <= params.h_high, "invalid heterogeneity bounds");
+    let mut rng = StdRng::seed_from_u64(params.seed);
+
+    let mut order: Vec<usize> = (0..clusters.len()).collect();
+    order.shuffle(&mut rng);
+    order.truncate(params.sample_clusters);
+
+    let mut reduced: Vec<CustomCluster> = Vec::with_capacity(order.len());
+    for i in order {
+        let (ncid, rows) = &clusters[i];
+        let records = reduce_cluster(rows, scorer, params);
+        reduced.push(CustomCluster {
+            ncid: ncid.clone(),
+            records,
+        });
+    }
+
+    rank_and_truncate(reduced, params)
 }
 
 #[cfg(test)]
@@ -286,6 +338,38 @@ mod tests {
         let a: Vec<String> = mk(5).clusters.iter().map(|c| c.ncid.clone()).collect();
         let b: Vec<String> = mk(5).clusters.iter().map(|c| c.ncid.clone()).collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn customize_clusters_matches_store_path() {
+        let store = store_with_clusters();
+        let scorer = scorer_for(&store);
+        let clusters: Vec<(String, Vec<Row>)> = store
+            .cluster_ids()
+            .into_iter()
+            .map(|(ncid, _)| {
+                let rows = store.cluster_rows(&ncid);
+                (ncid, rows)
+            })
+            .collect();
+        for seed in [0, 1, 7] {
+            let params = CustomizeParams {
+                h_low: 0.0,
+                h_high: 0.3,
+                sample_clusters: 2,
+                output_clusters: 2,
+                seed,
+            };
+            let from_store = customize(&store, &scorer, &params);
+            let from_slice = customize_clusters(&clusters, &scorer, &params);
+            assert_eq!(from_store.clusters.len(), from_slice.clusters.len());
+            for (a, b) in from_store.clusters.iter().zip(&from_slice.clusters) {
+                assert_eq!(a.ncid, b.ncid);
+                let ta: Vec<String> = a.records.iter().map(Row::to_tsv).collect();
+                let tb: Vec<String> = b.records.iter().map(Row::to_tsv).collect();
+                assert_eq!(ta, tb);
+            }
+        }
     }
 
     #[test]

@@ -29,6 +29,9 @@
 //!    import that diverts malformed archive input instead of aborting,
 //!    and checkpointed archive ingest that resumes an interrupted run
 //!    after the last completed snapshot.
+//! 7. **Serving hooks** ([`snapshot`]): immutable version-pinned
+//!    [`snapshot::StoreSnapshot`] exports that the `nc-serve` crate
+//!    carves concurrent customized datasets from.
 //!
 //! # Quickstart
 //!
@@ -62,6 +65,7 @@ pub mod pollute;
 pub mod record;
 pub mod repair;
 pub mod scoring;
+pub mod snapshot;
 pub mod stats;
 pub mod tsv;
 pub mod version;

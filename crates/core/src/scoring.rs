@@ -19,11 +19,22 @@ use crate::plausibility::PlausibilityScorer;
 
 /// Worker-pool configuration for cluster scoring.
 ///
-/// The default (`threads: 0`) uses one worker per hardware thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+/// The default resolves [`std::thread::available_parallelism`] at
+/// construction time, so on a single-core container the pool degrades
+/// to the inline sequential path automatically (the `BENCH_scoring`
+/// 0.94x case) instead of paying pool overhead for one worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ScoringConfig {
     /// Worker threads; `0` means one per available hardware thread.
     pub threads: usize,
+}
+
+impl Default for ScoringConfig {
+    fn default() -> Self {
+        ScoringConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        }
+    }
 }
 
 impl ScoringConfig {
@@ -209,5 +220,13 @@ mod tests {
     fn effective_threads_resolves_zero() {
         assert!(ScoringConfig::default().effective_threads() >= 1);
         assert_eq!(ScoringConfig::with_threads(3).effective_threads(), 3);
+    }
+
+    #[test]
+    fn default_resolves_available_parallelism_eagerly() {
+        let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let cfg = ScoringConfig::default();
+        assert_eq!(cfg.threads, hw, "default carries the resolved count");
+        assert_eq!(cfg.effective_threads(), hw);
     }
 }

@@ -150,24 +150,46 @@ impl Collection {
         ids.into_iter().map(move |id| (id, &self.docs[&id]))
     }
 
-    /// Candidate document ids for a filter, using the best applicable
+    /// Candidate document ids for a filter, using every applicable
     /// index, or `None` when only a full scan will do.
+    ///
+    /// Each indexed path contributes one candidate list when the filter
+    /// pins it with an equality (`equality_on` descends into `And`
+    /// conjuncts at any depth) or, on an ordered index, a closed range
+    /// (`range_on`, likewise conjunct-aware). Multiple lists — the
+    /// dominant shape for carve filters like
+    /// `and(eq(status), between(age))` — are intersected, so the
+    /// residual `matches` pass only sees documents every indexed
+    /// conjunct admits. Candidates are a superset of the true matches;
+    /// callers always re-filter.
     fn index_candidates(&self, filter: &Filter) -> Option<Vec<DocId>> {
-        // Prefer an equality hit on any indexed path.
+        let mut lists: Vec<Vec<DocId>> = Vec::new();
         for (path, index) in &self.indexes {
             if let Some(v) = filter.equality_on(path) {
-                return Some(index.lookup_eq(v));
-            }
-        }
-        // Fall back to a range on an ordered index.
-        for (path, index) in &self.indexes {
-            if index.kind() == IndexKind::Ordered {
+                lists.push(index.lookup_eq(v));
+            } else if index.kind() == IndexKind::Ordered {
                 if let Some((lo, hi)) = filter.range_on(path) {
-                    return index.lookup_range(lo, hi);
+                    if let Some(ids) = index.lookup_range(lo, hi) {
+                        lists.push(ids);
+                    }
                 }
             }
         }
-        None
+        // Drive the intersection from the smallest list: `retain`
+        // touches every element of it once per sibling list.
+        lists.sort_by_key(Vec::len);
+        let mut lists = lists.into_iter();
+        let mut out = lists.next()?;
+        for other in lists {
+            // Posting lists come back sorted ascending, so candidates
+            // stay ordered by `_id` through the intersection.
+            let keep: std::collections::HashSet<DocId> = other.into_iter().collect();
+            out.retain(|id| keep.contains(id));
+            if out.is_empty() {
+                break;
+            }
+        }
+        Some(out)
     }
 
     /// Find all documents matching `filter`, ordered by `_id`.
@@ -213,6 +235,14 @@ impl Collection {
             .and_then(|id| self.docs.get(id))
     }
 
+    /// A read-only view of this collection. The view exposes the full
+    /// query surface but no mutation, so it can be handed to snapshot
+    /// and serving code as a compile-time guarantee that published data
+    /// is never written through.
+    pub fn view(&self) -> CollectionView<'_> {
+        CollectionView { inner: self }
+    }
+
     /// Whether a document with an indexed `path == value` exists. This is
     /// the hot call of the dedup import path, so it avoids materializing
     /// posting lists when possible.
@@ -224,6 +254,74 @@ impl Collection {
                 .values()
                 .any(|d| d.get_path(path).is_some_and(|v| v.query_eq(value)))
         }
+    }
+}
+
+/// A borrowed, read-only window onto a [`Collection`].
+///
+/// Every accessor forwards to the underlying collection; there is no
+/// way to insert, update, delete or re-index through a view. Cluster
+/// snapshots and the serving layer read through views so the type
+/// system rules out accidental writes to published data.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectionView<'a> {
+    inner: &'a Collection,
+}
+
+impl<'a> CollectionView<'a> {
+    /// The collection name.
+    pub fn name(&self) -> &'a str {
+        self.inner.name()
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+
+    /// Fetch a document by id.
+    pub fn get(&self, id: DocId) -> Option<&'a Document> {
+        self.inner.get(id)
+    }
+
+    /// Find all documents matching `filter`, ordered by `_id`.
+    pub fn find(&self, filter: &Filter) -> Vec<&'a Document> {
+        self.inner.find(filter)
+    }
+
+    /// Find matching document ids, ordered ascending.
+    pub fn find_ids(&self, filter: &Filter) -> Vec<DocId> {
+        self.inner.find_ids(filter)
+    }
+
+    /// First matching document, by ascending `_id`.
+    pub fn find_one(&self, filter: &Filter) -> Option<&'a Document> {
+        self.inner.find_one(filter)
+    }
+
+    /// Count matching documents.
+    pub fn count(&self, filter: &Filter) -> usize {
+        self.inner.count(filter)
+    }
+
+    /// Whether a document with `path == value` exists.
+    pub fn exists_eq(&self, path: &str, value: &Value) -> bool {
+        self.inner.exists_eq(path, value)
+    }
+
+    /// The paths that currently have indexes.
+    pub fn indexed_paths(&self) -> Vec<&'a str> {
+        self.inner.indexed_paths()
+    }
+
+    /// Iterate over `(id, document)` pairs in ascending id order.
+    pub fn iter_ordered(&self) -> impl Iterator<Item = (DocId, &'a Document)> {
+        self.inner.iter_ordered()
     }
 }
 
@@ -331,6 +429,97 @@ mod tests {
         assert_eq!(c.find(&Filter::eq("a", 1_i64)).len(), 1);
         // The doc without "a" is still reachable by scan.
         assert_eq!(c.find(&Filter::eq("b", 2_i64)).len(), 1);
+    }
+
+    /// A bigger collection where every document has indexable fields, so
+    /// conjunctive filters have non-trivial index selectivity.
+    fn big() -> Collection {
+        let mut c = Collection::new("big");
+        for i in 0..40_i64 {
+            c.insert(doc! {
+                "name" => if i % 3 == 0 { "SMITH" } else { "JONES" },
+                "age" => 20 + (i % 10),
+                "county" => format!("C{}", i % 4),
+            });
+        }
+        c
+    }
+
+    /// The satellite guarantee: for eq/range conjuncts nested inside
+    /// `Filter::and` — the dominant predicate shape for carve filters —
+    /// the indexed path and the unindexed scan path agree exactly.
+    #[test]
+    fn and_conjunct_index_path_agrees_with_scan_path() {
+        let scan = big();
+        let mut indexed = big();
+        indexed.create_index("name", IndexKind::Hash);
+        indexed.create_index("age", IndexKind::Ordered);
+        indexed.create_index("county", IndexKind::Hash);
+
+        let filters = vec![
+            Filter::and(vec![Filter::eq("name", "SMITH"), Filter::between("age", 22_i64, 27_i64)]),
+            Filter::and(vec![
+                Filter::eq("county", "C1"),
+                Filter::and(vec![Filter::eq("name", "JONES"), Filter::gte("age", 25_i64)]),
+            ]),
+            Filter::and(vec![Filter::gt("age", 23_i64), Filter::lt("age", 26_i64)]),
+            Filter::and(vec![Filter::eq("name", "SMITH"), Filter::eq("county", "C0")]),
+            // Contradictory conjuncts: the intersection must be empty.
+            Filter::and(vec![Filter::eq("name", "SMITH"), Filter::eq("name", "JONES")]),
+            // Unindexable residue alongside indexable conjuncts.
+            Filter::and(vec![
+                Filter::eq("name", "JONES"),
+                Filter::Contains("county".into(), "2".into()),
+            ]),
+        ];
+        for f in &filters {
+            assert_eq!(
+                indexed.find_ids(f),
+                scan.find_ids(f),
+                "index path and scan path disagree on {f:?}"
+            );
+        }
+        // Sanity: at least one of these actually exercises intersection.
+        let f = &filters[0];
+        assert!(!indexed.find_ids(f).is_empty());
+    }
+
+    #[test]
+    fn nested_and_equality_uses_index_candidates() {
+        let mut c = big();
+        c.create_index("name", IndexKind::Hash);
+        c.create_index("age", IndexKind::Ordered);
+        // A filter whose only match lives behind both conjuncts.
+        let f = Filter::and(vec![Filter::eq("name", "SMITH"), Filter::between("age", 20_i64, 21_i64)]);
+        let hits = c.find(&f);
+        assert!(!hits.is_empty());
+        for d in &hits {
+            assert_eq!(d.get_str("name"), Some("SMITH"));
+            let age = d.get_i64("age").unwrap();
+            assert!((20..=21).contains(&age));
+        }
+    }
+
+    #[test]
+    fn read_view_exposes_queries_only() {
+        let mut c = voters();
+        c.create_index("name", IndexKind::Hash);
+        let view = c.view();
+        assert_eq!(view.name(), "voters");
+        assert_eq!(view.len(), 3);
+        assert!(!view.is_empty());
+        assert_eq!(view.find(&Filter::eq("name", "SMITH")).len(), 2);
+        assert_eq!(view.count(&Filter::eq("name", "SMITH")), 2);
+        assert_eq!(view.find_ids(&Filter::eq("name", "JONES")), vec![1]);
+        assert_eq!(
+            view.find_one(&Filter::eq("name", "SMITH")).unwrap().get_str("ncid"),
+            Some("A1")
+        );
+        assert!(view.exists_eq("name", &Value::Str("JONES".into())));
+        assert_eq!(view.indexed_paths(), vec!["name"]);
+        assert_eq!(view.get(0).unwrap().get_str("ncid"), Some("A1"));
+        let ids: Vec<DocId> = view.iter_ordered().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
     }
 
     #[test]

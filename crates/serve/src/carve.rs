@@ -1,0 +1,603 @@
+//! The carve engine: versioned carve requests, canonical parameter
+//! fingerprints, and the cached execution path.
+//!
+//! A [`CarveRequest`] names a snapshot version (or "current"), the
+//! customization parameters — explicit heterogeneity bounds or one of
+//! the paper's `nc1`/`nc2`/`nc3` presets — and a page window over the
+//! resulting labeled records. Because carving is a pure function of
+//! `(version, params)`, the engine fingerprints that pair with
+//! [`nc_core::md5`] and consults a bounded LRU cache before scanning
+//! clusters; pagination slices the cached result, so paging through a
+//! large carve costs one carve total.
+
+use std::fmt;
+use std::sync::Arc;
+
+use nc_core::customize::{CustomDataset, CustomizeParams};
+use nc_core::md5::{md5, Digest};
+use nc_votergen::schema::{Row, SCHEMA};
+
+use crate::cache::{CacheStats, LruCache};
+use crate::snapshot::SnapshotRegistry;
+
+/// A request to carve one page of a customized dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CarveRequest {
+    /// Snapshot version to pin, or `None` for the current one.
+    pub version: Option<u32>,
+    /// Customization parameters (bounds, sample/output sizes, seed).
+    pub params: CustomizeParams,
+    /// Zero-based page index over the labeled records.
+    pub page: usize,
+    /// Records per page.
+    pub page_size: usize,
+}
+
+/// Defaults used when a request names a preset or omits parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RequestDefaults {
+    /// Default number of clusters to sample.
+    pub sample: usize,
+    /// Default number of output clusters.
+    pub output: usize,
+    /// Default sampling seed.
+    pub seed: u64,
+    /// Default page size.
+    pub page_size: usize,
+    /// Upper bound on the page size a client may request.
+    pub max_page_size: usize,
+}
+
+/// Whether a carve was answered from the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheStatus {
+    /// Served from the cache.
+    Hit,
+    /// Carved fresh and inserted into the cache.
+    Miss,
+}
+
+impl CacheStatus {
+    /// The value reported in the `X-Cache` response header.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CacheStatus::Hit => "hit",
+            CacheStatus::Miss => "miss",
+        }
+    }
+}
+
+/// Why a carve request was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CarveError {
+    /// The requested snapshot version was never published.
+    UnknownVersion(u32),
+    /// The parameters are malformed (reason attached).
+    InvalidParams(String),
+}
+
+impl fmt::Display for CarveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CarveError::UnknownVersion(v) => write!(f, "unknown snapshot version {v}"),
+            CarveError::InvalidParams(why) => write!(f, "invalid parameters: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for CarveError {}
+
+/// A fully carved dataset with its JSON lines pre-rendered, shared via
+/// `Arc` between the cache and any number of concurrent responses.
+#[derive(Debug)]
+pub struct CarveResult {
+    /// The snapshot version the carve was pinned to.
+    pub version: u32,
+    /// Number of clusters in the carved dataset.
+    pub clusters: usize,
+    /// Total number of labeled records (== `lines.len()`).
+    pub records: usize,
+    /// Duplicate pairs in the gold standard.
+    pub duplicate_pairs: u64,
+    /// One JSON object per labeled record, in dataset order.
+    pub lines: Vec<String>,
+}
+
+impl CarveResult {
+    /// Render a carved dataset into its response form.
+    pub fn render(version: u32, dataset: &CustomDataset) -> Self {
+        let lines = render_lines(dataset);
+        CarveResult {
+            version,
+            clusters: dataset.clusters.len(),
+            records: lines.len(),
+            duplicate_pairs: dataset.duplicate_pairs(),
+            lines,
+        }
+    }
+
+    /// The lines of one page (empty when the page is past the end).
+    pub fn page(&self, page: usize, page_size: usize) -> &[String] {
+        let start = page.saturating_mul(page_size).min(self.lines.len());
+        let end = start.saturating_add(page_size).min(self.lines.len());
+        &self.lines[start..end]
+    }
+}
+
+/// The outcome of a successful carve.
+#[derive(Debug)]
+pub struct CarveOutcome {
+    /// The version actually served (resolved from "current" if unpinned).
+    pub version: u32,
+    /// Whether the result came from the cache.
+    pub status: CacheStatus,
+    /// The shared carve result.
+    pub result: Arc<CarveResult>,
+}
+
+/// The carve engine: snapshot resolution + fingerprinted cache + carve.
+#[derive(Debug)]
+pub struct CarveEngine {
+    registry: Arc<SnapshotRegistry>,
+    cache: LruCache<CarveResult>,
+}
+
+impl CarveEngine {
+    /// Create an engine over a snapshot registry with a cache of
+    /// `cache_capacity` carve results (0 disables caching).
+    pub fn new(registry: Arc<SnapshotRegistry>, cache_capacity: usize) -> Self {
+        CarveEngine {
+            registry,
+            cache: LruCache::new(cache_capacity),
+        }
+    }
+
+    /// The registry this engine serves from.
+    pub fn registry(&self) -> &Arc<SnapshotRegistry> {
+        &self.registry
+    }
+
+    /// Cache counters for `/metrics`.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Execute a carve request: resolve the snapshot, consult the cache,
+    /// carve on a miss. Pagination is applied by the caller via
+    /// [`CarveResult::page`] — the cache stores whole carves.
+    pub fn carve(&self, request: &CarveRequest) -> Result<CarveOutcome, CarveError> {
+        validate_params(&request.params)?;
+        let snapshot = self
+            .registry
+            .pinned(request.version)
+            .ok_or(CarveError::UnknownVersion(request.version.unwrap_or(0)))?;
+        let version = snapshot.version();
+
+        let key = fingerprint(version, &request.params);
+        if let Some(result) = self.cache.get(&key) {
+            return Ok(CarveOutcome {
+                version,
+                status: CacheStatus::Hit,
+                result,
+            });
+        }
+
+        let dataset = snapshot.carve(&request.params);
+        let result = Arc::new(CarveResult::render(version, &dataset));
+        self.cache.insert(key, Arc::clone(&result));
+        Ok(CarveOutcome {
+            version,
+            status: CacheStatus::Miss,
+            result,
+        })
+    }
+}
+
+/// Reject parameters that would panic or wedge the carve path.
+fn validate_params(params: &CustomizeParams) -> Result<(), CarveError> {
+    if !params.h_low.is_finite() || !params.h_high.is_finite() {
+        return Err(CarveError::InvalidParams(
+            "heterogeneity bounds must be finite".into(),
+        ));
+    }
+    if params.h_low > params.h_high {
+        return Err(CarveError::InvalidParams(format!(
+            "h_low ({}) must not exceed h_high ({})",
+            params.h_low, params.h_high
+        )));
+    }
+    Ok(())
+}
+
+/// Canonical fingerprint of `(version, params)`.
+///
+/// Floats are rendered via `to_bits`, so two parameter sets collide iff
+/// they are bit-identical — exactly the condition under which carving
+/// returns the same dataset.
+pub fn fingerprint(version: u32, params: &CustomizeParams) -> Digest {
+    let canonical = format!(
+        "nc-carve-v1|version={}|h_low={:016x}|h_high={:016x}|sample={}|output={}|seed={}",
+        version,
+        params.h_low.to_bits(),
+        params.h_high.to_bits(),
+        params.sample_clusters,
+        params.output_clusters,
+        params.seed,
+    );
+    md5(canonical.as_bytes())
+}
+
+/// Render a carved dataset as JSON lines: one object per record,
+/// labeled with its gold-standard cluster index and NCID, with the
+/// non-empty attributes in schema order. All emission is hand-rolled —
+/// the serve crate must not depend on a JSON library.
+pub fn render_lines(dataset: &CustomDataset) -> Vec<String> {
+    let mut lines = Vec::with_capacity(dataset.record_count());
+    for (cluster, cluster_data) in dataset.clusters.iter().enumerate() {
+        for record in &cluster_data.records {
+            lines.push(render_record(cluster, &cluster_data.ncid, record));
+        }
+    }
+    lines
+}
+
+fn render_record(cluster: usize, ncid: &str, record: &Row) -> String {
+    let mut line = String::with_capacity(128);
+    line.push_str("{\"cluster\":");
+    line.push_str(&cluster.to_string());
+    line.push_str(",\"ncid\":\"");
+    json_escape_into(&mut line, ncid);
+    line.push_str("\",\"record\":{");
+    let mut first = true;
+    for (attr, value) in SCHEMA.iter().zip(&record.values) {
+        if value.is_empty() {
+            continue;
+        }
+        if !first {
+            line.push(',');
+        }
+        first = false;
+        line.push('"');
+        json_escape_into(&mut line, attr.name);
+        line.push_str("\":\"");
+        json_escape_into(&mut line, value);
+        line.push('"');
+    }
+    line.push_str("}}");
+    line
+}
+
+/// Escape a string for embedding in a JSON string literal.
+fn json_escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Build a [`CarveRequest`] from decoded key/value pairs (query string
+/// or form body). Recognized keys:
+///
+/// * `preset` — `nc1` | `nc2` | `nc3` (bounds from the paper);
+/// * `h_low`, `h_high` — explicit bounds (override the preset's);
+/// * `sample`, `output`, `seed` — sampling knobs;
+/// * `version` — pin a published snapshot version;
+/// * `page`, `page_size` — page window.
+///
+/// Unknown keys are rejected so that typos fail loudly instead of
+/// silently carving the default dataset.
+pub fn parse_carve_request(
+    pairs: &[(String, String)],
+    defaults: &RequestDefaults,
+) -> Result<CarveRequest, CarveError> {
+    let mut params = CustomizeParams::nc1(defaults.sample, defaults.output, defaults.seed);
+    // Presets must apply before explicit bounds regardless of key order.
+    for (key, value) in pairs {
+        if key == "preset" {
+            params = preset_params(value, defaults)?;
+        }
+    }
+
+    let mut request = CarveRequest {
+        version: None,
+        params,
+        page: 0,
+        page_size: defaults.page_size,
+    };
+
+    for (key, value) in pairs {
+        match key.as_str() {
+            "preset" => {}
+            "version" => request.version = Some(parse_num(key, value)?),
+            "h_low" => request.params.h_low = parse_float(key, value)?,
+            "h_high" => request.params.h_high = parse_float(key, value)?,
+            "sample" => request.params.sample_clusters = parse_num(key, value)?,
+            "output" => request.params.output_clusters = parse_num(key, value)?,
+            "seed" => request.params.seed = parse_num(key, value)?,
+            "page" => request.page = parse_num(key, value)?,
+            "page_size" => request.page_size = parse_num(key, value)?,
+            other => {
+                return Err(CarveError::InvalidParams(format!(
+                    "unknown parameter `{other}`"
+                )))
+            }
+        }
+    }
+
+    if request.page_size == 0 || request.page_size > defaults.max_page_size {
+        return Err(CarveError::InvalidParams(format!(
+            "page_size must be in 1..={}",
+            defaults.max_page_size
+        )));
+    }
+    validate_params(&request.params)?;
+    Ok(request)
+}
+
+/// Parameters for a named preset with the default sampling knobs.
+pub fn preset_params(
+    name: &str,
+    defaults: &RequestDefaults,
+) -> Result<CustomizeParams, CarveError> {
+    match name {
+        "nc1" => Ok(CustomizeParams::nc1(
+            defaults.sample,
+            defaults.output,
+            defaults.seed,
+        )),
+        "nc2" => Ok(CustomizeParams::nc2(
+            defaults.sample,
+            defaults.output,
+            defaults.seed,
+        )),
+        "nc3" => Ok(CustomizeParams::nc3(
+            defaults.sample,
+            defaults.output,
+            defaults.seed,
+        )),
+        other => Err(CarveError::InvalidParams(format!(
+            "unknown preset `{other}` (expected nc1, nc2 or nc3)"
+        ))),
+    }
+}
+
+fn parse_num<T: std::str::FromStr>(key: &str, value: &str) -> Result<T, CarveError> {
+    value
+        .parse()
+        .map_err(|_| CarveError::InvalidParams(format!("`{key}` must be an integer, got `{value}`")))
+}
+
+fn parse_float(key: &str, value: &str) -> Result<f64, CarveError> {
+    let parsed: f64 = value.parse().map_err(|_| {
+        CarveError::InvalidParams(format!("`{key}` must be a number, got `{value}`"))
+    })?;
+    if !parsed.is_finite() {
+        return Err(CarveError::InvalidParams(format!(
+            "`{key}` must be finite, got `{value}`"
+        )));
+    }
+    Ok(parsed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snapshot::ServeSnapshot;
+    use nc_core::cluster::ClusterStore;
+    use nc_core::record::DedupPolicy;
+    use nc_votergen::schema::{FIRST_NAME, LAST_NAME, NCID};
+
+    fn small_store() -> ClusterStore {
+        let mut store = ClusterStore::new();
+        for i in 0..8 {
+            let mut r = Row::empty();
+            r.set(NCID, format!("C{i}"));
+            r.set(FIRST_NAME, "PAT");
+            r.set(LAST_NAME, format!("SMITH{i}"));
+            store.import_row(r, DedupPolicy::Trimmed, "s1", 1);
+            // A second, slightly different record in even clusters.
+            if i % 2 == 0 {
+                let mut r = Row::empty();
+                r.set(NCID, format!("C{i}"));
+                r.set(FIRST_NAME, "PAT");
+                r.set(LAST_NAME, format!("SMYTH{i}"));
+                store.import_row(r, DedupPolicy::Trimmed, "s2", 1);
+            }
+        }
+        store
+    }
+
+    fn engine(capacity: usize) -> CarveEngine {
+        let registry = Arc::new(SnapshotRegistry::new(ServeSnapshot::capture(
+            &small_store(),
+            1,
+        )));
+        CarveEngine::new(registry, capacity)
+    }
+
+    fn request(seed: u64) -> CarveRequest {
+        CarveRequest {
+            version: None,
+            params: CustomizeParams {
+                h_low: 0.0,
+                h_high: 1.0,
+                sample_clusters: 8,
+                output_clusters: 8,
+                seed,
+            },
+            page: 0,
+            page_size: 100,
+        }
+    }
+
+    const DEFAULTS: RequestDefaults = RequestDefaults {
+        sample: 100,
+        output: 50,
+        seed: 42,
+        page_size: 25,
+        max_page_size: 1000,
+    };
+
+    #[test]
+    fn miss_then_hit_shares_the_same_result() {
+        let engine = engine(4);
+        let first = engine.carve(&request(7)).unwrap();
+        assert_eq!(first.status, CacheStatus::Miss);
+        let second = engine.carve(&request(7)).unwrap();
+        assert_eq!(second.status, CacheStatus::Hit);
+        assert!(Arc::ptr_eq(&first.result, &second.result));
+        assert_eq!(engine.cache_stats().hits, 1);
+        assert_eq!(engine.cache_stats().misses, 1);
+    }
+
+    #[test]
+    fn different_seeds_use_different_cache_entries() {
+        let engine = engine(4);
+        assert_eq!(engine.carve(&request(1)).unwrap().status, CacheStatus::Miss);
+        assert_eq!(engine.carve(&request(2)).unwrap().status, CacheStatus::Miss);
+        assert_eq!(engine.carve(&request(1)).unwrap().status, CacheStatus::Hit);
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let engine = engine(4);
+        let mut req = request(1);
+        req.version = Some(99);
+        assert_eq!(
+            engine.carve(&req).unwrap_err(),
+            CarveError::UnknownVersion(99)
+        );
+    }
+
+    #[test]
+    fn invalid_bounds_are_rejected_not_panicking() {
+        let engine = engine(4);
+        let mut req = request(1);
+        req.params.h_low = 0.9;
+        req.params.h_high = 0.1;
+        assert!(matches!(
+            engine.carve(&req),
+            Err(CarveError::InvalidParams(_))
+        ));
+        req.params.h_low = f64::NAN;
+        assert!(matches!(
+            engine.carve(&req),
+            Err(CarveError::InvalidParams(_))
+        ));
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_bit_level_params() {
+        let base = request(1).params;
+        let mut other = base.clone();
+        assert_eq!(fingerprint(1, &base), fingerprint(1, &other));
+        other.h_high -= f64::EPSILON;
+        assert_ne!(fingerprint(1, &base), fingerprint(1, &other));
+        assert_ne!(fingerprint(1, &base), fingerprint(2, &base));
+    }
+
+    #[test]
+    fn json_lines_are_labeled_and_escaped() {
+        use nc_core::customize::CustomCluster;
+        let mut r = Row::empty();
+        r.set(NCID, "Q\"1");
+        r.set(LAST_NAME, "O\\BRIEN\n");
+        let ds = CustomDataset {
+            clusters: vec![CustomCluster {
+                ncid: "Q\"1".to_string(),
+                records: vec![r],
+            }],
+        };
+        let lines = render_lines(&ds);
+        assert_eq!(lines.len(), 1);
+        assert!(lines[0].starts_with("{\"cluster\":0,\"ncid\":\"Q\\\"1\""));
+        assert!(lines[0].contains("\"last_name\":\"O\\\\BRIEN\\n\""));
+        // Empty attributes are omitted.
+        assert!(!lines[0].contains("first_name"));
+    }
+
+    #[test]
+    fn pagination_slices_without_overlap() {
+        let result = CarveResult {
+            version: 1,
+            clusters: 1,
+            records: 5,
+            duplicate_pairs: 10,
+            lines: (0..5).map(|i| format!("line{i}")).collect(),
+        };
+        assert_eq!(result.page(0, 2), ["line0", "line1"]);
+        assert_eq!(result.page(1, 2), ["line2", "line3"]);
+        assert_eq!(result.page(2, 2), ["line4"]);
+        assert!(result.page(3, 2).is_empty());
+        assert!(result.page(usize::MAX, usize::MAX).is_empty());
+    }
+
+    fn pairs(spec: &[(&str, &str)]) -> Vec<(String, String)> {
+        spec.iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn parse_preset_then_overrides() {
+        let req = parse_carve_request(
+            &pairs(&[
+                ("preset", "nc2"),
+                ("seed", "9"),
+                ("page", "3"),
+                ("page_size", "10"),
+            ]),
+            &DEFAULTS,
+        )
+        .unwrap();
+        assert_eq!(req.params.h_low, 0.2);
+        assert_eq!(req.params.h_high, 0.4);
+        assert_eq!(req.params.seed, 9);
+        assert_eq!(req.params.sample_clusters, 100);
+        assert_eq!(req.page, 3);
+        assert_eq!(req.page_size, 10);
+        assert_eq!(req.version, None);
+    }
+
+    #[test]
+    fn preset_applies_before_explicit_bounds_regardless_of_order() {
+        let req = parse_carve_request(
+            &pairs(&[("h_high", "0.9"), ("preset", "nc1")]),
+            &DEFAULTS,
+        )
+        .unwrap();
+        assert_eq!(req.params.h_low, 0.06);
+        assert_eq!(req.params.h_high, 0.9);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!(parse_carve_request(&pairs(&[("preset", "nc9")]), &DEFAULTS).is_err());
+        assert!(parse_carve_request(&pairs(&[("frobnicate", "1")]), &DEFAULTS).is_err());
+        assert!(parse_carve_request(&pairs(&[("seed", "abc")]), &DEFAULTS).is_err());
+        assert!(parse_carve_request(&pairs(&[("h_low", "inf")]), &DEFAULTS).is_err());
+        assert!(parse_carve_request(&pairs(&[("page_size", "0")]), &DEFAULTS).is_err());
+        assert!(parse_carve_request(&pairs(&[("page_size", "100000")]), &DEFAULTS).is_err());
+        assert!(
+            parse_carve_request(&pairs(&[("h_low", "0.5"), ("h_high", "0.1")]), &DEFAULTS)
+                .is_err()
+        );
+    }
+
+    #[test]
+    fn defaults_produce_nc1_with_default_knobs() {
+        let req = parse_carve_request(&[], &DEFAULTS).unwrap();
+        assert_eq!(req.params, CustomizeParams::nc1(100, 50, 42));
+        assert_eq!(req.page, 0);
+        assert_eq!(req.page_size, 25);
+    }
+}

@@ -1,0 +1,396 @@
+//! Minimal HTTP/1.1 message handling over blocking streams.
+//!
+//! Just enough of RFC 9112 for the carve service: one request per
+//! connection (`Connection: close` on every response), request-line +
+//! headers + optional `Content-Length` body, and
+//! `application/x-www-form-urlencoded` / query-string decoding. No
+//! chunked encoding, no keep-alive, no TLS — and no dependencies, so
+//! the offline `.verify` stub harness keeps working.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+/// Largest accepted request head (request line + headers).
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Largest accepted request body.
+const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method, e.g. `GET`.
+    pub method: String,
+    /// Path component of the target, e.g. `/carve`.
+    pub path: String,
+    /// Raw query string (without `?`), empty when absent.
+    pub query: String,
+    /// Headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Raw body bytes (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header (name matched case-insensitively).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Errors produced while reading a request. [`ParseError::status`]
+/// maps each to the response code the server should send.
+#[derive(Debug)]
+pub enum ParseError {
+    /// The peer closed the connection before sending a request line.
+    ConnectionClosed,
+    /// The bytes on the wire are not a well-formed request.
+    Malformed(String),
+    /// The head or body exceeded the configured limits.
+    TooLarge,
+    /// The underlying stream failed.
+    Io(io::Error),
+}
+
+impl ParseError {
+    /// The HTTP status code this error should be answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::ConnectionClosed | ParseError::Io(_) => 400,
+            ParseError::Malformed(_) => 400,
+            ParseError::TooLarge => 413,
+        }
+    }
+}
+
+impl From<io::Error> for ParseError {
+    fn from(err: io::Error) -> Self {
+        ParseError::Io(err)
+    }
+}
+
+/// Read and parse one request from a blocking stream.
+pub fn read_request<S: Read>(stream: S) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+
+    let request_line = read_head_line(&mut reader, &mut 0)?;
+    if request_line.is_empty() {
+        return Err(ParseError::ConnectionClosed);
+    }
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or_else(|| ParseError::Malformed("empty request line".into()))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("missing request target".into()))?;
+    let version = parts
+        .next()
+        .ok_or_else(|| ParseError::Malformed("missing HTTP version".into()))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    let mut consumed = request_line.len();
+    let mut headers = Vec::new();
+    loop {
+        let line = read_head_line(&mut reader, &mut consumed)?;
+        if line.is_empty() {
+            break;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| ParseError::Malformed(format!("bad header line `{line}`")))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ParseError::Malformed(format!("bad content-length `{v}`")))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::TooLarge);
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// Read one CRLF- (or LF-) terminated head line, enforcing the head
+/// size cap across calls via `consumed`.
+fn read_head_line<R: BufRead>(reader: &mut R, consumed: &mut usize) -> Result<String, ParseError> {
+    let mut line = String::new();
+    let n = reader
+        .take((MAX_HEAD_BYTES - (*consumed).min(MAX_HEAD_BYTES)) as u64)
+        .read_line(&mut line)?;
+    *consumed += n;
+    if n == 0 {
+        return Ok(String::new());
+    }
+    if !line.ends_with('\n') {
+        // `take` ran dry mid-line: the head is over the cap.
+        return Err(ParseError::TooLarge);
+    }
+    while line.ends_with('\n') || line.ends_with('\r') {
+        line.pop();
+    }
+    Ok(line)
+}
+
+/// An HTTP response under construction.
+#[derive(Debug, Clone)]
+pub struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// Start a response with the given status code.
+    pub fn new(status: u16) -> Self {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `text/plain` response with the given body.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Response::new(status)
+            .header("Content-Type", "text/plain; charset=utf-8")
+            .body(body.into().into_bytes())
+    }
+
+    /// An `application/jsonlines` response with the given body.
+    pub fn json_lines(status: u16, body: impl Into<Vec<u8>>) -> Self {
+        Response::new(status)
+            .header("Content-Type", "application/jsonlines; charset=utf-8")
+            .body(body.into())
+    }
+
+    /// Add a header.
+    pub fn header(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.headers.push((name.into(), value.into()));
+        self
+    }
+
+    /// Set the body.
+    pub fn body(mut self, body: Vec<u8>) -> Self {
+        self.body = body;
+        self
+    }
+
+    /// The status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// Serialize onto the wire. `Content-Length` and
+    /// `Connection: close` are always appended.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\n",
+            self.status,
+            status_reason(self.status)
+        );
+        for (name, value) in &self.headers {
+            head.push_str(name);
+            head.push_str(": ");
+            head.push_str(value);
+            head.push_str("\r\n");
+        }
+        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
+        head.push_str("Connection: close\r\n\r\n");
+        w.write_all(head.as_bytes())?;
+        w.write_all(&self.body)?;
+        w.flush()
+    }
+}
+
+/// Canonical reason phrase for the status codes this server emits.
+pub fn status_reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Decode `application/x-www-form-urlencoded` (also query strings):
+/// `&`-separated `key=value` pairs with `+` as space and `%XX` escapes.
+/// Pairs with empty keys are dropped; a key without `=` gets an empty
+/// value.
+pub fn parse_form(input: &str) -> Vec<(String, String)> {
+    input
+        .split('&')
+        .filter(|part| !part.is_empty())
+        .filter_map(|part| {
+            let (key, value) = part.split_once('=').unwrap_or((part, ""));
+            let key = percent_decode(key);
+            if key.is_empty() {
+                None
+            } else {
+                Some((key, percent_decode(value)))
+            }
+        })
+        .collect()
+}
+
+/// Decode `%XX` escapes and `+`-as-space. Invalid escapes are passed
+/// through literally; bytes are reassembled as (lossy) UTF-8.
+fn percent_decode(input: &str) -> String {
+    let bytes = input.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                match u8::from_str_radix(&input[i + 1..i + 3], 16) {
+                    Ok(byte) => {
+                        out.push(byte);
+                        i += 3;
+                    }
+                    Err(_) => {
+                        out.push(b'%');
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_get_with_query() {
+        let raw = b"GET /datasets/nc1?seed=7&page=2 HTTP/1.1\r\nHost: localhost\r\nX-Test: yes\r\n\r\n";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/datasets/nc1");
+        assert_eq!(req.query, "seed=7&page=2");
+        assert_eq!(req.header("x-test"), Some("yes"));
+        assert_eq!(req.header("X-Test"), Some("yes"));
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn parses_post_with_body() {
+        let raw = b"POST /carve HTTP/1.1\r\nContent-Length: 9\r\n\r\npreset=nc2";
+        // Content-Length 9 truncates the 10-byte body on purpose.
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, b"preset=nc");
+    }
+
+    #[test]
+    fn tolerates_bare_lf_line_endings() {
+        let raw = b"GET /healthz HTTP/1.1\nHost: x\n\n";
+        let req = read_request(&raw[..]).unwrap();
+        assert_eq!(req.path, "/healthz");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(matches!(
+            read_request(&b"NOT-HTTP\r\n\r\n"[..]),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_request(&b"GET / SPDY/3\r\n\r\n"[..]),
+            Err(ParseError::Malformed(_))
+        ));
+        assert!(matches!(
+            read_request(&b""[..]),
+            Err(ParseError::ConnectionClosed)
+        ));
+        let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "x".repeat(MAX_HEAD_BYTES));
+        assert!(matches!(
+            read_request(huge.as_bytes()),
+            Err(ParseError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn rejects_oversized_body_declaration() {
+        let raw = format!(
+            "POST /carve HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        assert!(matches!(
+            read_request(raw.as_bytes()),
+            Err(ParseError::TooLarge)
+        ));
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        Response::text(200, "ok")
+            .header("X-Version", "3")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("X-Version: 3\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\nok"));
+    }
+
+    #[test]
+    fn form_decoding() {
+        let pairs = parse_form("preset=nc1&name=O%27BRIEN+JR&flag&=dropped&pct=%ZZ");
+        assert_eq!(
+            pairs,
+            vec![
+                ("preset".to_string(), "nc1".to_string()),
+                ("name".to_string(), "O'BRIEN JR".to_string()),
+                ("flag".to_string(), String::new()),
+                ("pct".to_string(), "%ZZ".to_string()),
+            ]
+        );
+        assert!(parse_form("").is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! `nc-serve`: a concurrent dataset-carving service.
+//!
+//! The paper's end product is a *service*: users request customized
+//! test datasets of a chosen dirtiness (NC1/NC2/NC3), carved out of a
+//! versioned cluster store, and versioning metadata keeps every
+//! published dataset reconstructible (Sections 4–5). This crate turns
+//! the in-process pipeline into that service:
+//!
+//! * [`snapshot`] — versioned snapshot reads. An `Arc`-swapped,
+//!   immutable [`snapshot::ServeSnapshot`] (a
+//!   [`nc_core::snapshot::StoreSnapshot`] plus its deterministic
+//!   entropy scorer) is published into a [`snapshot::SnapshotRegistry`];
+//!   carve requests clone the `Arc` under a brief read lock and then
+//!   run entirely lock-free against a consistent version while newer
+//!   snapshots are published underneath.
+//! * [`carve`] + [`cache`] — the carve engine. A request names a
+//!   version, customization parameters (explicit bounds or the
+//!   `nc1`/`nc2`/`nc3` presets) and a page window. A canonical
+//!   predicate fingerprint ([`nc_core::md5`] over the pinned version
+//!   and the bit-exact parameters) keys a bounded LRU cache of carve
+//!   results, so warm requests skip the cluster scan entirely;
+//!   hit/miss/eviction counters are exported via `/metrics`.
+//! * [`http`] + [`server`] — a from-scratch HTTP/1.1 front end over
+//!   `std::net::TcpListener` (no new dependencies; the offline
+//!   `.verify` stub harness keeps working). `GET /healthz`,
+//!   `GET /metrics` (text counters and per-endpoint latency
+//!   histograms), `POST /carve` and `GET /datasets/{nc1|nc2|nc3}`
+//!   return paginated labeled records as JSON lines. Shutdown is
+//!   graceful: the acceptor stops, queued and in-flight requests are
+//!   drained, then the workers exit.
+//!
+//! Requests are dispatched to a crossbeam-channel worker pool sized by
+//! [`nc_core::scoring::ScoringConfig`] — the same "0 means hardware
+//! parallelism, degrade to inline on one core" machinery the scoring
+//! pool uses.
+//!
+//! Correctness invariant (asserted by `tests/serve.rs`): a carve
+//! response pinned to version `v` is **bit-identical** to calling
+//! [`nc_core::customize::customize`] directly against the version-`v`
+//! store with the same parameters — cached or not, from any number of
+//! concurrent clients.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod carve;
+pub mod http;
+pub mod metrics;
+pub mod server;
+pub mod snapshot;
+
+pub use carve::{CacheStatus, CarveEngine, CarveError, CarveOutcome, CarveRequest, CarveResult};
+pub use server::{Server, ServerHandle, ServeConfig, ServeState};
+pub use snapshot::{ServeSnapshot, SnapshotRegistry};

@@ -1,0 +1,324 @@
+//! The TCP front end: accept loop, worker pool, routing and graceful
+//! shutdown.
+//!
+//! Connections are accepted on a nonblocking `std::net::TcpListener`
+//! and pushed into a bounded crossbeam channel; a pool of worker
+//! threads (sized by [`nc_core::scoring::ScoringConfig`] — the same
+//! "0 means hardware parallelism" convention as the scoring pool)
+//! drains the channel and handles one request per connection. Shutdown
+//! is graceful by construction: the acceptor stops accepting, drops
+//! the sender, and every worker finishes the connections already in
+//! the queue before its `recv` disconnects and the scope joins.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use nc_core::scoring::ScoringConfig;
+
+use crate::carve::{parse_carve_request, CarveError, CarveEngine, CarveOutcome, RequestDefaults};
+use crate::http::{parse_form, read_request, Request, Response};
+use crate::metrics::{Endpoint, Metrics};
+use crate::snapshot::SnapshotRegistry;
+
+/// How long the acceptor sleeps when there is nothing to accept.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+/// Per-connection socket read/write timeout.
+const SOCKET_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Tunables of a serve instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Worker threads; `0` means one per available hardware thread
+    /// (the [`ScoringConfig`] convention).
+    pub workers: usize,
+    /// Connections that may queue between acceptor and workers.
+    pub queue_depth: usize,
+    /// Carve results kept in the LRU cache (0 disables caching).
+    pub cache_capacity: usize,
+    /// Defaults for requests that omit parameters.
+    pub defaults: RequestDefaults,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_depth: 64,
+            cache_capacity: 32,
+            defaults: RequestDefaults {
+                sample: 1000,
+                output: 100,
+                seed: 42,
+                page_size: 100,
+                max_page_size: 10_000,
+            },
+        }
+    }
+}
+
+/// Shared state of a running service: the snapshot registry, the carve
+/// engine (with its cache) and the metrics counters.
+#[derive(Debug)]
+pub struct ServeState {
+    registry: Arc<SnapshotRegistry>,
+    engine: CarveEngine,
+    metrics: Metrics,
+    config: ServeConfig,
+}
+
+impl ServeState {
+    /// Build the state for a registry and configuration.
+    pub fn new(registry: Arc<SnapshotRegistry>, config: ServeConfig) -> Self {
+        let engine = CarveEngine::new(Arc::clone(&registry), config.cache_capacity);
+        ServeState {
+            registry,
+            engine,
+            metrics: Metrics::new(),
+            config,
+        }
+    }
+
+    /// The snapshot registry (publish new versions through this).
+    pub fn registry(&self) -> &Arc<SnapshotRegistry> {
+        &self.registry
+    }
+
+    /// The carve engine.
+    pub fn engine(&self) -> &CarveEngine {
+        &self.engine
+    }
+
+    /// The metrics counters.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ServeConfig {
+        &self.config
+    }
+}
+
+/// The service entry point: binds and spawns the accept/worker threads.
+#[derive(Debug)]
+pub struct Server;
+
+impl Server {
+    /// Bind the configured address and start serving in background
+    /// threads. Returns once the listener is bound — the returned
+    /// handle exposes the bound address immediately.
+    pub fn spawn(state: Arc<ServeState>) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&state.config.addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("nc-serve".to_string())
+            .spawn(move || run(listener, state, stop_flag))?;
+
+        Ok(ServerHandle { addr, stop, thread })
+    }
+}
+
+/// A running server. Dropping the handle without calling
+/// [`ServerHandle::shutdown`] detaches the threads (they keep serving
+/// until the process exits).
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl ServerHandle {
+    /// The actually bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// requests, join all threads.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.thread.join();
+    }
+}
+
+/// Acceptor + worker-pool body, run on the `nc-serve` thread.
+fn run(listener: TcpListener, state: Arc<ServeState>, stop: Arc<AtomicBool>) {
+    let workers = ScoringConfig::with_threads(state.config.workers)
+        .effective_threads()
+        .max(1);
+    let queue_depth = state.config.queue_depth.max(1);
+
+    crossbeam::thread::scope(|scope| {
+        let (tx, rx) = crossbeam::channel::bounded::<TcpStream>(queue_depth);
+        // The crossbeam stub's Receiver wraps mpsc (not Sync), so the
+        // workers share it behind a mutex; each holds the lock only
+        // while blocked in `recv`, never while handling a connection.
+        let rx = Arc::new(Mutex::new(rx));
+        for _ in 0..workers {
+            let rx = Arc::clone(&rx);
+            let state = Arc::clone(&state);
+            scope.spawn(move |_| loop {
+                let conn = {
+                    let guard = rx.lock().expect("serve queue lock");
+                    guard.recv()
+                };
+                match conn {
+                    Ok(stream) => handle_connection(stream, &state),
+                    // Sender dropped and queue drained: shutdown.
+                    Err(_) => break,
+                }
+            });
+        }
+
+        while !stop.load(Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if tx.send(stream).is_err() {
+                        break;
+                    }
+                }
+                Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL);
+                }
+                Err(_) => std::thread::sleep(ACCEPT_POLL),
+            }
+        }
+        // Dropping the sender lets the workers drain what is queued and
+        // then exit; the scope joins them before `run` returns.
+        drop(tx);
+    })
+    .expect("serve scope");
+}
+
+/// Handle one connection: parse, route, respond, record metrics.
+fn handle_connection(stream: TcpStream, state: &ServeState) {
+    // Accepted sockets must block again (the listener is nonblocking).
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+
+    state.metrics.begin();
+    let started = Instant::now();
+
+    let (endpoint, response) = match read_request(&stream) {
+        Ok(request) => route(&request, state),
+        Err(err) => (
+            Endpoint::Other,
+            Response::text(err.status(), "bad request: cannot parse\n"),
+        ),
+    };
+
+    let _ = response.write_to(&stream);
+    let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    state.metrics.record(endpoint, response.status(), micros);
+}
+
+/// Dispatch a parsed request to its handler.
+fn route(request: &Request, state: &ServeState) -> (Endpoint, Response) {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => (Endpoint::Healthz, healthz(state)),
+        ("GET", "/metrics") => (Endpoint::Metrics, metrics_page(state)),
+        ("POST", "/carve") => (Endpoint::Carve, carve_from_body(request, state)),
+        ("GET", path) if path.starts_with("/datasets/") => (
+            Endpoint::Datasets,
+            dataset_preset(&path["/datasets/".len()..], request, state),
+        ),
+        (_, "/healthz") | (_, "/metrics") | (_, "/carve") => (
+            Endpoint::Other,
+            Response::text(405, "method not allowed\n"),
+        ),
+        _ => (Endpoint::Other, Response::text(404, "not found\n")),
+    }
+}
+
+fn healthz(state: &ServeState) -> Response {
+    let snapshot = state.registry.current();
+    Response::text(
+        200,
+        format!(
+            "ok\nversion {}\nclusters {}\nrecords {}\n",
+            snapshot.version(),
+            snapshot.cluster_count(),
+            snapshot.record_count()
+        ),
+    )
+}
+
+fn metrics_page(state: &ServeState) -> Response {
+    let cache = state.engine.cache_stats();
+    let current = state.registry.current().version();
+    let versions = state.registry.versions().len();
+    Response::text(200, state.metrics.render(&cache, current, versions))
+}
+
+/// `POST /carve` — parameters in an `application/x-www-form-urlencoded`
+/// body (query-string parameters are accepted too and applied first).
+fn carve_from_body(request: &Request, state: &ServeState) -> Response {
+    let mut pairs = parse_form(&request.query);
+    match std::str::from_utf8(&request.body) {
+        Ok(body) => pairs.extend(parse_form(body)),
+        Err(_) => return Response::text(400, "body must be UTF-8 form data\n"),
+    }
+    carve_response(&pairs, state)
+}
+
+/// `GET /datasets/{preset}` — the preset comes from the path, the
+/// remaining knobs from the query string.
+fn dataset_preset(preset: &str, request: &Request, state: &ServeState) -> Response {
+    let mut pairs = vec![("preset".to_string(), preset.to_string())];
+    pairs.extend(parse_form(&request.query));
+    carve_response(&pairs, state)
+}
+
+/// Shared carve path: parse → engine → page slice → JSON-lines body.
+fn carve_response(pairs: &[(String, String)], state: &ServeState) -> Response {
+    let request = match parse_carve_request(pairs, &state.config.defaults) {
+        Ok(request) => request,
+        Err(err) => return carve_error(err),
+    };
+    let outcome = match state.engine.carve(&request) {
+        Ok(outcome) => outcome,
+        Err(err) => return carve_error(err),
+    };
+    let CarveOutcome {
+        version,
+        status,
+        result,
+    } = outcome;
+
+    let page = result.page(request.page, request.page_size);
+    let mut body = String::with_capacity(page.iter().map(|l| l.len() + 1).sum());
+    for line in page {
+        body.push_str(line);
+        body.push('\n');
+    }
+
+    Response::json_lines(200, body.into_bytes())
+        .header("X-Version", version.to_string())
+        .header("X-Cache", status.as_str())
+        .header("X-Total-Records", result.records.to_string())
+        .header("X-Total-Clusters", result.clusters.to_string())
+        .header("X-Duplicate-Pairs", result.duplicate_pairs.to_string())
+        .header("X-Page", request.page.to_string())
+        .header("X-Page-Size", request.page_size.to_string())
+        .header("X-Page-Records", page.len().to_string())
+}
+
+fn carve_error(err: CarveError) -> Response {
+    let status = match err {
+        CarveError::UnknownVersion(_) => 404,
+        CarveError::InvalidParams(_) => 400,
+    };
+    Response::text(status, format!("{err}\n"))
+}

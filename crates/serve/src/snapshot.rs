@@ -1,0 +1,185 @@
+//! Versioned snapshot publication and lock-free snapshot reads.
+//!
+//! A [`ServeSnapshot`] bundles an immutable
+//! [`nc_core::snapshot::StoreSnapshot`] with the entropy-weighted
+//! heterogeneity scorer derived from it (one record per cluster, as the
+//! paper prescribes), so every carve against the same version uses the
+//! same weights. The [`SnapshotRegistry`] holds the current snapshot
+//! behind an `Arc` that is *swapped* on publish: readers take a brief
+//! read lock only to clone the `Arc`, then carve against the pinned,
+//! immutable data with no lock held — a publish never blocks or
+//! invalidates an in-flight carve.
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, RwLock};
+
+use nc_core::cluster::ClusterStore;
+use nc_core::customize::{CustomDataset, CustomizeParams};
+use nc_core::heterogeneity::{HeterogeneityScorer, Scope};
+use nc_core::snapshot::StoreSnapshot;
+
+/// An immutable snapshot ready to serve carve requests.
+#[derive(Debug)]
+pub struct ServeSnapshot {
+    store: StoreSnapshot,
+    scorer: HeterogeneityScorer,
+}
+
+impl ServeSnapshot {
+    /// Wrap a captured store snapshot, deriving its entropy scorer
+    /// (deterministic for a given snapshot).
+    pub fn new(store: StoreSnapshot) -> Self {
+        let scorer = store.entropy_scorer(Scope::Person);
+        ServeSnapshot { store, scorer }
+    }
+
+    /// Capture the current contents of a store under `version` and wrap
+    /// them (convenience for [`StoreSnapshot::capture`] + [`Self::new`]).
+    pub fn capture(store: &ClusterStore, version: u32) -> Self {
+        Self::new(StoreSnapshot::capture(store, version))
+    }
+
+    /// The pinned version identifier.
+    pub fn version(&self) -> u32 {
+        self.store.version()
+    }
+
+    /// Number of clusters in the snapshot.
+    pub fn cluster_count(&self) -> usize {
+        self.store.cluster_count()
+    }
+
+    /// Number of records in the snapshot.
+    pub fn record_count(&self) -> u64 {
+        self.store.record_count()
+    }
+
+    /// The underlying store snapshot.
+    pub fn store(&self) -> &StoreSnapshot {
+        &self.store
+    }
+
+    /// The snapshot's entropy-weighted scorer.
+    pub fn scorer(&self) -> &HeterogeneityScorer {
+        &self.scorer
+    }
+
+    /// Carve a customized dataset out of this snapshot. Pure function
+    /// of `(snapshot, params)`; bit-identical to
+    /// [`nc_core::customize::customize`] on the source store.
+    pub fn carve(&self, params: &CustomizeParams) -> CustomDataset {
+        self.store.customize(&self.scorer, params)
+    }
+}
+
+/// The set of published snapshots: one *current* version plus a history
+/// of still-pinnable older versions.
+#[derive(Debug)]
+pub struct SnapshotRegistry {
+    inner: RwLock<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    current: Arc<ServeSnapshot>,
+    history: BTreeMap<u32, Arc<ServeSnapshot>>,
+}
+
+impl SnapshotRegistry {
+    /// Create a registry serving `initial` as the current version.
+    pub fn new(initial: ServeSnapshot) -> Self {
+        let current = Arc::new(initial);
+        let mut history = BTreeMap::new();
+        history.insert(current.version(), Arc::clone(&current));
+        SnapshotRegistry {
+            inner: RwLock::new(Inner { current, history }),
+        }
+    }
+
+    /// Publish a new snapshot: it becomes the current version and stays
+    /// addressable by its version number. In-flight carves against the
+    /// previous snapshot are unaffected — they hold their own `Arc`.
+    pub fn publish(&self, snapshot: ServeSnapshot) -> Arc<ServeSnapshot> {
+        let snapshot = Arc::new(snapshot);
+        let mut inner = self.inner.write().expect("registry lock");
+        inner.history.insert(snapshot.version(), Arc::clone(&snapshot));
+        inner.current = Arc::clone(&snapshot);
+        snapshot
+    }
+
+    /// The current snapshot (brief read lock, then lock-free use).
+    pub fn current(&self) -> Arc<ServeSnapshot> {
+        Arc::clone(&self.inner.read().expect("registry lock").current)
+    }
+
+    /// The snapshot for `version`, or the current one when `None`.
+    /// Returns `None` for versions that were never published here.
+    pub fn pinned(&self, version: Option<u32>) -> Option<Arc<ServeSnapshot>> {
+        let inner = self.inner.read().expect("registry lock");
+        match version {
+            None => Some(Arc::clone(&inner.current)),
+            Some(v) => inner.history.get(&v).map(Arc::clone),
+        }
+    }
+
+    /// The published version numbers, ascending.
+    pub fn versions(&self) -> Vec<u32> {
+        self.inner
+            .read()
+            .expect("registry lock")
+            .history
+            .keys()
+            .copied()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_core::record::DedupPolicy;
+    use nc_votergen::schema::{FIRST_NAME, LAST_NAME, NCID, Row};
+
+    fn store(tag: &str, n: usize) -> ClusterStore {
+        let mut store = ClusterStore::new();
+        for i in 0..n {
+            let mut r = Row::empty();
+            r.set(NCID, format!("{tag}{i}"));
+            r.set(FIRST_NAME, "PAT");
+            r.set(LAST_NAME, format!("SMITH{i}"));
+            store.import_row(r, DedupPolicy::Trimmed, "s1", 1);
+        }
+        store
+    }
+
+    #[test]
+    fn publish_swaps_current_and_keeps_history() {
+        let registry = SnapshotRegistry::new(ServeSnapshot::capture(&store("A", 3), 1));
+        assert_eq!(registry.current().version(), 1);
+
+        let old = registry.current();
+        registry.publish(ServeSnapshot::capture(&store("B", 5), 2));
+        assert_eq!(registry.current().version(), 2);
+        assert_eq!(registry.versions(), vec![1, 2]);
+
+        // The old Arc still reads the old data.
+        assert_eq!(old.cluster_count(), 3);
+        assert_eq!(registry.pinned(Some(1)).unwrap().cluster_count(), 3);
+        assert_eq!(registry.pinned(Some(2)).unwrap().cluster_count(), 5);
+        assert_eq!(registry.pinned(None).unwrap().version(), 2);
+        assert!(registry.pinned(Some(9)).is_none());
+    }
+
+    #[test]
+    fn carve_is_deterministic_per_snapshot() {
+        let snap = ServeSnapshot::capture(&store("A", 6), 1);
+        let params = CustomizeParams::nc3(4, 4, 7);
+        let a = snap.carve(&params);
+        let b = snap.carve(&params);
+        assert_eq!(a.clusters.len(), b.clusters.len());
+        for (x, y) in a.clusters.iter().zip(&b.clusters) {
+            assert_eq!(x.ncid, y.ncid);
+            assert_eq!(x.records.len(), y.records.len());
+        }
+    }
+}

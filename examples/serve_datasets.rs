@@ -1,0 +1,131 @@
+//! Serve carved test datasets over HTTP: build a small archive, publish
+//! two store versions into the carving service, and run a scripted
+//! client transcript against it (the same endpoints a `curl` user
+//! would hit). Doubles as the CI smoke test for `nc-serve`.
+//!
+//! Run with:
+//! ```sh
+//! cargo run --release -p nc-suite --example serve_datasets
+//! ```
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use nc_suite::core::pipeline::{GenerationConfig, TestDataGenerator};
+use nc_suite::core::record::DedupPolicy;
+use nc_suite::serve::{Server, ServeConfig, ServeSnapshot, ServeState, SnapshotRegistry};
+use nc_suite::votergen::config::GeneratorConfig;
+
+fn build_store(snapshots: usize) -> nc_suite::core::cluster::ClusterStore {
+    TestDataGenerator::run(GenerationConfig {
+        generator: GeneratorConfig {
+            seed: 2021,
+            initial_population: 1_000,
+            ..Default::default()
+        },
+        policy: DedupPolicy::Trimmed,
+        snapshots,
+    })
+    .store
+}
+
+/// One scripted request: print the request line, send it, print the
+/// interesting response headers and the first lines of the body.
+fn transcript(addr: SocketAddr, method: &str, target: &str, form: Option<&str>) {
+    let raw = match form {
+        Some(body) => format!(
+            "{method} {target} HTTP/1.1\r\nHost: localhost\r\nContent-Type: application/x-www-form-urlencoded\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+        None => format!("{method} {target} HTTP/1.1\r\nHost: localhost\r\n\r\n"),
+    };
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("recv");
+    let text = String::from_utf8_lossy(&response);
+    let (head, body) = text.split_once("\r\n\r\n").expect("http response");
+    assert!(
+        head.starts_with("HTTP/1.1 2"),
+        "request {target} failed:\n{head}"
+    );
+
+    match form {
+        Some(body) => println!("$ curl -s -d '{body}' http://{addr}{target}"),
+        None if method == "GET" => println!("$ curl -s http://{addr}{target}"),
+        None => println!("$ curl -s -X {method} http://{addr}{target}"),
+    }
+    for line in head.lines() {
+        let keep = line.starts_with("HTTP/")
+            || line.starts_with("X-")
+            || line.starts_with("Content-Type");
+        if keep {
+            println!("  {line}");
+        }
+    }
+    for line in body.lines().take(3) {
+        let mut shown = line.to_string();
+        if shown.len() > 100 {
+            shown.truncate(100);
+            shown.push('…');
+        }
+        println!("  {shown}");
+    }
+    let omitted = body.lines().count().saturating_sub(3);
+    if omitted > 0 {
+        println!("  … ({omitted} more lines)");
+    }
+    println!();
+}
+
+fn main() {
+    // 1. Build the archive and publish its first version to the service.
+    println!("building the voter archive …\n");
+    let store_v1 = build_store(8);
+    let registry = SnapshotRegistry::new(ServeSnapshot::capture(&store_v1, 1));
+    let state = Arc::new(ServeState::new(Arc::new(registry), ServeConfig::default()));
+    let server = Server::spawn(Arc::clone(&state)).expect("bind ephemeral port");
+    let addr = server.addr();
+    println!("serving on http://{addr}\n");
+
+    // 2. The client transcript.
+    transcript(addr, "GET", "/healthz", None);
+    transcript(addr, "GET", "/datasets/nc1?sample=400&output=25&seed=7&page_size=5", None);
+    // The same carve again: answered from the cache (X-Cache: hit).
+    transcript(addr, "GET", "/datasets/nc1?sample=400&output=25&seed=7&page_size=5", None);
+    // Explicit bounds via POST, pinned to version 1.
+    transcript(
+        addr,
+        "POST",
+        "/carve",
+        Some("version=1&h_low=0.2&h_high=0.6&sample=400&output=25&seed=7&page_size=5"),
+    );
+
+    // 3. Four more snapshots arrive: publish version 2. Carves keep
+    //    working throughout; version 1 stays pinnable.
+    println!("publishing version 2 (four more snapshots) …\n");
+    let store_v2 = build_store(12);
+    state.registry().publish(ServeSnapshot::capture(&store_v2, 2));
+
+    transcript(addr, "GET", "/datasets/nc2?sample=400&output=25&seed=7&page_size=5", None);
+    transcript(
+        addr,
+        "GET",
+        "/datasets/nc2?sample=400&output=25&seed=7&page_size=5&version=1",
+        None,
+    );
+    transcript(addr, "GET", "/metrics", None);
+
+    // 4. Graceful shutdown: drain in-flight requests, join the workers.
+    server.shutdown();
+    let stats = state.engine().cache_stats();
+    assert_eq!(state.metrics().requests_total(), 7, "all requests served");
+    assert!(stats.hits >= 1, "the repeated carve must hit the cache");
+    println!(
+        "server shut down cleanly after {} requests ({} cache hits, {} misses)",
+        state.metrics().requests_total(),
+        stats.hits,
+        stats.misses
+    );
+}

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Serve-layer benchmark: builds the release binary, measures cold
+# (cache-miss) vs warm (cache-hit) carve latency over HTTP, and writes
+# BENCH_serve.json in the repo root. Any extra arguments are passed
+# through (e.g. --pop 5000 --reps 20).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p nc-bench --bin bench_serve
+exec target/release/bench_serve --out BENCH_serve.json "$@"

@@ -14,6 +14,12 @@ cargo build --release --workspace "$@"
 echo "=== test ==="
 cargo test -q --workspace "$@"
 
+echo "=== serve smoke ==="
+# End-to-end smoke of the carving service on an ephemeral port:
+# /healthz, a carved page (cold + cached), and a clean shutdown —
+# the example exits non-zero if any of those fail.
+cargo run --release -q -p nc-suite --example serve_datasets "$@" > /dev/null
+
 echo "=== clippy ==="
 ./scripts/clippy_gate.sh "$@"
 

@@ -1,0 +1,304 @@
+//! End-to-end tests of the carving service: concurrent carves pinned to
+//! a version are bit-identical to calling `customize` directly, pages
+//! reassemble losslessly, the cache engages, old versions stay
+//! pinnable after a publish, and shutdown is graceful.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+use nc_suite::core::cluster::ClusterStore;
+use nc_suite::core::customize::{customize, CustomizeParams};
+use nc_suite::core::heterogeneity::{AttributeWeights, HeterogeneityScorer, Scope};
+use nc_suite::core::pipeline::{GenerationConfig, TestDataGenerator};
+use nc_suite::core::record::DedupPolicy;
+use nc_suite::serve::carve::render_lines;
+use nc_suite::serve::{Server, ServerHandle, ServeConfig, ServeSnapshot, ServeState, SnapshotRegistry};
+use nc_suite::votergen::config::GeneratorConfig;
+
+fn build_store(seed: u64, population: usize, snapshots: usize) -> ClusterStore {
+    TestDataGenerator::run(GenerationConfig {
+        generator: GeneratorConfig {
+            seed,
+            initial_population: population,
+            ..Default::default()
+        },
+        policy: DedupPolicy::Trimmed,
+        snapshots,
+    })
+    .store
+}
+
+/// The same scorer derivation the serve layer uses: entropy weights
+/// from one record per cluster, person scope.
+fn scorer_for(store: &ClusterStore) -> HeterogeneityScorer {
+    let firsts: Vec<_> = store
+        .cluster_ids()
+        .iter()
+        .filter_map(|(n, _)| store.cluster_rows(n).into_iter().next())
+        .collect();
+    HeterogeneityScorer::new(AttributeWeights::from_rows(Scope::Person, firsts.iter()))
+}
+
+fn spawn_server(registry: SnapshotRegistry) -> (Arc<ServeState>, ServerHandle) {
+    let state = Arc::new(ServeState::new(Arc::new(registry), ServeConfig::default()));
+    let handle = Server::spawn(Arc::clone(&state)).expect("bind ephemeral port");
+    (state, handle)
+}
+
+/// A minimal HTTP/1.1 response as seen by the tests.
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Send one raw request and read the (Connection: close) response.
+fn send(addr: SocketAddr, raw: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(raw.as_bytes()).expect("write request");
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("read response");
+    let text = String::from_utf8(buf).expect("utf-8 response");
+    let (head, body) = text.split_once("\r\n\r\n").expect("response head");
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Reply {
+        status,
+        headers,
+        body: body.to_string(),
+    }
+}
+
+fn get(addr: SocketAddr, target: &str) -> Reply {
+    send(addr, &format!("GET {target} HTTP/1.1\r\nHost: t\r\n\r\n"))
+}
+
+fn post_form(addr: SocketAddr, target: &str, form: &str) -> Reply {
+    send(
+        addr,
+        &format!(
+            "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{form}",
+            form.len()
+        ),
+    )
+}
+
+#[test]
+fn concurrent_carves_match_direct_customize_bit_for_bit() {
+    let store = build_store(21, 400, 10);
+    let scorer = scorer_for(&store);
+    let params = CustomizeParams {
+        h_low: 0.0,
+        h_high: 0.5,
+        sample_clusters: 200,
+        output_clusters: 40,
+        seed: 5,
+    };
+    let direct = customize(&store, &scorer, &params);
+    let mut expected = render_lines(&direct).join("\n");
+    if !expected.is_empty() {
+        expected.push('\n');
+    }
+
+    let (_state, handle) = spawn_server(SnapshotRegistry::new(ServeSnapshot::capture(&store, 1)));
+    let addr = handle.addr();
+    let form = format!(
+        "version=1&h_low={}&h_high={}&sample={}&output={}&seed={}&page_size=10000",
+        params.h_low, params.h_high, params.sample_clusters, params.output_clusters, params.seed
+    );
+
+    let total_records = direct.record_count();
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let expected = &expected;
+            let form = &form;
+            scope.spawn(move || {
+                let reply = post_form(addr, "/carve", form);
+                assert_eq!(reply.status, 200, "{}", reply.body);
+                assert_eq!(reply.header("x-version"), Some("1"));
+                assert_eq!(
+                    reply.header("x-total-records"),
+                    Some(total_records.to_string().as_str())
+                );
+                assert_eq!(&reply.body, expected, "carve differs from direct customize");
+            });
+        }
+    });
+
+    handle.shutdown();
+}
+
+#[test]
+fn pages_reassemble_the_full_carve() {
+    let store = build_store(22, 300, 8);
+    let (_state, handle) = spawn_server(SnapshotRegistry::new(ServeSnapshot::capture(&store, 1)));
+    let addr = handle.addr();
+
+    let full = get(addr, "/datasets/nc3?seed=3&sample=150&output=30&page_size=10000");
+    assert_eq!(full.status, 200);
+    let total: usize = full.header("x-total-records").unwrap().parse().unwrap();
+    assert!(total > 0, "carve should produce records");
+
+    let mut reassembled = String::new();
+    let mut page = 0;
+    loop {
+        let reply = get(
+            addr,
+            &format!("/datasets/nc3?seed=3&sample=150&output=30&page_size=7&page={page}"),
+        );
+        assert_eq!(reply.status, 200);
+        let got: usize = reply.header("x-page-records").unwrap().parse().unwrap();
+        if got == 0 {
+            break;
+        }
+        assert!(got <= 7);
+        reassembled.push_str(&reply.body);
+        page += 1;
+    }
+    assert_eq!(reassembled, full.body, "paged body differs from full body");
+    assert_eq!(page, total.div_ceil(7));
+
+    handle.shutdown();
+}
+
+#[test]
+fn cache_serves_repeats_and_counts_hits() {
+    let store = build_store(23, 300, 8);
+    let (state, handle) = spawn_server(SnapshotRegistry::new(ServeSnapshot::capture(&store, 1)));
+    let addr = handle.addr();
+
+    let cold = get(addr, "/datasets/nc1?seed=8&sample=100&output=20");
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+
+    let warm = get(addr, "/datasets/nc1?seed=8&sample=100&output=20");
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.header("x-cache"), Some("hit"));
+    assert_eq!(warm.body, cold.body);
+
+    // Pagination hits the same cache entry instead of re-carving.
+    let paged = get(addr, "/datasets/nc1?seed=8&sample=100&output=20&page_size=5&page=1");
+    assert_eq!(paged.header("x-cache"), Some("hit"));
+
+    let stats = state.engine().cache_stats();
+    assert_eq!(stats.misses, 1);
+    assert_eq!(stats.hits, 2);
+
+    let metrics = get(addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(metrics.body.contains("nc_serve_cache_hits_total 2\n"));
+    assert!(metrics.body.contains("nc_serve_cache_misses_total 1\n"));
+    assert!(metrics
+        .body
+        .contains("nc_serve_endpoint_requests_total{endpoint=\"datasets\"} 3\n"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn publish_swaps_current_while_old_versions_stay_pinnable() {
+    let store_v1 = build_store(24, 250, 6);
+    let store_v2 = build_store(25, 350, 6);
+    let (state, handle) = spawn_server(SnapshotRegistry::new(ServeSnapshot::capture(&store_v1, 1)));
+    let addr = handle.addr();
+
+    let before = get(addr, "/datasets/nc2?seed=2&sample=100&output=20");
+    assert_eq!(before.header("x-version"), Some("1"));
+
+    state.registry().publish(ServeSnapshot::capture(&store_v2, 2));
+
+    // Unpinned requests now carve the new version...
+    let after = get(addr, "/datasets/nc2?seed=2&sample=100&output=20");
+    assert_eq!(after.header("x-version"), Some("2"));
+    // ...while the old version stays addressable and bit-stable.
+    let pinned = get(addr, "/datasets/nc2?seed=2&sample=100&output=20&version=1");
+    assert_eq!(pinned.header("x-version"), Some("1"));
+    assert_eq!(pinned.header("x-cache"), Some("hit"), "same carve as `before`");
+    assert_eq!(pinned.body, before.body);
+
+    // Never-published versions are a 404.
+    let missing = get(addr, "/datasets/nc2?version=9");
+    assert_eq!(missing.status, 404);
+
+    let health = get(addr, "/healthz");
+    assert_eq!(health.status, 200);
+    assert!(health.body.starts_with("ok\nversion 2\n"));
+
+    handle.shutdown();
+}
+
+#[test]
+fn error_paths_return_4xx_not_5xx() {
+    let store = build_store(26, 200, 5);
+    let (_state, handle) = spawn_server(SnapshotRegistry::new(ServeSnapshot::capture(&store, 1)));
+    let addr = handle.addr();
+
+    assert_eq!(get(addr, "/no/such/route").status, 404);
+    assert_eq!(get(addr, "/datasets/nc9").status, 400);
+    assert_eq!(get(addr, "/datasets/nc1?frobnicate=1").status, 400);
+    assert_eq!(get(addr, "/datasets/nc1?h_low=0.9&h_high=0.1").status, 400);
+    assert_eq!(get(addr, "/datasets/nc1?page_size=0").status, 400);
+    assert_eq!(get(addr, "/datasets/nc1?seed=NaN").status, 400);
+    // Wrong method.
+    assert_eq!(get(addr, "/carve").status, 405);
+    assert_eq!(
+        send(addr, "DELETE /healthz HTTP/1.1\r\nHost: t\r\n\r\n").status,
+        405
+    );
+    // Not HTTP at all.
+    assert_eq!(send(addr, "gibberish\r\n\r\n").status, 400);
+
+    handle.shutdown();
+}
+
+#[test]
+fn shutdown_drains_and_releases_the_port() {
+    let store = build_store(27, 200, 5);
+    let (state, handle) = spawn_server(SnapshotRegistry::new(ServeSnapshot::capture(&store, 1)));
+    let addr = handle.addr();
+
+    // A few requests in flight from multiple clients, then shut down.
+    std::thread::scope(|scope| {
+        for i in 0..4 {
+            scope.spawn(move || {
+                let reply = get(addr, &format!("/datasets/nc1?seed={i}&sample=50&output=10"));
+                assert_eq!(reply.status, 200);
+            });
+        }
+    });
+    let served = state.metrics().requests_total();
+    assert_eq!(served, 4);
+    assert_eq!(state.metrics().in_flight(), 0);
+
+    // shutdown() joins the accept thread, which joins the worker scope:
+    // returning at all proves queued work was drained, not aborted.
+    handle.shutdown();
+
+    // The state survives the server and a fresh server can be spawned
+    // over it (e.g. after a config change).
+    let restarted = Server::spawn(Arc::clone(&state)).expect("respawn");
+    let reply = get(restarted.addr(), "/healthz");
+    assert_eq!(reply.status, 200);
+    restarted.shutdown();
+}
