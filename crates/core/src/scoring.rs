@@ -19,22 +19,19 @@ use crate::plausibility::PlausibilityScorer;
 
 /// Worker-pool configuration for cluster scoring.
 ///
-/// The default resolves [`std::thread::available_parallelism`] at
-/// construction time, so on a single-core container the pool degrades
-/// to the inline sequential path automatically (the `BENCH_scoring`
-/// 0.94x case) instead of paying pool overhead for one worker.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// The default is the `threads: 0` sentinel: "one worker per available
+/// hardware thread", resolved lazily by [`ScoringConfig::effective_threads`]
+/// via [`std::thread::available_parallelism`]. On a single-core
+/// container the pool therefore degrades to the inline sequential path
+/// automatically (the `BENCH_scoring` 0.94x case) instead of paying
+/// pool overhead for one worker. Keeping the sentinel in the field —
+/// rather than eagerly storing the resolved count — means
+/// `default() == with_threads(0)` under `PartialEq` and a defaulted
+/// config is machine-independent when compared or persisted.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ScoringConfig {
     /// Worker threads; `0` means one per available hardware thread.
     pub threads: usize,
-}
-
-impl Default for ScoringConfig {
-    fn default() -> Self {
-        ScoringConfig {
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        }
-    }
 }
 
 impl ScoringConfig {
@@ -223,10 +220,10 @@ mod tests {
     }
 
     #[test]
-    fn default_resolves_available_parallelism_eagerly() {
+    fn default_is_lazy_auto_sentinel() {
         let hw = std::thread::available_parallelism().map_or(1, |n| n.get());
         let cfg = ScoringConfig::default();
-        assert_eq!(cfg.threads, hw, "default carries the resolved count");
-        assert_eq!(cfg.effective_threads(), hw);
+        assert_eq!(cfg, ScoringConfig::with_threads(0), "default stays machine-independent");
+        assert_eq!(cfg.effective_threads(), hw, "sentinel resolves to hardware parallelism");
     }
 }

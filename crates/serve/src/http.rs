@@ -75,7 +75,8 @@ impl From<io::Error> for ParseError {
 pub fn read_request<S: Read>(stream: S) -> Result<Request, ParseError> {
     let mut reader = BufReader::new(stream);
 
-    let request_line = read_head_line(&mut reader, &mut 0)?;
+    let mut consumed = 0usize;
+    let request_line = read_head_line(&mut reader, &mut consumed)?;
     if request_line.is_empty() {
         return Err(ParseError::ConnectionClosed);
     }
@@ -102,7 +103,6 @@ pub fn read_request<S: Read>(stream: S) -> Result<Request, ParseError> {
         None => (target.to_string(), String::new()),
     };
 
-    let mut consumed = request_line.len();
     let mut headers = Vec::new();
     loop {
         let line = read_head_line(&mut reader, &mut consumed)?;
@@ -141,7 +141,8 @@ pub fn read_request<S: Read>(stream: S) -> Result<Request, ParseError> {
 }
 
 /// Read one CRLF- (or LF-) terminated head line, enforcing the head
-/// size cap across calls via `consumed`.
+/// size cap across calls via `consumed`. `consumed` counts every wire
+/// byte, including the CR/LF terminators stripped from returned lines.
 fn read_head_line<R: BufRead>(reader: &mut R, consumed: &mut usize) -> Result<String, ParseError> {
     let mut line = String::new();
     let n = reader
@@ -149,6 +150,12 @@ fn read_head_line<R: BufRead>(reader: &mut R, consumed: &mut usize) -> Result<St
         .read_line(&mut line)?;
     *consumed += n;
     if n == 0 {
+        if *consumed >= MAX_HEAD_BYTES {
+            // The cap ran out exactly at a line boundary: `take(0)`
+            // reads nothing, which must not masquerade as
+            // end-of-headers (or a closed connection).
+            return Err(ParseError::TooLarge);
+        }
         return Ok(String::new());
     }
     if !line.ends_with('\n') {
@@ -268,6 +275,11 @@ pub fn parse_form(input: &str) -> Vec<(String, String)> {
 
 /// Decode `%XX` escapes and `+`-as-space. Invalid escapes are passed
 /// through literally; bytes are reassembled as (lossy) UTF-8.
+///
+/// Works on raw bytes throughout — slicing the `&str` at `%`+2 would
+/// panic on a multibyte UTF-8 character straddling the slice boundary,
+/// and byte-wise hex classification also rejects the `+f`/` f` forms
+/// `from_str_radix` would accept.
 fn percent_decode(input: &str) -> String {
     let bytes = input.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
@@ -278,18 +290,16 @@ fn percent_decode(input: &str) -> String {
                 out.push(b' ');
                 i += 1;
             }
-            b'%' if i + 2 < bytes.len() => {
-                match u8::from_str_radix(&input[i + 1..i + 3], 16) {
-                    Ok(byte) => {
-                        out.push(byte);
-                        i += 3;
-                    }
-                    Err(_) => {
-                        out.push(b'%');
-                        i += 1;
-                    }
+            b'%' => match (bytes.get(i + 1), bytes.get(i + 2)) {
+                (Some(&hi), Some(&lo)) if hi.is_ascii_hexdigit() && lo.is_ascii_hexdigit() => {
+                    out.push(hex_value(hi) << 4 | hex_value(lo));
+                    i += 3;
                 }
-            }
+                _ => {
+                    out.push(b'%');
+                    i += 1;
+                }
+            },
             b => {
                 out.push(b);
                 i += 1;
@@ -297,6 +307,15 @@ fn percent_decode(input: &str) -> String {
         }
     }
     String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Value of an ASCII hex digit (caller guarantees `is_ascii_hexdigit`).
+fn hex_value(digit: u8) -> u8 {
+    match digit {
+        b'0'..=b'9' => digit - b'0',
+        b'a'..=b'f' => digit - b'a' + 10,
+        _ => digit - b'A' + 10,
+    }
 }
 
 #[cfg(test)]
@@ -392,5 +411,51 @@ mod tests {
             ]
         );
         assert!(parse_form("").is_empty());
+    }
+
+    #[test]
+    fn percent_decode_survives_multibyte_after_percent() {
+        // A multibyte char right after `%` must not panic (str slicing
+        // at fixed byte offsets would split the char mid-sequence).
+        assert_eq!(parse_form("a=%€x"), vec![("a".into(), "%€x".into())]);
+        assert_eq!(parse_form("a=%é"), vec![("a".into(), "%é".into())]);
+        assert_eq!(parse_form("a=€%20€"), vec![("a".into(), "€ €".into())]);
+        // Trailing escapes, complete and truncated.
+        assert_eq!(parse_form("a=%2F"), vec![("a".into(), "/".into())]);
+        assert_eq!(parse_form("a=%2"), vec![("a".into(), "%2".into())]);
+        assert_eq!(parse_form("a=%"), vec![("a".into(), "%".into())]);
+    }
+
+    #[test]
+    fn percent_decode_rejects_signed_and_spaced_hex() {
+        // `from_str_radix` would accept "+f" as 0x0F; byte-wise hex
+        // classification must not.
+        assert_eq!(parse_form("a=%+fx"), vec![("a".into(), "% fx".into())]);
+        assert_eq!(parse_form("a=%-1x"), vec![("a".into(), "%-1x".into())]);
+        // Mixed-case hex still decodes (0x4F = 'O').
+        assert_eq!(parse_form("a=%4f%4F"), vec![("a".into(), "OO".into())]);
+    }
+
+    #[test]
+    fn head_cap_at_line_boundary_is_too_large() {
+        // Fill the head cap exactly with complete header lines; the
+        // head is unterminated, so this must be TooLarge — not a
+        // silently truncated header set.
+        let request_line = "GET / HTTP/1.1\r\n";
+        let mut raw = String::from(request_line);
+        let filler = "x-filler: yyyyyyyyyyyyyyyy\r\n";
+        while raw.len() + filler.len() <= MAX_HEAD_BYTES {
+            raw.push_str(filler);
+        }
+        let pad = MAX_HEAD_BYTES - raw.len();
+        if pad > 0 {
+            // One last line sized to land exactly on the cap.
+            raw.push_str(&format!("x-pad: {}\r\n", "z".repeat(pad.saturating_sub(9))));
+        }
+        assert_eq!(raw.len(), MAX_HEAD_BYTES);
+        assert!(matches!(
+            read_request(raw.as_bytes()),
+            Err(ParseError::TooLarge)
+        ));
     }
 }

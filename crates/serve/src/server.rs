@@ -238,6 +238,10 @@ fn route(request: &Request, state: &ServeState) -> (Endpoint, Response) {
             Endpoint::Other,
             Response::text(405, "method not allowed\n"),
         ),
+        (_, path) if path.starts_with("/datasets/") => (
+            Endpoint::Other,
+            Response::text(405, "method not allowed\n"),
+        ),
         _ => (Endpoint::Other, Response::text(404, "not found\n")),
     }
 }

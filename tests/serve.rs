@@ -260,14 +260,22 @@ fn error_paths_return_4xx_not_5xx() {
     assert_eq!(get(addr, "/datasets/nc1?h_low=0.9&h_high=0.1").status, 400);
     assert_eq!(get(addr, "/datasets/nc1?page_size=0").status, 400);
     assert_eq!(get(addr, "/datasets/nc1?seed=NaN").status, 400);
-    // Wrong method.
+    // Wrong method — on fixed routes and on the /datasets/* prefix alike.
     assert_eq!(get(addr, "/carve").status, 405);
     assert_eq!(
         send(addr, "DELETE /healthz HTTP/1.1\r\nHost: t\r\n\r\n").status,
         405
     );
+    assert_eq!(
+        send(addr, "POST /datasets/nc1 HTTP/1.1\r\nHost: t\r\n\r\n").status,
+        405
+    );
     // Not HTTP at all.
     assert_eq!(send(addr, "gibberish\r\n\r\n").status, 400);
+    // A multibyte char straddling a percent escape must be answered
+    // (400), not panic the worker; the server must still serve after.
+    assert_eq!(get(addr, "/datasets/nc1?a=%€x").status, 400);
+    assert_eq!(get(addr, "/healthz").status, 200);
 
     handle.shutdown();
 }
