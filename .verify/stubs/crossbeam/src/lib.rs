@@ -21,11 +21,21 @@ pub mod channel {
     pub type SendError<T> = mpsc::SendError<T>;
     /// Error returned when the sending side disconnected.
     pub type RecvError = mpsc::RecvError;
+    /// Error returned by [`Sender::try_send`]. The std variants
+    /// (`Full(T)` / `Disconnected(T)`) match crossbeam's by name, so
+    /// callers can pattern-match identically against both crates.
+    pub type TrySendError<T> = mpsc::TrySendError<T>;
 
     impl<T> Sender<T> {
         /// Blocking send.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             self.0.send(value)
+        }
+
+        /// Nonblocking send: `Err(Full)` when the channel is at
+        /// capacity instead of blocking.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            self.0.try_send(value)
         }
     }
 

@@ -24,9 +24,37 @@ pub struct ImportStats {
 }
 
 impl ImportStats {
+    /// Zeroed accounting for a snapshot date.
+    pub fn zero(date: impl Into<String>) -> Self {
+        ImportStats {
+            date: date.into(),
+            total_rows: 0,
+            new_records: 0,
+            new_clusters: 0,
+            quarantined: 0,
+        }
+    }
+
     /// The snapshot's year, if the date has a parseable `YYYY` prefix.
     pub fn year(&self) -> Option<i32> {
         self.date.get(0..4).and_then(|y| y.parse().ok())
+    }
+
+    /// Fold another accounting into this one.
+    ///
+    /// Associative and commutative over every counter, and over the
+    /// date too (the aggregate keeps the *later* date), so partial
+    /// stats can be combined in any order — per-shard worker stats
+    /// merged shard-by-shard, or per-snapshot stats merged into a
+    /// per-year row — and the totals never depend on merge order.
+    pub fn merge(&mut self, other: &ImportStats) {
+        if other.date > self.date {
+            self.date = other.date.clone();
+        }
+        self.total_rows += other.total_rows;
+        self.new_records += other.new_records;
+        self.new_clusters += other.new_clusters;
+        self.quarantined += other.quarantined;
     }
 }
 
@@ -37,13 +65,7 @@ pub fn import_snapshot(
     policy: DedupPolicy,
     version: u32,
 ) -> ImportStats {
-    let mut stats = ImportStats {
-        date: snapshot.date.clone(),
-        total_rows: 0,
-        new_records: 0,
-        new_clusters: 0,
-        quarantined: 0,
-    };
+    let mut stats = ImportStats::zero(snapshot.date.clone());
     for row in &snapshot.rows {
         stats.total_rows += 1;
         match store.import_row_ref(row, policy, &snapshot.date, version) {
@@ -161,6 +183,43 @@ mod tests {
         assert_eq!(seq_stats, par_stats);
         assert_eq!(store1.record_count(), store2.record_count());
         assert_eq!(store1.cluster_count(), store2.cluster_count());
+    }
+
+    #[test]
+    fn merge_is_order_invariant() {
+        let parts = [
+            ImportStats { date: "2009-01-01".into(), total_rows: 10, new_records: 4, new_clusters: 1, quarantined: 2 },
+            ImportStats { date: "2008-11-04".into(), total_rows: 7, new_records: 7, new_clusters: 7, quarantined: 0 },
+            ImportStats { date: "2010-05-04".into(), total_rows: 3, new_records: 0, new_clusters: 0, quarantined: 1 },
+        ];
+
+        // Fold in every permutation of three parts: same aggregate.
+        let fold = |order: &[usize]| {
+            let mut acc = ImportStats::zero("");
+            for &i in order {
+                acc.merge(&parts[i]);
+            }
+            acc
+        };
+        let reference = fold(&[0, 1, 2]);
+        for order in [[0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            assert_eq!(fold(&order), reference);
+        }
+        assert_eq!(reference.total_rows, 20);
+        assert_eq!(reference.new_records, 11);
+        assert_eq!(reference.new_clusters, 8);
+        assert_eq!(reference.quarantined, 3);
+        assert_eq!(reference.date, "2010-05-04", "aggregate keeps the latest date");
+
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
     }
 
     #[test]

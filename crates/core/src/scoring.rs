@@ -123,7 +123,22 @@ pub fn score_store(
             (ncid, rows)
         })
         .collect();
-    map_clusters(config, &clusters, |scratch, (ncid, rows)| ClusterScore {
+    score_clusters(&clusters, plausibility, heterogeneity, config)
+}
+
+/// Score pre-materialized clusters, sharded over `config` workers.
+///
+/// The result is in input order and bit-identical for every thread
+/// count — [`score_store`] delegates here, and sharded stores
+/// (`nc-shard`) score their merged cluster lists through the same path,
+/// which is what makes sharded and unsharded scoring byte-comparable.
+pub fn score_clusters(
+    clusters: &[(String, Vec<Row>)],
+    plausibility: &PlausibilityScorer,
+    heterogeneity: &HeterogeneityScorer,
+    config: &ScoringConfig,
+) -> Vec<ClusterScore> {
+    map_clusters(config, clusters, |scratch, (ncid, rows)| ClusterScore {
         ncid: ncid.clone(),
         records: rows.len(),
         plausibility: plausibility.cluster_with(scratch, rows),

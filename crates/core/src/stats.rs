@@ -43,24 +43,27 @@ impl YearStats {
 
 /// Aggregate per-snapshot import stats into Table 1's per-year rows.
 pub fn snapshot_table(imports: &[ImportStats]) -> Vec<YearStats> {
-    let mut by_year: BTreeMap<i32, YearStats> = BTreeMap::new();
+    let mut by_year: BTreeMap<i32, (usize, ImportStats)> = BTreeMap::new();
     for s in imports {
         // Snapshots with unparseable dates carry no year; skip them
         // rather than silently aggregating under a bogus year 0.
         let Some(year) = s.year() else { continue };
-        let e = by_year.entry(year).or_insert(YearStats {
-            year,
-            snapshots: 0,
-            total_rows: 0,
-            new_records: 0,
-            new_objects: 0,
-        });
-        e.snapshots += 1;
-        e.total_rows += s.total_rows;
-        e.new_records += s.new_records;
-        e.new_objects += s.new_clusters;
+        let (snapshots, agg) = by_year
+            .entry(year)
+            .or_insert_with(|| (0, ImportStats::zero("")));
+        *snapshots += 1;
+        agg.merge(s);
     }
-    by_year.into_values().collect()
+    by_year
+        .into_iter()
+        .map(|(year, (snapshots, agg))| YearStats {
+            year,
+            snapshots,
+            total_rows: agg.total_rows,
+            new_records: agg.new_records,
+            new_objects: agg.new_clusters,
+        })
+        .collect()
 }
 
 /// One row of Table 2: the outcome of one dedup policy.

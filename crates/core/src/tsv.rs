@@ -329,8 +329,9 @@ pub fn read_snapshot_lenient(
 }
 
 /// [`read_snapshot_lenient`] with `prior_events` quarantine events
-/// already charged against the budget (archive-level accounting).
-pub(crate) fn read_snapshot_budgeted(
+/// already charged against the budget (archive-level accounting, used
+/// by the checkpointed and sharded archive importers).
+pub fn read_snapshot_budgeted(
     path: &Path,
     options: &ImportOptions,
     prior_events: u64,

@@ -118,6 +118,35 @@ struct Footer {
     crc: String,
 }
 
+/// Fsync a directory, making previously renamed or created entries in
+/// it durable. Best-effort on the open: not every filesystem permits
+/// opening a directory, and on those the rename durability the caller
+/// wants cannot be had anyway — but an fsync that *was* issued and
+/// failed is a real error and is reported.
+pub fn sync_dir(dir: &Path) -> std::io::Result<()> {
+    match File::open(dir) {
+        Ok(d) => d.sync_all(),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Append the CRC-32 suffix framing [`save`] uses to one line body:
+/// `<body>\t#crc:xxxxxxxx`. The body must not contain a newline. Other
+/// log formats (the nc-shard WAL) reuse this framing so one torn-tail
+/// recovery discipline covers every file the workspace writes.
+pub fn frame_line(body: &str) -> String {
+    debug_assert!(!body.contains('\n'), "framed bodies are single lines");
+    format!("{body}{CRC_SEP}{:08x}", crc32(body.as_bytes()))
+}
+
+/// Recover the body of a line written by [`frame_line`]; `None` when
+/// the suffix is missing, malformed, or does not match the body (a
+/// torn or corrupted line).
+pub fn read_framed(line: &str) -> Option<&str> {
+    let (body, crc) = split_checksum(line)?;
+    (crc32(body.as_bytes()) == crc).then_some(body)
+}
+
 /// Write a collection to `path` as checksummed JSON lines (ascending
 /// `_id`), atomically.
 ///
@@ -155,12 +184,9 @@ pub fn save(collection: &Collection, path: &Path) -> Result<(), PersistError> {
     file.sync_all()?;
     drop(file);
     std::fs::rename(&tmp, path)?;
-    // Make the rename itself durable. Directory fsync is best-effort:
-    // not every filesystem permits opening a directory for sync.
+    // Make the rename itself durable.
     if let Some(parent) = path.parent() {
-        if let Ok(dir) = File::open(parent) {
-            let _ = dir.sync_all();
-        }
+        sync_dir(parent)?;
     }
     Ok(())
 }
@@ -647,6 +673,34 @@ mod tests {
         assert_eq!(s.report.footer, FooterStatus::Invalid);
         assert_eq!(s.collection.len(), 1);
         std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn frame_line_round_trips_and_rejects_damage() {
+        let framed = frame_line("R\t17\tsome\ttsv\tpayload");
+        assert_eq!(read_framed(&framed), Some("R\t17\tsome\ttsv\tpayload"));
+        // A framed empty body survives too.
+        assert_eq!(read_framed(&frame_line("")), Some(""));
+        // Any flipped byte in body or suffix invalidates the line.
+        for i in 0..framed.len() {
+            let mut bytes = framed.clone().into_bytes();
+            bytes[i] ^= 0x01;
+            if let Ok(tampered) = String::from_utf8(bytes) {
+                assert_eq!(read_framed(&tampered), None, "flip at {i}");
+            }
+        }
+        // Truncations lose the suffix or corrupt it.
+        for cut in 0..framed.len() {
+            assert_eq!(read_framed(&framed[..cut]), None, "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn sync_dir_succeeds_on_real_directory() {
+        let dir = std::env::temp_dir();
+        sync_dir(&dir).unwrap();
+        // A nonexistent path is best-effort (open fails → Ok).
+        sync_dir(Path::new("/nonexistent/nc_docstore_sync")).unwrap();
     }
 
     #[test]

@@ -51,6 +51,14 @@ impl DocStore {
     }
 
     /// Persist every collection into `dir` as `<name>.jsonl`.
+    ///
+    /// Crash-safe end to end: each file is saved atomically
+    /// (temp + fsync + rename), and after the batch of renames the
+    /// directory itself is fsynced once more so that none of the
+    /// renames can be lost to a crash — `save` syncs the directory per
+    /// file, but a directory entry written between two saves could
+    /// otherwise still be sitting in a dirty directory block when the
+    /// last save returns.
     pub fn save_all(&self, dir: &Path) -> Result<(), PersistError> {
         std::fs::create_dir_all(dir)?;
         for name in self.collection_names() {
@@ -58,6 +66,7 @@ impl DocStore {
             let coll = coll.read();
             persist::save(&coll, &dir.join(format!("{name}.jsonl")))?;
         }
+        persist::sync_dir(dir)?;
         Ok(())
     }
 

@@ -76,6 +76,7 @@ struct EndpointStats {
 pub struct Metrics {
     requests_total: AtomicU64,
     in_flight: AtomicU64,
+    queue_saturated: AtomicU64,
     endpoints: [EndpointStats; Endpoint::ALL.len()],
 }
 
@@ -119,6 +120,17 @@ impl Metrics {
         self.in_flight.load(Ordering::Relaxed)
     }
 
+    /// Count one connection turned away with `503` because the worker
+    /// queue was full (acceptor backpressure).
+    pub fn saturation_inc(&self) {
+        self.queue_saturated.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections rejected so far because the worker queue was full.
+    pub fn saturated(&self) -> u64 {
+        self.queue_saturated.load(Ordering::Relaxed)
+    }
+
     /// Requests recorded for one endpoint.
     pub fn endpoint_requests(&self, endpoint: Endpoint) -> u64 {
         self.endpoints[endpoint.index()]
@@ -135,6 +147,10 @@ impl Metrics {
             self.requests_total()
         ));
         out.push_str(&format!("nc_serve_in_flight {}\n", self.in_flight()));
+        out.push_str(&format!(
+            "nc_serve_queue_saturated_total {}\n",
+            self.saturated()
+        ));
         out.push_str(&format!(
             "nc_serve_snapshot_current_version {current_version}\n"
         ));
@@ -199,9 +215,12 @@ mod tests {
 
         m.begin();
         m.record(Endpoint::Carve, 404, 2_000_000);
+        m.saturation_inc();
+        assert_eq!(m.saturated(), 1);
         let text = m.render(&CacheStats::default(), 3, 2);
         assert!(text.contains("nc_serve_requests_total 2\n"));
         assert!(text.contains("nc_serve_in_flight 0\n"));
+        assert!(text.contains("nc_serve_queue_saturated_total 1\n"));
         assert!(text.contains("nc_serve_snapshot_current_version 3\n"));
         assert!(text.contains("nc_serve_endpoint_requests_total{endpoint=\"carve\"} 2\n"));
         assert!(text.contains("nc_serve_endpoint_errors_total{endpoint=\"carve\"} 1\n"));

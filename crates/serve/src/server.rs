@@ -16,6 +16,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crossbeam::channel::TrySendError;
 use nc_core::scoring::ScoringConfig;
 
 use crate::carve::{parse_carve_request, CarveError, CarveEngine, CarveOutcome, RequestDefaults};
@@ -183,11 +184,15 @@ fn run(listener: TcpListener, state: Arc<ServeState>, stop: Arc<AtomicBool>) {
 
         while !stop.load(Ordering::SeqCst) {
             match listener.accept() {
-                Ok((stream, _peer)) => {
-                    if tx.send(stream).is_err() {
-                        break;
-                    }
-                }
+                // Backpressure: never block the acceptor on a full
+                // queue. A saturated service answers 503 immediately —
+                // the client learns to retry instead of silently
+                // waiting in a kernel backlog that times out.
+                Ok((stream, _peer)) => match tx.try_send(stream) {
+                    Ok(()) => {}
+                    Err(TrySendError::Full(stream)) => saturated_reply(stream, &state),
+                    Err(TrySendError::Disconnected(_)) => break,
+                },
                 Err(err) if err.kind() == io::ErrorKind::WouldBlock => {
                     std::thread::sleep(ACCEPT_POLL);
                 }
@@ -199,6 +204,37 @@ fn run(listener: TcpListener, state: Arc<ServeState>, stop: Arc<AtomicBool>) {
         drop(tx);
     })
     .expect("serve scope");
+}
+
+/// Turn a connection away because the worker queue is full: `503` with
+/// a `Retry-After` hint, written from the acceptor thread (the whole
+/// point is not to queue). Counted both in the per-endpoint error
+/// metrics and the dedicated saturation counter.
+fn saturated_reply(stream: TcpStream, state: &ServeState) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    // Short read timeout: this runs on the acceptor thread, which must
+    // not be parked long by a client that trickles its request in.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    state.metrics.begin();
+    let started = Instant::now();
+    state.metrics.saturation_inc();
+    let response =
+        Response::text(503, "service saturated, retry shortly\n").header("Retry-After", "1");
+    let _ = response.write_to(&stream);
+    // Half-close and drain the unread request: closing a socket with
+    // bytes still in its receive buffer sends RST, which would tear the
+    // 503 out of the client's hands before it reads it.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 512];
+    for _ in 0..8 {
+        match io::Read::read(&mut (&stream), &mut sink) {
+            Ok(n) if n > 0 => {}
+            _ => break,
+        }
+    }
+    let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+    state.metrics.record(Endpoint::Other, 503, micros);
 }
 
 /// Handle one connection: parse, route, respond, record metrics.

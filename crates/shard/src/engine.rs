@@ -1,0 +1,399 @@
+//! The WAL-backed engine: resumable archive ingest over a
+//! [`ShardedStore`], with the shard manifest as the commit point and
+//! incremental publish into `nc-serve`.
+//!
+//! # Lifecycle
+//!
+//! [`ShardEngine::open`] recovers whatever the state directory holds:
+//! a clean manifest replays every committed snapshot from the per-shard
+//! logs; a torn or missing tail is truncated with exact loss
+//! accounting; a damaged manifest (or logs that cannot honour the
+//! manifest's promises) discards the state and starts fresh, reporting
+//! why. [`ShardEngine::ingest_archive`] then skips already-committed
+//! snapshot files and ingests the rest — so a crashed run resumed over
+//! the same archive converges on exactly the store an uninterrupted
+//! run produces (asserted in `tests/wal_recovery.rs`).
+
+use std::collections::BTreeSet;
+use std::fs::{self, File};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use nc_core::import::ImportStats;
+use nc_core::record::DedupPolicy;
+use nc_core::snapshot::StoreSnapshot;
+use nc_core::tsv::{
+    archive_files, date_from_file_name, read_snapshot_budgeted, ImportOptions, QuarantineReport,
+    TsvError,
+};
+use nc_serve::snapshot::{ServeSnapshot, SnapshotRegistry};
+
+use crate::ingest;
+use crate::store::ShardedStore;
+use crate::wal::{self, ManifestState, ShardManifest, ShardWal, WalRecovery};
+
+/// Ingest parameters fixed for the lifetime of a state directory.
+///
+/// Shard count, policy and version are burned into the manifest —
+/// reopening with different values is a hard
+/// [`TsvError::Checkpoint`] error, because the logs' row routing and
+/// dedup outcomes depend on all three.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardEngineConfig {
+    /// Number of hash partitions (clamped to ≥ 1).
+    pub shards: usize,
+    /// Dedup policy applied on ingest.
+    pub policy: DedupPolicy,
+    /// Import version recorded on every ingested row.
+    pub version: u32,
+    /// Bounded-channel depth between the reader and each shard worker.
+    pub channel_depth: usize,
+    /// WAL segment rotation bound, in bytes.
+    pub segment_bytes: u64,
+}
+
+impl ShardEngineConfig {
+    /// Defaults for everything but the three identity parameters.
+    pub fn new(shards: usize, policy: DedupPolicy, version: u32) -> Self {
+        ShardEngineConfig {
+            shards: shards.max(1),
+            policy,
+            version,
+            channel_depth: 1024,
+            segment_bytes: 4 << 20,
+        }
+    }
+}
+
+/// What one [`ShardEngine::ingest_archive`] call did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardIngestOutcome {
+    /// Stats of the snapshots ingested *by this call*, in archive order.
+    pub stats: Vec<ImportStats>,
+    /// Snapshot files skipped because the manifest already lists them.
+    pub resumed: usize,
+    /// Cumulative archive-level quarantine accounting (all runs).
+    pub quarantine: QuarantineReport,
+}
+
+fn shard_dir(state_dir: &Path, shard: usize) -> PathBuf {
+    state_dir.join(format!("shard-{shard}"))
+}
+
+/// A [`ShardedStore`] bound to a state directory: every ingested row is
+/// write-ahead logged to its shard, and completed snapshots commit via
+/// the manifest.
+#[derive(Debug)]
+pub struct ShardEngine {
+    config: ShardEngineConfig,
+    state_dir: PathBuf,
+    store: ShardedStore,
+    wals: Vec<ShardWal>,
+    completed: Vec<ImportStats>,
+    quarantine: QuarantineReport,
+    recovery: WalRecovery,
+    discarded: Option<String>,
+}
+
+impl ShardEngine {
+    /// Open (or create) the engine state in `state_dir`, replaying the
+    /// logs back into memory.
+    pub fn open(state_dir: &Path, config: ShardEngineConfig) -> Result<Self, TsvError> {
+        let config = ShardEngineConfig {
+            shards: config.shards.max(1),
+            ..config
+        };
+        fs::create_dir_all(state_dir)?;
+        let shards = config.shards;
+        let mut store = ShardedStore::new(shards);
+        let mut completed: Vec<ImportStats> = Vec::new();
+        let mut quarantine = QuarantineReport::default();
+        let mut recovery = WalRecovery::default();
+        let mut discarded: Option<String> = None;
+
+        match ShardManifest::load(state_dir)? {
+            ManifestState::Absent => {
+                // Logs without a manifest never committed anything:
+                // replaying against an empty completed-set truncates
+                // them with exact accounting.
+                let nothing = BTreeSet::new();
+                for shard in 0..shards {
+                    let replay = wal::replay_shard(&shard_dir(state_dir, shard), &nothing)?;
+                    recovery.absorb(replay.recovery);
+                }
+                if !recovery.is_clean() {
+                    discarded =
+                        Some("no manifest: dropped logs of a never-committed run".to_owned());
+                }
+            }
+            ManifestState::Damaged(reason) => {
+                recovery.bytes_discarded += Self::wipe(state_dir, shards)?;
+                recovery.details.push(reason.clone());
+                discarded = Some(reason);
+            }
+            ManifestState::Loaded(manifest) => {
+                if manifest.shards != shards
+                    || manifest.policy != config.policy
+                    || manifest.version != config.version
+                {
+                    return Err(TsvError::Checkpoint {
+                        message: format!(
+                            "shard state was written with shards={} policy={:?} version={} \
+                             but reopened with shards={} policy={:?} version={}",
+                            manifest.shards,
+                            manifest.policy,
+                            manifest.version,
+                            shards,
+                            config.policy,
+                            config.version
+                        ),
+                    });
+                }
+                let dates = manifest.completed_dates();
+                let expected: Vec<&str> =
+                    manifest.completed.iter().map(|s| s.date.as_str()).collect();
+                let mut broken: Option<String> = None;
+                let mut max_seq: Option<u64> = None;
+                'shards: for shard in 0..shards {
+                    let replay = wal::replay_shard(&shard_dir(state_dir, shard), &dates)?;
+                    let got: Vec<&str> =
+                        replay.snapshots.iter().map(|s| s.date.as_str()).collect();
+                    if got != expected {
+                        broken = Some(format!(
+                            "shard-{shard}: log holds committed snapshots {got:?} but the \
+                             manifest promises {expected:?}"
+                        ));
+                        recovery.absorb(replay.recovery);
+                        break 'shards;
+                    }
+                    for snapshot in &replay.snapshots {
+                        for (seq, row) in &snapshot.rows {
+                            store.shards_mut()[shard].apply(
+                                *seq,
+                                row,
+                                config.policy,
+                                &snapshot.date,
+                                snapshot.version,
+                            );
+                            max_seq = Some(max_seq.map_or(*seq, |m| m.max(*seq)));
+                        }
+                    }
+                    recovery.absorb(replay.recovery);
+                }
+                match broken {
+                    None => {
+                        if let Some(seq) = max_seq {
+                            store.observe_replayed_seq(seq);
+                        }
+                        completed = manifest.completed;
+                        quarantine = manifest.quarantine;
+                    }
+                    Some(reason) => {
+                        // The manifest promised more than the logs can
+                        // deliver — a partial replay would silently
+                        // diverge from the committed history, so the
+                        // whole state restarts from scratch.
+                        recovery.bytes_discarded += Self::wipe(state_dir, shards)?;
+                        recovery.details.push(reason.clone());
+                        store = ShardedStore::new(shards);
+                        discarded = Some(reason);
+                    }
+                }
+            }
+        }
+
+        let mut wals = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            wals.push(ShardWal::open(
+                &shard_dir(state_dir, shard),
+                config.segment_bytes,
+            )?);
+        }
+        Ok(ShardEngine {
+            config,
+            state_dir: state_dir.to_path_buf(),
+            store,
+            wals,
+            completed,
+            quarantine,
+            recovery,
+            discarded,
+        })
+    }
+
+    /// Remove the manifest and every log segment, returning the bytes
+    /// dropped. Directories stay in place for the fresh run.
+    fn wipe(state_dir: &Path, shards: usize) -> Result<u64, TsvError> {
+        let mut bytes = 0;
+        for name in ["manifest.tsv", "manifest.tsv.tmp"] {
+            let path = state_dir.join(name);
+            if let Ok(meta) = fs::metadata(&path) {
+                bytes += meta.len();
+                fs::remove_file(&path)?;
+            }
+        }
+        for shard in 0..shards {
+            let dir = shard_dir(state_dir, shard);
+            for (_, path) in wal::segments(&dir)? {
+                bytes += fs::metadata(&path)?.len();
+                fs::remove_file(&path)?;
+            }
+        }
+        Ok(bytes)
+    }
+
+    fn manifest(&self) -> ShardManifest {
+        ShardManifest {
+            shards: self.config.shards,
+            policy: self.config.policy,
+            version: self.config.version,
+            completed: self.completed.clone(),
+            quarantine: self.quarantine.clone(),
+        }
+    }
+
+    /// Ingest every snapshot file of `archive_dir` that the manifest
+    /// does not already list, committing each one before moving on.
+    ///
+    /// Quarantine semantics match
+    /// [`nc_core::tsv::import_archive_dir_with`] exactly (same budget
+    /// accounting, carried across resumes via the manifest); the sink
+    /// file, when configured, is truncated per call.
+    pub fn ingest_archive(
+        &mut self,
+        archive_dir: &Path,
+        options: &ImportOptions,
+    ) -> Result<ShardIngestOutcome, TsvError> {
+        if let Some(sink) = &options.quarantine_path {
+            File::create(sink)?;
+        }
+        let done: BTreeSet<&str> = self.completed.iter().map(|s| s.date.as_str()).collect();
+        let mut pending = Vec::new();
+        let mut resumed = 0;
+        for path in archive_files(archive_dir)? {
+            let date = date_from_file_name(&path).ok_or_else(|| TsvError::BadFileName {
+                file: path.clone(),
+            })?;
+            if done.contains(date.as_str()) {
+                resumed += 1;
+            } else {
+                pending.push(path);
+            }
+        }
+
+        let mut stats = Vec::new();
+        for path in pending {
+            match read_snapshot_budgeted(&path, options, self.quarantine.events())? {
+                Some(parsed) => {
+                    self.quarantine.lines_quarantined += parsed.quarantined;
+                    if parsed.remapped {
+                        self.quarantine.remapped_headers += 1;
+                    }
+                    let snap = parsed.snapshot;
+                    for wal in &mut self.wals {
+                        wal.begin_snapshot(&snap.date, self.config.version)?;
+                    }
+                    let start_seq = self.store.next_seq();
+                    let parts = ingest::fan_out(
+                        self.store.shards_mut(),
+                        Some(self.wals.as_mut_slice()),
+                        &snap.rows,
+                        &snap.date,
+                        self.config.policy,
+                        self.config.version,
+                        start_seq,
+                        self.config.channel_depth,
+                    )?;
+                    self.store.advance_seq(snap.rows.len() as u64);
+                    // Step 1 of the commit: durable C on every log.
+                    for (wal, part) in self.wals.iter_mut().zip(&parts) {
+                        wal.commit_snapshot(&snap.date, part.total_rows)?;
+                    }
+                    for wal in &mut self.wals {
+                        wal.maybe_rotate()?;
+                    }
+                    let mut total = ImportStats::zero(snap.date.clone());
+                    for part in &parts {
+                        total.merge(part);
+                    }
+                    total.quarantined = parsed.quarantined;
+                    self.quarantine
+                        .per_snapshot
+                        .push((total.date.clone(), parsed.quarantined));
+                    self.completed.push(total.clone());
+                    // Step 2: the manifest makes it official.
+                    self.manifest().save(&self.state_dir)?;
+                    stats.push(total);
+                }
+                None => {
+                    self.quarantine.files_quarantined += 1;
+                    if let Some(budget) = options.error_budget {
+                        if self.quarantine.events() > budget {
+                            return Err(TsvError::QuarantineBudget {
+                                budget,
+                                quarantined: self.quarantine.events(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(ShardIngestOutcome {
+            stats,
+            resumed,
+            quarantine: self.quarantine.clone(),
+        })
+    }
+
+    /// Materialize a versioned [`StoreSnapshot`] (incremental: only
+    /// dirty shards rebuild; see [`ShardedStore::publish`]).
+    pub fn publish(&mut self, version: u32) -> StoreSnapshot {
+        self.store.publish(version)
+    }
+
+    /// Publish straight into an `nc-serve` registry, making the carved
+    /// datasets of the new version available to HTTP clients.
+    pub fn publish_into(
+        &mut self,
+        registry: &SnapshotRegistry,
+        version: u32,
+    ) -> Arc<ServeSnapshot> {
+        registry.publish(ServeSnapshot::new(self.store.publish(version)))
+    }
+
+    /// The in-memory sharded store.
+    pub fn store(&self) -> &ShardedStore {
+        &self.store
+    }
+
+    /// Mutable access to the store (pure in-memory mutations bypass the
+    /// WAL — meant for `finalize` and publish bookkeeping).
+    pub fn store_mut(&mut self) -> &mut ShardedStore {
+        &mut self.store
+    }
+
+    /// Stats of every committed snapshot, in ingest order.
+    pub fn completed(&self) -> &[ImportStats] {
+        &self.completed
+    }
+
+    /// What recovery replayed and dropped when this engine opened.
+    pub fn recovery(&self) -> &WalRecovery {
+        &self.recovery
+    }
+
+    /// Why the previous state was discarded at open, if it was.
+    pub fn discarded(&self) -> Option<&str> {
+        self.discarded.as_deref()
+    }
+
+    /// Cumulative quarantine accounting across all runs.
+    pub fn quarantine(&self) -> &QuarantineReport {
+        &self.quarantine
+    }
+
+    /// The engine's fixed configuration.
+    pub fn config(&self) -> &ShardEngineConfig {
+        &self.config
+    }
+}

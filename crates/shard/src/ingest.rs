@@ -1,0 +1,153 @@
+//! Parallel snapshot fan-out: one reader, one worker per shard.
+//!
+//! The reader walks the snapshot's rows in file order, stamps each row
+//! with a global sequence number, routes it by [`crate::shard_of`] and
+//! sends it down that shard's bounded channel. Each worker owns its
+//! shard (and its WAL, when logging) exclusively for the duration of
+//! the scope, so the hot path takes no locks; determinism follows from
+//! the channels being FIFO and the dedup state being per-cluster (see
+//! the [`crate::store`] module docs).
+
+use std::io;
+
+use nc_core::cluster::RowOutcome;
+use nc_core::import::ImportStats;
+use nc_core::record::DedupPolicy;
+use nc_votergen::schema::Row;
+
+use crate::store::{shard_of, Shard};
+use crate::wal::ShardWal;
+
+/// Route one row into its shard, logging it first when a WAL is
+/// attached (log-before-apply; the manifest is the commit point, so a
+/// logged-but-unapplied row is simply replayed or discarded later).
+#[allow(clippy::too_many_arguments)]
+fn apply_one(
+    shard: &mut Shard,
+    wal: Option<&mut ShardWal>,
+    seq: u64,
+    row: &Row,
+    date: &str,
+    policy: DedupPolicy,
+    version: u32,
+    stats: &mut ImportStats,
+) -> io::Result<()> {
+    if let Some(wal) = wal {
+        wal.append_row(seq, row)?;
+    }
+    stats.total_rows += 1;
+    match shard.apply(seq, row, policy, date, version) {
+        RowOutcome::NewCluster => {
+            stats.new_clusters += 1;
+            stats.new_records += 1;
+        }
+        RowOutcome::NewRecord => stats.new_records += 1,
+        RowOutcome::DuplicateDropped => {}
+    }
+    Ok(())
+}
+
+/// Fan a snapshot's rows out across `shards`, returning one
+/// [`ImportStats`] per shard (in shard-index order).
+///
+/// Every row is offered — duplicates too, since they still mutate the
+/// owning cluster's `rows_seen`/membership bookkeeping and must be
+/// replayed identically from the WAL. `start_seq` is the global
+/// sequence number of `rows[0]`; the caller advances its counter by
+/// `rows.len()` afterwards.
+///
+/// Errors (only possible when WALs are attached) are reported
+/// deterministically: workers fail independently, and the first error
+/// in shard-index order wins.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fan_out(
+    shards: &mut [Shard],
+    wals: Option<&mut [ShardWal]>,
+    rows: &[Row],
+    date: &str,
+    policy: DedupPolicy,
+    version: u32,
+    start_seq: u64,
+    depth: usize,
+) -> io::Result<Vec<ImportStats>> {
+    let n = shards.len();
+    let mut wal_slots: Vec<Option<&mut ShardWal>> = match wals {
+        Some(wals) => {
+            debug_assert_eq!(wals.len(), n, "one WAL per shard");
+            wals.iter_mut().map(Some).collect()
+        }
+        None => (0..n).map(|_| None).collect(),
+    };
+
+    // Workers only pay off when there is real hardware parallelism;
+    // with a single shard — or a single core — route inline instead.
+    // Applying rows in global order is exactly the per-shard FIFO order
+    // the channels would deliver, so the outcome is bit-identical.
+    let cores = std::thread::available_parallelism().map_or(1, |c| c.get());
+    if n == 1 || cores == 1 {
+        let mut parts: Vec<ImportStats> =
+            (0..n).map(|_| ImportStats::zero(date.to_owned())).collect();
+        for (i, row) in rows.iter().enumerate() {
+            let target = if n == 1 { 0 } else { shard_of(row.ncid(), n) };
+            apply_one(
+                &mut shards[target],
+                wal_slots[target].as_deref_mut(),
+                start_seq + i as u64,
+                row,
+                date,
+                policy,
+                version,
+                &mut parts[target],
+            )?;
+        }
+        return Ok(parts);
+    }
+
+    let mut results: Vec<io::Result<ImportStats>> = Vec::with_capacity(n);
+    crossbeam::thread::scope(|scope| {
+        let mut senders = Vec::with_capacity(n);
+        let mut workers = Vec::with_capacity(n);
+        for (shard, mut wal) in shards.iter_mut().zip(wal_slots.drain(..)) {
+            let (tx, rx) = crossbeam::channel::bounded::<(u64, &Row)>(depth.max(1));
+            senders.push(tx);
+            workers.push(scope.spawn(move |_| -> io::Result<ImportStats> {
+                let mut stats = ImportStats::zero(date.to_owned());
+                for (seq, row) in rx.iter() {
+                    apply_one(
+                        shard,
+                        wal.as_deref_mut(),
+                        seq,
+                        row,
+                        date,
+                        policy,
+                        version,
+                        &mut stats,
+                    )?;
+                }
+                Ok(stats)
+            }));
+        }
+
+        for (i, row) in rows.iter().enumerate() {
+            let target = shard_of(row.ncid(), n);
+            if senders[target].send((start_seq + i as u64, row)).is_err() {
+                // The worker hung up early — it hit a WAL write error.
+                // Stop feeding; its Err surfaces at join below.
+                break;
+            }
+        }
+        drop(senders);
+
+        for worker in workers {
+            results.push(worker.join().expect("shard worker panicked"));
+        }
+    })
+    .expect("ingest scope failed");
+
+    // First error in shard-index order wins (deterministic reporting).
+    let mut parts = Vec::with_capacity(n);
+    for result in results {
+        parts.push(result?);
+    }
+    Ok(parts)
+}

@@ -1,0 +1,43 @@
+//! Sharded, WAL-backed cluster storage (the scale-out tier of the
+//! paper's update process).
+//!
+//! The paper's pipeline ingests 40 snapshots totalling 506.7 M rows
+//! into cluster-aggregated storage (Section 2, Tables 1–2). A single
+//! in-memory [`nc_core::cluster::ClusterStore`] fed by a
+//! single-threaded importer does not reach that scale, so this crate
+//! splits the store into N shards keyed by `hash(NCID) % N`:
+//!
+//! * **Parallel ingest** ([`ingest`]): a reader fans a snapshot's rows
+//!   out over bounded channels to per-shard workers. Each worker owns
+//!   its shard exclusively — no locks on the hot path — and reuses
+//!   [`nc_core::cluster::ClusterStore::import_row_ref`] and the
+//!   quarantine-mode semantics of `nc_core::tsv`, so every per-row
+//!   outcome is identical to the sequential importer's.
+//! * **Write-ahead logging** ([`wal`]): each shard appends its rows to
+//!   an append-only log using the CRC-32 line framing of
+//!   [`nc_docstore::persist`], so applying snapshot k+1 appends deltas
+//!   instead of rewriting the store. Segments rotate at a size bound,
+//!   a manifest records completed snapshots (the commit point), and
+//!   recovery salvages the intact prefix of a torn tail with exact
+//!   loss reporting.
+//! * **Deterministic merged iteration** ([`store`]):
+//!   [`store::ShardedStore::cluster_ids`] yields clusters in global
+//!   founding order — the same order the unsharded store yields — so
+//!   scoring, customize and carving stay bit-identical under any shard
+//!   count (asserted by proptest in `tests/determinism.rs`).
+//! * **Incremental publish** ([`engine`]): after a snapshot lands,
+//!   only dirty shards are re-materialized into the next
+//!   [`nc_core::snapshot::StoreSnapshot`], which publishes straight
+//!   into `nc-serve`'s snapshot registry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod engine;
+pub(crate) mod ingest;
+pub mod store;
+pub mod wal;
+
+pub use engine::{ShardEngine, ShardEngineConfig, ShardIngestOutcome};
+pub use store::{shard_of, ShardedDocId, ShardedStore};
+pub use wal::WalRecovery;

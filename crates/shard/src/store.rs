@@ -1,0 +1,369 @@
+//! The in-memory sharded store and its determinism contract.
+//!
+//! # Why merged iteration is deterministic
+//!
+//! The unsharded [`ClusterStore::cluster_ids`] sorts clusters by
+//! `DocId`, and `DocId`s are assigned in insertion order, so the
+//! unsharded order is *global founding order*: the order in which each
+//! NCID was first seen. Sharding partitions whole clusters (the shard
+//! key is the NCID), the reader assigns every row a global sequence
+//! number before fan-out, and each per-shard channel is FIFO — so a
+//! shard observes its subset of rows in exactly the relative order the
+//! sequential importer would, and per-cluster dedup state evolves
+//! identically. Recording the founding row's sequence number per
+//! cluster and merging all shards by that number therefore reproduces
+//! the unsharded founding order exactly (bit-identical downstream
+//! scoring/customize/carving; see `tests/determinism.rs`).
+
+use nc_core::cluster::{ClusterStore, RowOutcome};
+use nc_core::import::ImportStats;
+use nc_core::record::DedupPolicy;
+use nc_core::snapshot::StoreSnapshot;
+use nc_docstore::collection::DocId;
+use nc_votergen::schema::Row;
+use nc_votergen::snapshot::Snapshot;
+
+use crate::ingest;
+
+/// Stable shard router: FNV-1a over the trimmed NCID bytes, mod
+/// `shards`.
+///
+/// Hand-rolled rather than [`std::hash::DefaultHasher`] because WAL
+/// replay in a *new* process must route every logged row to the shard
+/// that logged it — std's hasher is randomly seeded per process and
+/// makes no cross-version promises.
+pub fn shard_of(ncid: &str, shards: usize) -> usize {
+    debug_assert!(shards > 0, "a store has at least one shard");
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in ncid.trim().as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (h % shards as u64) as usize
+}
+
+/// One shard: a privately owned [`ClusterStore`] plus the founding
+/// bookkeeping that makes merged iteration deterministic.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    pub(crate) store: ClusterStore,
+    /// `(global row sequence number, NCID)` per founded cluster, in
+    /// founding order — the merge key for [`ShardedStore::cluster_ids`].
+    founded: Vec<(u64, String)>,
+    /// Rows landed since the last materialization.
+    dirty: bool,
+    /// Cached materialized clusters (valid while `!dirty`).
+    cache: Option<Vec<(u64, String, Vec<Row>)>>,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Shard {
+            store: ClusterStore::new(),
+            founded: Vec::new(),
+            dirty: false,
+            cache: None,
+        }
+    }
+
+    /// Import one row (with its global sequence number) into this
+    /// shard. The caller guarantees the row's NCID routes here.
+    pub(crate) fn apply(
+        &mut self,
+        seq: u64,
+        row: &Row,
+        policy: DedupPolicy,
+        date: &str,
+        version: u32,
+    ) -> RowOutcome {
+        let outcome = self.store.import_row_ref(row, policy, date, version);
+        if outcome == RowOutcome::NewCluster {
+            self.founded.push((seq, row.ncid().trim().to_owned()));
+        }
+        self.dirty = true;
+        outcome
+    }
+
+    /// The shard's clusters in founding order, rebuilt only when rows
+    /// landed since the last call (the incremental-publish fast path).
+    fn materialize(&mut self) -> &[(u64, String, Vec<Row>)] {
+        if self.dirty || self.cache.is_none() {
+            let clusters = self
+                .founded
+                .iter()
+                .map(|(seq, ncid)| (*seq, ncid.clone(), self.store.cluster_rows(ncid)))
+                .collect();
+            self.cache = Some(clusters);
+            self.dirty = false;
+        }
+        self.cache.as_deref().expect("just built")
+    }
+}
+
+/// Global address of a cluster inside a [`ShardedStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardedDocId {
+    /// Index of the shard holding the cluster.
+    pub shard: usize,
+    /// The cluster's document id *within* that shard's store.
+    pub doc: DocId,
+}
+
+/// A [`ClusterStore`] split into N hash-partitioned shards.
+///
+/// Pure in-memory — the WAL-backed, resumable variant is
+/// [`crate::engine::ShardEngine`], which drives this store through the
+/// same ingest path.
+#[derive(Debug)]
+pub struct ShardedStore {
+    shards: Vec<Shard>,
+    /// Next global row sequence number (one per fanned-out row).
+    next_seq: u64,
+    /// Bounded-channel depth between the reader and each worker.
+    channel_depth: usize,
+}
+
+impl ShardedStore {
+    /// An empty store with `shards` partitions (clamped to ≥ 1).
+    pub fn new(shards: usize) -> Self {
+        ShardedStore {
+            shards: (0..shards.max(1)).map(|_| Shard::new()).collect(),
+            next_seq: 0,
+            channel_depth: 1024,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    pub(crate) fn shards_mut(&mut self) -> &mut [Shard] {
+        &mut self.shards
+    }
+
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    pub(crate) fn advance_seq(&mut self, rows: u64) {
+        self.next_seq += rows;
+    }
+
+    /// Raise the replay watermark: the next fanned-out row must get a
+    /// sequence number above every replayed one.
+    pub(crate) fn observe_replayed_seq(&mut self, seq: u64) {
+        self.next_seq = self.next_seq.max(seq + 1);
+    }
+
+    /// Ingest one snapshot across all shards in parallel, returning
+    /// the merged [`ImportStats`] — bit-identical to what
+    /// [`nc_core::import::import_snapshot`] reports on an unsharded
+    /// store, because per-worker stats are associatively merged in
+    /// shard order and every per-row outcome matches the sequential
+    /// importer's.
+    pub fn ingest_snapshot(
+        &mut self,
+        snapshot: &Snapshot,
+        policy: DedupPolicy,
+        version: u32,
+    ) -> ImportStats {
+        let parts = ingest::fan_out(
+            &mut self.shards,
+            None,
+            &snapshot.rows,
+            &snapshot.date,
+            policy,
+            version,
+            self.next_seq,
+            self.channel_depth,
+        )
+        .expect("in-memory ingest performs no IO");
+        self.next_seq += snapshot.rows.len() as u64;
+        let mut total = ImportStats::zero(snapshot.date.clone());
+        for part in &parts {
+            total.merge(part);
+        }
+        total
+    }
+
+    /// All clusters in *global founding order* — the same NCID order
+    /// the unsharded [`ClusterStore::cluster_ids`] yields for the same
+    /// row stream (see the module docs for the argument).
+    pub fn cluster_ids(&self) -> Vec<(String, ShardedDocId)> {
+        let mut merged: Vec<(u64, String, ShardedDocId)> = Vec::with_capacity(self.cluster_count());
+        for (shard_idx, shard) in self.shards.iter().enumerate() {
+            // Within a shard, founding order and DocId order coincide
+            // (clusters are the only inserts); zip them to attach ids.
+            let by_doc = shard.store.cluster_ids();
+            debug_assert_eq!(by_doc.len(), shard.founded.len());
+            for ((seq, ncid), (doc_ncid, doc)) in shard.founded.iter().zip(by_doc) {
+                debug_assert_eq!(*ncid, doc_ncid, "founding order must match DocId order");
+                merged.push((
+                    *seq,
+                    ncid.clone(),
+                    ShardedDocId {
+                        shard: shard_idx,
+                        doc,
+                    },
+                ));
+            }
+        }
+        merged.sort_by_key(|(seq, _, _)| *seq);
+        merged.into_iter().map(|(_, ncid, id)| (ncid, id)).collect()
+    }
+
+    /// The rows of one cluster, routed to its shard.
+    pub fn cluster_rows(&self, ncid: &str) -> Vec<Row> {
+        self.shards[shard_of(ncid, self.shards.len())]
+            .store
+            .cluster_rows(ncid)
+    }
+
+    /// Total clusters across all shards.
+    pub fn cluster_count(&self) -> usize {
+        self.shards.iter().map(|s| s.store.cluster_count()).sum()
+    }
+
+    /// Total records kept across all shards.
+    pub fn record_count(&self) -> u64 {
+        self.shards.iter().map(|s| s.store.record_count()).sum()
+    }
+
+    /// Total rows ever offered for import (kept + dropped).
+    pub fn rows_imported(&self) -> u64 {
+        self.shards.iter().map(|s| s.store.rows_imported()).sum()
+    }
+
+    /// Indexes of the shards the next [`ShardedStore::publish`] must
+    /// re-materialize (rows landed since their cached materialization).
+    pub fn dirty_shards(&self) -> Vec<usize> {
+        self.shards
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.dirty || s.cache.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Finalize every shard's document metadata (see
+    /// [`ClusterStore::finalize`]).
+    pub fn finalize(&mut self) {
+        for shard in &mut self.shards {
+            shard.store.finalize();
+        }
+    }
+
+    /// Materialize a [`StoreSnapshot`] pinned to `version`.
+    ///
+    /// Incremental: only dirty shards rebuild their cluster lists; the
+    /// per-shard lists (already in founding order) are merged by
+    /// global sequence number, so the snapshot's cluster order is
+    /// identical to [`StoreSnapshot::capture`] on the unsharded twin.
+    pub fn publish(&mut self, version: u32) -> StoreSnapshot {
+        let mut merged: Vec<(u64, (String, Vec<Row>))> = Vec::with_capacity(self.cluster_count());
+        for shard in &mut self.shards {
+            for (seq, ncid, rows) in shard.materialize() {
+                merged.push((*seq, (ncid.clone(), rows.clone())));
+            }
+        }
+        merged.sort_by_key(|(seq, _)| *seq);
+        StoreSnapshot::from_clusters(version, merged.into_iter().map(|(_, c)| c).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_core::import::import_snapshot;
+    use nc_votergen::config::GeneratorConfig;
+    use nc_votergen::registry::Registry;
+    use nc_votergen::snapshot::standard_calendar;
+
+    fn snapshots(seed: u64, pop: usize, n: usize) -> Vec<Snapshot> {
+        let mut reg = Registry::new(GeneratorConfig {
+            seed,
+            initial_population: pop,
+            ..Default::default()
+        });
+        standard_calendar()
+            .iter()
+            .take(n)
+            .map(|info| reg.generate_snapshot(info))
+            .collect()
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for shards in [1, 2, 3, 8] {
+            for ncid in ["AA1", "  AA1  ", "BX999", ""] {
+                let s = shard_of(ncid, shards);
+                assert!(s < shards);
+                assert_eq!(s, shard_of(ncid, shards), "routing must be pure");
+            }
+        }
+        // Trimming is part of the key, matching the cluster key.
+        assert_eq!(shard_of(" ZQ7 ", 8), shard_of("ZQ7", 8));
+    }
+
+    #[test]
+    fn sharded_matches_unsharded_counts_stats_and_order() {
+        let snaps = snapshots(41, 90, 3);
+        let mut plain = ClusterStore::new();
+        let mut plain_stats = Vec::new();
+        for s in &snaps {
+            plain_stats.push(import_snapshot(&mut plain, s, DedupPolicy::Trimmed, 1));
+        }
+        for shards in [1, 2, 3, 8] {
+            let mut sharded = ShardedStore::new(shards);
+            let stats: Vec<ImportStats> = snaps
+                .iter()
+                .map(|s| sharded.ingest_snapshot(s, DedupPolicy::Trimmed, 1))
+                .collect();
+            assert_eq!(stats, plain_stats, "shards={shards}");
+            assert_eq!(sharded.cluster_count(), plain.cluster_count());
+            assert_eq!(sharded.record_count(), plain.record_count());
+            assert_eq!(sharded.rows_imported(), plain.rows_imported());
+            let plain_ids: Vec<String> =
+                plain.cluster_ids().into_iter().map(|(n, _)| n).collect();
+            let sharded_ids: Vec<String> =
+                sharded.cluster_ids().into_iter().map(|(n, _)| n).collect();
+            assert_eq!(sharded_ids, plain_ids, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn publish_is_incremental_over_dirty_shards() {
+        let snaps = snapshots(42, 60, 2);
+        let mut sharded = ShardedStore::new(4);
+        sharded.ingest_snapshot(&snaps[0], DedupPolicy::Trimmed, 1);
+        assert!(!sharded.dirty_shards().is_empty());
+        let v1 = sharded.publish(1);
+        assert_eq!(v1.record_count(), sharded.record_count());
+        assert!(
+            sharded.dirty_shards().is_empty(),
+            "publish cleans every shard"
+        );
+        // A second publish with no new rows reuses every cache.
+        let v1_again = sharded.publish(1);
+        assert_eq!(v1_again.clusters(), v1.clusters());
+
+        sharded.ingest_snapshot(&snaps[1], DedupPolicy::Trimmed, 1);
+        let dirty = sharded.dirty_shards();
+        assert!(!dirty.is_empty());
+        let v2 = sharded.publish(2);
+        assert_eq!(v2.record_count(), sharded.record_count());
+        assert_eq!(v2.cluster_count(), sharded.cluster_count());
+    }
+
+    #[test]
+    fn cluster_rows_route_to_the_owning_shard() {
+        let snaps = snapshots(43, 50, 1);
+        let mut sharded = ShardedStore::new(3);
+        sharded.ingest_snapshot(&snaps[0], DedupPolicy::Trimmed, 1);
+        for (ncid, id) in sharded.cluster_ids() {
+            assert_eq!(id.shard, shard_of(&ncid, 3));
+            assert!(!sharded.cluster_rows(&ncid).is_empty());
+        }
+    }
+}

@@ -1,0 +1,768 @@
+//! Per-shard write-ahead logs, the shard manifest, and crash recovery.
+//!
+//! # On-disk layout
+//!
+//! ```text
+//! <state>/manifest.tsv          commit point (atomic tmp+fsync+rename)
+//! <state>/shard-0/wal-000000.log
+//! <state>/shard-0/wal-000001.log   segments rotate at a size bound,
+//! <state>/shard-1/wal-000000.log   always on a snapshot boundary
+//! ...
+//! ```
+//!
+//! Every WAL and manifest line is framed with the CRC-32 trailer of
+//! [`nc_docstore::persist::frame_line`], so torn or bit-flipped tails
+//! are detected line-by-line. WAL record grammar (bodies, pre-framing):
+//!
+//! ```text
+//! B\t<date>\t<version>      snapshot begins
+//! R\t<seq>\t<row-tsv>       one routed row (duplicates included —
+//!                           they still mutate cluster bookkeeping)
+//! C\t<date>\t<rows>         snapshot ends; <rows> = this shard's count
+//! ```
+//!
+//! # Commit point
+//!
+//! The *manifest* is the commit point, not the WAL `C` record. A
+//! snapshot commits in two steps: (1) `C` appended and fsynced on every
+//! shard WAL, (2) the manifest rewritten atomically listing the
+//! snapshot as completed. Recovery replays WAL rows only for
+//! manifest-listed snapshots; a WAL-committed-but-unmanifested snapshot
+//! is *discarded* with exact loss reporting, because re-importing its
+//! source file reproduces the same store state, whereas replaying it
+//! and then re-importing would double the rows-seen bookkeeping.
+
+use std::collections::BTreeSet;
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use nc_core::import::ImportStats;
+use nc_core::record::DedupPolicy;
+use nc_core::tsv::QuarantineReport;
+use nc_docstore::persist::{frame_line, read_framed, sync_dir};
+use nc_votergen::schema::Row;
+
+/// Aggregated outcome of WAL recovery across all shards.
+///
+/// "Discarded" covers both physical damage (torn or corrupt tail
+/// lines) and logical rollback (rows logged for snapshots that never
+/// reached the manifest commit point); [`WalRecovery::details`] says
+/// which was which, per shard.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WalRecovery {
+    /// Manifest-committed snapshots replayed into the store.
+    pub snapshots_applied: usize,
+    /// Rows re-applied from the logs.
+    pub rows_replayed: u64,
+    /// Parsed rows dropped because their snapshot never committed.
+    pub rows_discarded: u64,
+    /// Log bytes truncated (uncommitted records plus unparseable tail).
+    pub bytes_discarded: u64,
+    /// Shards whose log ended in physically damaged data.
+    pub torn_tails: usize,
+    /// Human-readable per-shard notes on everything dropped.
+    pub details: Vec<String>,
+}
+
+impl WalRecovery {
+    /// True when nothing was dropped anywhere.
+    pub fn is_clean(&self) -> bool {
+        self.rows_discarded == 0 && self.bytes_discarded == 0 && self.torn_tails == 0
+    }
+
+    /// Fold one shard's recovery into the aggregate.
+    pub(crate) fn absorb(&mut self, other: WalRecovery) {
+        self.snapshots_applied += other.snapshots_applied;
+        self.rows_replayed += other.rows_replayed;
+        self.rows_discarded += other.rows_discarded;
+        self.bytes_discarded += other.bytes_discarded;
+        self.torn_tails += other.torn_tails;
+        self.details.extend(other.details);
+    }
+}
+
+fn segment_path(dir: &Path, index: u32) -> PathBuf {
+    dir.join(format!("wal-{index:06}.log"))
+}
+
+/// Existing WAL segments in `dir`, sorted by index.
+pub(crate) fn segments(dir: &Path) -> io::Result<Vec<(u32, PathBuf)>> {
+    let mut found = Vec::new();
+    if !dir.exists() {
+        return Ok(found);
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(idx) = name
+            .strip_prefix("wal-")
+            .and_then(|rest| rest.strip_suffix(".log"))
+            .and_then(|digits| digits.parse::<u32>().ok())
+        {
+            found.push((idx, path));
+        }
+    }
+    found.sort_by_key(|(idx, _)| *idx);
+    Ok(found)
+}
+
+/// One shard's append-only log.
+#[derive(Debug)]
+pub(crate) struct ShardWal {
+    dir: PathBuf,
+    segment: u32,
+    writer: BufWriter<File>,
+    bytes: u64,
+    segment_bytes: u64,
+}
+
+impl ShardWal {
+    /// Open the shard's log for appending, continuing the last segment
+    /// (or creating `wal-000000.log` in a fresh directory).
+    pub(crate) fn open(dir: &Path, segment_bytes: u64) -> io::Result<Self> {
+        fs::create_dir_all(dir)?;
+        let existing = segments(dir)?;
+        let (segment, created) = match existing.last() {
+            Some((idx, _)) => (*idx, false),
+            None => (0, true),
+        };
+        let path = segment_path(dir, segment);
+        let file = OpenOptions::new().append(true).create(true).open(&path)?;
+        let bytes = file.metadata()?.len();
+        if created {
+            sync_dir(dir)?;
+        }
+        Ok(ShardWal {
+            dir: dir.to_path_buf(),
+            segment,
+            writer: BufWriter::new(file),
+            bytes,
+            segment_bytes,
+        })
+    }
+
+    fn append(&mut self, body: &str) -> io::Result<()> {
+        let line = frame_line(body);
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.bytes += line.len() as u64 + 1;
+        Ok(())
+    }
+
+    /// Log the start of a snapshot.
+    pub(crate) fn begin_snapshot(&mut self, date: &str, version: u32) -> io::Result<()> {
+        self.append(&format!("B\t{date}\t{version}"))
+    }
+
+    /// Log one routed row under its global sequence number.
+    pub(crate) fn append_row(&mut self, seq: u64, row: &Row) -> io::Result<()> {
+        self.append(&format!("R\t{seq}\t{}", row.to_tsv()))
+    }
+
+    /// Log the end of a snapshot (`rows` = this shard's routed count)
+    /// and make everything durable.
+    pub(crate) fn commit_snapshot(&mut self, date: &str, rows: u64) -> io::Result<()> {
+        self.append(&format!("C\t{date}\t{rows}"))?;
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()
+    }
+
+    /// Rotate to a fresh segment when the current one has outgrown the
+    /// size bound. Only called on snapshot boundaries, so a snapshot's
+    /// records never straddle segments (recovery relies on this).
+    pub(crate) fn maybe_rotate(&mut self) -> io::Result<bool> {
+        if self.bytes <= self.segment_bytes {
+            return Ok(false);
+        }
+        self.writer.flush()?;
+        self.writer.get_ref().sync_all()?;
+        self.segment += 1;
+        let path = segment_path(&self.dir, self.segment);
+        let file = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&path)?;
+        sync_dir(&self.dir)?;
+        self.writer = BufWriter::new(file);
+        self.bytes = 0;
+        Ok(true)
+    }
+}
+
+/// One manifest-committed snapshot recovered from a shard's log.
+#[derive(Debug)]
+pub(crate) struct ReplaySnapshot {
+    /// Snapshot date from the `B` record.
+    pub date: String,
+    /// Import version from the `B` record.
+    pub version: u32,
+    /// `(global sequence number, row)` in logged (= original) order.
+    pub rows: Vec<(u64, Row)>,
+}
+
+/// Everything recovered from one shard's log.
+#[derive(Debug)]
+pub(crate) struct ShardReplay {
+    /// Snapshots to re-apply, in commit order.
+    pub snapshots: Vec<ReplaySnapshot>,
+    /// This shard's contribution to the aggregate [`WalRecovery`].
+    pub recovery: WalRecovery,
+}
+
+/// Replay one shard's log, keeping only snapshots in `completed` (the
+/// manifest's list) and truncating everything after the last kept
+/// commit — torn tails, corrupt lines, and WAL-committed-but-
+/// unmanifested snapshots alike — with exact loss accounting.
+pub(crate) fn replay_shard(dir: &Path, completed: &BTreeSet<String>) -> io::Result<ShardReplay> {
+    let shard_name = dir
+        .file_name()
+        .and_then(|n| n.to_str())
+        .unwrap_or("shard")
+        .to_owned();
+    let segs = segments(dir)?;
+    let mut out = ShardReplay {
+        snapshots: Vec::new(),
+        recovery: WalRecovery::default(),
+    };
+
+    // Prefix-scan the segments in order; `keep` is the position just
+    // after the last commit we re-applied.
+    let mut keep: Option<(usize, u64)> = None;
+    let mut pending: Vec<(u64, Row)> = Vec::new();
+    let mut current: Option<(String, u32)> = None;
+    let mut damaged: Option<String> = None;
+    let mut discarded_rows_after_keep: u64 = 0;
+
+    'segments: for (si, (_, path)) in segs.iter().enumerate() {
+        let data = fs::read(path)?;
+        let mut offset: usize = 0;
+        while offset < data.len() {
+            let Some(nl) = data[offset..].iter().position(|&b| b == b'\n') else {
+                damaged = Some(format!("{shard_name}: partial line at end of log"));
+                break 'segments;
+            };
+            let line = &data[offset..offset + nl];
+            let body = match std::str::from_utf8(line).ok().and_then(read_framed) {
+                Some(body) => body,
+                None => {
+                    damaged = Some(format!(
+                        "{shard_name}: corrupt record at byte {offset} of segment {si}"
+                    ));
+                    break 'segments;
+                }
+            };
+            if let Some(rest) = body.strip_prefix("B\t") {
+                let parsed = rest
+                    .split_once('\t')
+                    .and_then(|(date, v)| v.parse::<u32>().ok().map(|v| (date.to_owned(), v)));
+                match parsed {
+                    Some(begin) if current.is_none() => {
+                        current = Some(begin);
+                        pending.clear();
+                    }
+                    _ => {
+                        damaged = Some(format!(
+                            "{shard_name}: malformed or misplaced begin record at byte {offset}"
+                        ));
+                        break 'segments;
+                    }
+                }
+            } else if let Some(rest) = body.strip_prefix("R\t") {
+                let parsed = rest.split_once('\t').and_then(|(seq, tsv)| {
+                    Some((seq.parse::<u64>().ok()?, Row::from_tsv(tsv)?))
+                });
+                match (parsed, current.is_some()) {
+                    (Some(entry), true) => pending.push(entry),
+                    _ => {
+                        damaged = Some(format!(
+                            "{shard_name}: malformed or stray row record at byte {offset}"
+                        ));
+                        break 'segments;
+                    }
+                }
+            } else if let Some(rest) = body.strip_prefix("C\t") {
+                let parsed = rest
+                    .split_once('\t')
+                    .and_then(|(date, n)| n.parse::<u64>().ok().map(|n| (date, n)));
+                let consistent = matches!(
+                    (&parsed, &current),
+                    (Some((date, rows)), Some((cur, _)))
+                        if *date == cur.as_str() && *rows == pending.len() as u64
+                );
+                if !consistent {
+                    damaged = Some(format!(
+                        "{shard_name}: commit record disagrees with its snapshot at byte {offset}"
+                    ));
+                    break 'segments;
+                }
+                let (date, version) = current.take().expect("checked above");
+                if completed.contains(&date) {
+                    let rows = std::mem::take(&mut pending);
+                    out.recovery.rows_replayed += rows.len() as u64;
+                    out.recovery.snapshots_applied += 1;
+                    out.snapshots.push(ReplaySnapshot {
+                        date,
+                        version,
+                        rows,
+                    });
+                    keep = Some((si, (offset + nl + 1) as u64));
+                    discarded_rows_after_keep = 0;
+                } else {
+                    // Logged and WAL-committed, but the manifest never
+                    // advanced: the crash hit between the two steps.
+                    discarded_rows_after_keep += pending.len() as u64;
+                    out.recovery.details.push(format!(
+                        "{shard_name}: rolled back snapshot {date} ({} rows) — \
+                         logged but never committed to the manifest",
+                        pending.len()
+                    ));
+                    pending.clear();
+                }
+            } else {
+                damaged = Some(format!(
+                    "{shard_name}: unknown record type at byte {offset}"
+                ));
+                break 'segments;
+            }
+            offset += nl + 1;
+        }
+    }
+
+    if let Some(reason) = damaged {
+        out.recovery.torn_tails += 1;
+        out.recovery.details.push(reason);
+    }
+    // Rows from a snapshot cut off mid-flight (B + some R, no C).
+    if !pending.is_empty() {
+        if let Some((date, _)) = &current {
+            out.recovery.details.push(format!(
+                "{shard_name}: dropped incomplete snapshot {date} ({} rows)",
+                pending.len()
+            ));
+        }
+        discarded_rows_after_keep += pending.len() as u64;
+    }
+    out.recovery.rows_discarded += discarded_rows_after_keep;
+
+    // Truncate the logs back to the keep point and account for every
+    // byte dropped.
+    match keep {
+        Some((keep_si, keep_off)) => {
+            for (si, (_, path)) in segs.iter().enumerate() {
+                let len = fs::metadata(path)?.len();
+                if si < keep_si {
+                    continue;
+                }
+                if si == keep_si {
+                    if len > keep_off {
+                        out.recovery.bytes_discarded += len - keep_off;
+                        let file = OpenOptions::new().write(true).open(path)?;
+                        file.set_len(keep_off)?;
+                        file.sync_all()?;
+                    }
+                } else {
+                    out.recovery.bytes_discarded += len;
+                    fs::remove_file(path)?;
+                }
+            }
+        }
+        None => {
+            // Nothing durable at all: clear the shard's log.
+            for (_, path) in &segs {
+                out.recovery.bytes_discarded += fs::metadata(path)?.len();
+                fs::remove_file(path)?;
+            }
+        }
+    }
+    if !segs.is_empty() {
+        sync_dir(dir)?;
+    }
+    Ok(out)
+}
+
+const MANIFEST_FILE: &str = "manifest.tsv";
+const MANIFEST_HEADER: &str = "nc-shard-manifest";
+const MANIFEST_FORMAT: u32 = 1;
+
+fn policy_label(policy: DedupPolicy) -> &'static str {
+    match policy {
+        DedupPolicy::None => "None",
+        DedupPolicy::Exact => "Exact",
+        DedupPolicy::Trimmed => "Trimmed",
+        DedupPolicy::PersonData => "PersonData",
+    }
+}
+
+fn parse_policy(label: &str) -> Option<DedupPolicy> {
+    DedupPolicy::ALL
+        .into_iter()
+        .find(|p| policy_label(*p) == label)
+}
+
+/// The engine's commit point: which snapshots are durably ingested,
+/// under which parameters, with their exact [`ImportStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ShardManifest {
+    /// Shard count the logs were written under (routing depends on it).
+    pub shards: usize,
+    /// Dedup policy of the ingest.
+    pub policy: DedupPolicy,
+    /// Import version of the ingest.
+    pub version: u32,
+    /// Completed snapshots, in ingest order, with their merged stats.
+    pub completed: Vec<ImportStats>,
+    /// Archive-level quarantine accounting at the last commit.
+    pub quarantine: QuarantineReport,
+}
+
+/// Outcome of reading the manifest off disk.
+#[derive(Debug)]
+pub(crate) enum ManifestState {
+    /// No manifest: a fresh (or never-committed) state directory.
+    Absent,
+    /// A manifest exists but cannot be trusted; the reason explains.
+    Damaged(String),
+    /// The manifest parsed and verified cleanly.
+    Loaded(ShardManifest),
+}
+
+impl ShardManifest {
+    /// Dates of every completed snapshot, for WAL replay filtering.
+    pub(crate) fn completed_dates(&self) -> BTreeSet<String> {
+        self.completed.iter().map(|s| s.date.clone()).collect()
+    }
+
+    /// Atomically persist the manifest into `state_dir`
+    /// (tmp + fsync + rename + directory fsync), making everything the
+    /// WALs hold for the listed snapshots durable-by-reference.
+    pub(crate) fn save(&self, state_dir: &Path) -> io::Result<()> {
+        let mut text = String::new();
+        let header = format!(
+            "{MANIFEST_HEADER}\t{MANIFEST_FORMAT}\t{}\t{}\t{}",
+            self.shards,
+            policy_label(self.policy),
+            self.version
+        );
+        text.push_str(&frame_line(&header));
+        text.push('\n');
+        let q = &self.quarantine;
+        let qline = format!(
+            "Q\t{}\t{}\t{}",
+            q.lines_quarantined, q.files_quarantined, q.remapped_headers
+        );
+        text.push_str(&frame_line(&qline));
+        text.push('\n');
+        for s in &self.completed {
+            let sline = format!(
+                "S\t{}\t{}\t{}\t{}\t{}",
+                s.date, s.total_rows, s.new_records, s.new_clusters, s.quarantined
+            );
+            text.push_str(&frame_line(&sline));
+            text.push('\n');
+        }
+
+        let tmp = state_dir.join(format!("{MANIFEST_FILE}.tmp"));
+        let path = state_dir.join(MANIFEST_FILE);
+        {
+            let mut file = File::create(&tmp)?;
+            file.write_all(text.as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        sync_dir(state_dir)?;
+        Ok(())
+    }
+
+    /// Read the manifest from `state_dir`, verifying every line frame.
+    pub(crate) fn load(state_dir: &Path) -> io::Result<ManifestState> {
+        let path = state_dir.join(MANIFEST_FILE);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => return Ok(ManifestState::Absent),
+            Err(err) => return Err(err),
+        };
+        let damaged = |what: &str| Ok(ManifestState::Damaged(format!("manifest: {what}")));
+
+        let mut lines = text.lines();
+        let Some(header) = lines.next().and_then(read_framed) else {
+            return damaged("missing or corrupt header line");
+        };
+        let mut fields = header.split('\t');
+        if fields.next() != Some(MANIFEST_HEADER) {
+            return damaged("not a shard manifest");
+        }
+        if fields.next().and_then(|v| v.parse::<u32>().ok()) != Some(MANIFEST_FORMAT) {
+            return damaged("unsupported format version");
+        }
+        let Some(shards) = fields.next().and_then(|v| v.parse::<usize>().ok()) else {
+            return damaged("bad shard count");
+        };
+        let Some(policy) = fields.next().and_then(parse_policy) else {
+            return damaged("unknown dedup policy");
+        };
+        let Some(version) = fields.next().and_then(|v| v.parse::<u32>().ok()) else {
+            return damaged("bad version");
+        };
+
+        let Some(qbody) = lines.next().and_then(read_framed) else {
+            return damaged("missing or corrupt quarantine line");
+        };
+        let mut q = qbody.split('\t');
+        let quarantine = match (
+            q.next(),
+            q.next().and_then(|v| v.parse().ok()),
+            q.next().and_then(|v| v.parse().ok()),
+            q.next().and_then(|v| v.parse().ok()),
+        ) {
+            (Some("Q"), Some(lines_q), Some(files_q), Some(remapped)) => QuarantineReport {
+                lines_quarantined: lines_q,
+                files_quarantined: files_q,
+                remapped_headers: remapped,
+                per_snapshot: Vec::new(),
+            },
+            _ => return damaged("bad quarantine line"),
+        };
+
+        let mut completed = Vec::new();
+        for line in lines {
+            let Some(body) = read_framed(line) else {
+                return damaged("corrupt snapshot line");
+            };
+            let mut s = body.split('\t');
+            let stats = match (
+                s.next(),
+                s.next(),
+                s.next().and_then(|v| v.parse().ok()),
+                s.next().and_then(|v| v.parse().ok()),
+                s.next().and_then(|v| v.parse().ok()),
+                s.next().and_then(|v| v.parse().ok()),
+            ) {
+                (Some("S"), Some(date), Some(total), Some(records), Some(clusters), Some(quar)) => {
+                    ImportStats {
+                        date: date.to_owned(),
+                        total_rows: total,
+                        new_records: records,
+                        new_clusters: clusters,
+                        quarantined: quar,
+                    }
+                }
+                _ => return damaged("bad snapshot line"),
+            };
+            completed.push(stats);
+        }
+        let mut manifest = ShardManifest {
+            shards,
+            policy,
+            version,
+            completed,
+            quarantine,
+        };
+        manifest.quarantine.per_snapshot = manifest
+            .completed
+            .iter()
+            .map(|s| (s.date.clone(), s.quarantined))
+            .collect();
+        Ok(ManifestState::Loaded(manifest))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_votergen::schema::{Row, LAST_NAME, NCID};
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("nc_shard_wal_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn row(ncid: &str) -> Row {
+        let mut r = Row::empty();
+        r.set(NCID, ncid);
+        r.set(LAST_NAME, "DOE");
+        r
+    }
+
+    fn write_snapshot_records(wal: &mut ShardWal, date: &str, seqs: &[u64]) {
+        wal.begin_snapshot(date, 1).unwrap();
+        for &seq in seqs {
+            wal.append_row(seq, &row(&format!("NC{seq}"))).unwrap();
+        }
+        wal.commit_snapshot(date, seqs.len() as u64).unwrap();
+    }
+
+    #[test]
+    fn clean_log_replays_only_manifested_snapshots() {
+        let dir = tmp_dir("clean");
+        let mut wal = ShardWal::open(&dir, 1 << 20).unwrap();
+        write_snapshot_records(&mut wal, "2008-11-04", &[0, 1, 2]);
+        write_snapshot_records(&mut wal, "2009-01-01", &[5, 7]);
+        drop(wal);
+
+        let completed: BTreeSet<String> = ["2008-11-04".to_owned()].into();
+        let replay = replay_shard(&dir, &completed).unwrap();
+        assert_eq!(replay.snapshots.len(), 1);
+        assert_eq!(replay.snapshots[0].date, "2008-11-04");
+        assert_eq!(replay.snapshots[0].rows.len(), 3);
+        assert_eq!(replay.recovery.rows_replayed, 3);
+        // The unmanifested second snapshot rolls back with exact loss.
+        assert_eq!(replay.recovery.rows_discarded, 2);
+        assert!(replay.recovery.bytes_discarded > 0);
+        assert_eq!(replay.recovery.torn_tails, 0);
+
+        // After truncation the log replays identically again.
+        let again = replay_shard(&dir, &completed).unwrap();
+        assert_eq!(again.snapshots.len(), 1);
+        assert!(again.recovery.is_clean());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_with_exact_accounting() {
+        let dir = tmp_dir("torn");
+        let mut wal = ShardWal::open(&dir, 1 << 20).unwrap();
+        write_snapshot_records(&mut wal, "2008-11-04", &[0, 1]);
+        // Crash mid-snapshot: begin + one row, no commit, torn bytes.
+        wal.begin_snapshot("2009-01-01", 1).unwrap();
+        wal.append_row(9, &row("NC9")).unwrap();
+        wal.commit_snapshot("2009-01-01", 1).unwrap();
+        drop(wal);
+        let seg = segment_path(&dir, 0);
+        let full = fs::metadata(&seg).unwrap().len();
+        // Chop the commit record in half to simulate the tear.
+        let bytes = fs::read(&seg).unwrap();
+        fs::write(&seg, &bytes[..bytes.len() - 7]).unwrap();
+
+        let completed: BTreeSet<String> = ["2008-11-04".to_owned()].into();
+        let replay = replay_shard(&dir, &completed).unwrap();
+        assert_eq!(replay.snapshots.len(), 1);
+        assert_eq!(replay.recovery.rows_replayed, 2);
+        assert_eq!(replay.recovery.rows_discarded, 1, "the parsed row of the torn snapshot");
+        assert_eq!(replay.recovery.torn_tails, 1);
+        assert!(replay.recovery.bytes_discarded > 0);
+        assert!(fs::metadata(&seg).unwrap().len() < full);
+        // Idempotent after truncation.
+        assert!(replay_shard(&dir, &completed).unwrap().recovery.is_clean());
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_splits_segments_on_snapshot_boundaries() {
+        let dir = tmp_dir("rotate");
+        let mut wal = ShardWal::open(&dir, 64).unwrap();
+        write_snapshot_records(&mut wal, "2008-11-04", &[0, 1, 2, 3]);
+        assert!(wal.maybe_rotate().unwrap(), "past the 64-byte bound");
+        write_snapshot_records(&mut wal, "2009-01-01", &[4, 5]);
+        drop(wal);
+        assert_eq!(segments(&dir).unwrap().len(), 2);
+
+        let completed: BTreeSet<String> =
+            ["2008-11-04".to_owned(), "2009-01-01".to_owned()].into();
+        let replay = replay_shard(&dir, &completed).unwrap();
+        assert_eq!(replay.snapshots.len(), 2);
+        assert_eq!(replay.recovery.rows_replayed, 6);
+        assert!(replay.recovery.is_clean());
+
+        // Reopen appends to the *last* segment.
+        let wal = ShardWal::open(&dir, 64).unwrap();
+        assert_eq!(wal.segment, 1);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_middle_discards_everything_after_it() {
+        let dir = tmp_dir("flip");
+        let mut wal = ShardWal::open(&dir, 1 << 20).unwrap();
+        write_snapshot_records(&mut wal, "2008-11-04", &[0]);
+        let keep_len = {
+            wal.writer.flush().unwrap();
+            fs::metadata(segment_path(&dir, 0)).unwrap().len()
+        };
+        write_snapshot_records(&mut wal, "2009-01-01", &[1, 2]);
+        drop(wal);
+        // Flip a byte inside the second snapshot's records.
+        let seg = segment_path(&dir, 0);
+        let mut bytes = fs::read(&seg).unwrap();
+        let target = keep_len as usize + 10;
+        bytes[target] ^= 0x40;
+        fs::write(&seg, &bytes).unwrap();
+
+        let completed: BTreeSet<String> =
+            ["2008-11-04".to_owned(), "2009-01-01".to_owned()].into();
+        let replay = replay_shard(&dir, &completed).unwrap();
+        // Only the first snapshot survives; the engine notices the
+        // second is missing and escalates to a full restart.
+        assert_eq!(replay.snapshots.len(), 1);
+        assert_eq!(replay.recovery.torn_tails, 1);
+        assert_eq!(fs::metadata(&seg).unwrap().len(), keep_len);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn manifest_round_trips_and_detects_damage() {
+        let dir = tmp_dir("manifest");
+        let manifest = ShardManifest {
+            shards: 3,
+            policy: DedupPolicy::Trimmed,
+            version: 2,
+            completed: vec![
+                ImportStats {
+                    date: "2008-11-04".into(),
+                    total_rows: 10,
+                    new_records: 9,
+                    new_clusters: 8,
+                    quarantined: 1,
+                },
+                ImportStats {
+                    date: "2009-01-01".into(),
+                    total_rows: 12,
+                    new_records: 3,
+                    new_clusters: 1,
+                    quarantined: 0,
+                },
+            ],
+            quarantine: QuarantineReport {
+                lines_quarantined: 1,
+                files_quarantined: 0,
+                remapped_headers: 2,
+                per_snapshot: vec![("2008-11-04".into(), 1), ("2009-01-01".into(), 0)],
+            },
+        };
+        manifest.save(&dir).unwrap();
+        match ShardManifest::load(&dir).unwrap() {
+            ManifestState::Loaded(loaded) => assert_eq!(loaded, manifest),
+            other => panic!("expected Loaded, got {other:?}"),
+        }
+        assert_eq!(
+            manifest.completed_dates(),
+            ["2008-11-04".to_owned(), "2009-01-01".to_owned()].into()
+        );
+
+        // Absent in an empty directory.
+        let empty = tmp_dir("manifest_empty");
+        assert!(matches!(
+            ShardManifest::load(&empty).unwrap(),
+            ManifestState::Absent
+        ));
+
+        // Any flipped byte is detected.
+        let path = dir.join(MANIFEST_FILE);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            ShardManifest::load(&dir).unwrap(),
+            ManifestState::Damaged(_)
+        ));
+        fs::remove_dir_all(dir).unwrap();
+        fs::remove_dir_all(empty).unwrap();
+    }
+}

@@ -1,0 +1,158 @@
+//! Property tests: a [`ShardedStore`] is *bit-identical* to the
+//! unsharded [`ClusterStore`] for every shard count — same per-snapshot
+//! stats, same merged cluster order, same published snapshot, same
+//! scores (to the last mantissa bit) and same carved NC1–NC3 datasets.
+//!
+//! This is the contract that lets the rest of the pipeline (scoring,
+//! customization, nc-serve carving) run unchanged on top of shards.
+
+use nc_core::cluster::ClusterStore;
+use nc_core::customize::{customize, CustomDataset, CustomizeParams};
+use nc_core::heterogeneity::Scope;
+use nc_core::import::{import_snapshot, ImportStats};
+use nc_core::plausibility::PlausibilityScorer;
+use nc_core::record::DedupPolicy;
+use nc_core::scoring::{score_clusters, score_store, ScoringConfig};
+use nc_core::snapshot::StoreSnapshot;
+use nc_shard::ShardedStore;
+use nc_votergen::config::GeneratorConfig;
+use nc_votergen::registry::Registry;
+use nc_votergen::schema::Row;
+use nc_votergen::snapshot::{standard_calendar, Snapshot};
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+fn generate_snapshots(seed: u64, population: usize, count: usize) -> Vec<Snapshot> {
+    let mut registry = Registry::new(GeneratorConfig {
+        seed,
+        initial_population: population,
+        ..Default::default()
+    });
+    standard_calendar()
+        .iter()
+        .take(count)
+        .map(|info| registry.generate_snapshot(info))
+        .collect()
+}
+
+/// Bit-exact rendering of a carved dataset: cluster NCIDs plus every
+/// record as its TSV line, in order.
+fn render(ds: &CustomDataset) -> Vec<String> {
+    ds.clusters
+        .iter()
+        .flat_map(|c| {
+            std::iter::once(format!("# {}", c.ncid)).chain(c.records.iter().map(Row::to_tsv))
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn sharded_store_is_bit_identical_to_unsharded(
+        seed in 0u64..10_000,
+        population in 40usize..80,
+        snapshot_count in 1usize..4,
+    ) {
+        let snapshots = generate_snapshots(seed, population, snapshot_count);
+
+        // Unsharded reference: store, stats, snapshot, scores.
+        let mut plain = ClusterStore::new();
+        let mut plain_stats: Vec<ImportStats> = Vec::new();
+        for snap in &snapshots {
+            plain_stats.push(import_snapshot(&mut plain, snap, DedupPolicy::Trimmed, 1));
+        }
+        let reference = StoreSnapshot::capture(&plain, 1);
+        let plausibility = PlausibilityScorer::new();
+        let entropy = reference.entropy_scorer(Scope::Person);
+        let plain_scores = score_store(
+            &plain,
+            &plausibility,
+            &entropy,
+            &ScoringConfig::with_threads(1),
+        );
+        let plain_carves: Vec<Vec<String>> = [
+            CustomizeParams::nc1(30, 10, seed),
+            CustomizeParams::nc2(30, 10, seed),
+            CustomizeParams::nc3(30, 10, seed),
+        ]
+        .iter()
+        .map(|params| render(&customize(&plain, &entropy, params)))
+        .collect();
+
+        for shards in SHARD_COUNTS {
+            let mut sharded = ShardedStore::new(shards);
+            let stats: Vec<ImportStats> = snapshots
+                .iter()
+                .map(|snap| sharded.ingest_snapshot(snap, DedupPolicy::Trimmed, 1))
+                .collect();
+            prop_assert_eq!(&stats, &plain_stats, "stats, shards={}", shards);
+
+            // Merged iteration order is the unsharded founding order.
+            let plain_ids: Vec<&str> = reference
+                .clusters()
+                .iter()
+                .map(|(ncid, _)| ncid.as_str())
+                .collect();
+            let sharded_ids: Vec<String> = sharded
+                .cluster_ids()
+                .into_iter()
+                .map(|(ncid, _)| ncid)
+                .collect();
+            prop_assert_eq!(&sharded_ids, &plain_ids, "order, shards={}", shards);
+
+            // The published snapshot is the same object, byte for byte.
+            let published = sharded.publish(1);
+            prop_assert_eq!(
+                published.clusters(),
+                reference.clusters(),
+                "published clusters, shards={}",
+                shards
+            );
+
+            // Scoring through the shared score_clusters path is
+            // bit-identical (and thread-count independent: the
+            // reference ran single-threaded, this one on hardware).
+            let scores = score_clusters(
+                published.clusters(),
+                &plausibility,
+                &published.entropy_scorer(Scope::Person),
+                &ScoringConfig::with_threads(0),
+            );
+            prop_assert_eq!(scores.len(), plain_scores.len());
+            for (got, want) in scores.iter().zip(&plain_scores) {
+                prop_assert_eq!(&got.ncid, &want.ncid);
+                prop_assert_eq!(got.records, want.records);
+                prop_assert_eq!(
+                    got.plausibility.to_bits(),
+                    want.plausibility.to_bits(),
+                    "plausibility of {} differs, shards={}",
+                    got.ncid.clone(),
+                    shards
+                );
+                prop_assert_eq!(
+                    got.heterogeneity.to_bits(),
+                    want.heterogeneity.to_bits(),
+                    "heterogeneity of {} differs, shards={}",
+                    got.ncid.clone(),
+                    shards
+                );
+            }
+
+            // Carved NC1–NC3 presets are bit-identical too.
+            let carves: Vec<Vec<String>> = [
+                CustomizeParams::nc1(30, 10, seed),
+                CustomizeParams::nc2(30, 10, seed),
+                CustomizeParams::nc3(30, 10, seed),
+            ]
+            .iter()
+            .map(|params| {
+                render(&published.customize(&published.entropy_scorer(Scope::Person), params))
+            })
+            .collect();
+            prop_assert_eq!(&carves, &plain_carves, "carves, shards={}", shards);
+        }
+    }
+}

@@ -43,13 +43,21 @@ impl EntropyAccumulator {
 
     /// Shannon entropy (base 2) of the observed distribution; `0.0` when
     /// empty.
+    ///
+    /// Summed in sorted-count order, not `HashMap` iteration order:
+    /// float addition is not associative, and the map's per-instance
+    /// random ordering would otherwise let two accumulators over the
+    /// same multiset disagree by an ulp — breaking the bit-identity
+    /// contracts of parallel scoring and sharded stores.
     pub fn entropy(&self) -> f64 {
         if self.total == 0 {
             return 0.0;
         }
         let n = self.total as f64;
-        self.counts
-            .values()
+        let mut counts: Vec<u64> = self.counts.values().copied().collect();
+        counts.sort_unstable();
+        counts
+            .iter()
             .map(|&c| {
                 let p = c as f64 / n;
                 -p * p.log2()

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Shard-engine benchmark: builds the release binary, measures parallel
+# ingest throughput (shards=1 vs N), publish latency and WAL replay
+# time, and writes BENCH_shard.json in the repo root. Any extra
+# arguments are passed through (e.g. --pop 5000 --shards 8).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p nc-bench --bin bench_shard
+exec target/release/bench_shard --out BENCH_shard.json "$@"

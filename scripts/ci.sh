@@ -14,6 +14,14 @@ cargo build --release --workspace "$@"
 echo "=== test ==="
 cargo test -q --workspace "$@"
 
+echo "=== shard smoke ==="
+# Tiny-parameter pass through the shard benchmark: in-memory fan-out,
+# WAL-backed archive ingest, publish and a clean replay — the binary
+# asserts each stage and exits non-zero on any failure.
+cargo run --release -q -p nc-bench --bin bench_shard "$@" -- \
+    --pop 200 --snapshots 3 --shards 3 --reps 1 \
+    --out target/BENCH_shard_smoke.json > /dev/null
+
 echo "=== serve smoke ==="
 # End-to-end smoke of the carving service on an ephemeral port:
 # /healthz, a carved page (cold + cached), and a clean shutdown —

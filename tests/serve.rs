@@ -281,6 +281,64 @@ fn error_paths_return_4xx_not_5xx() {
 }
 
 #[test]
+fn saturated_queue_returns_503_with_retry_after() {
+    let store = build_store(28, 200, 5);
+    // One worker and a one-slot queue so two idle connections saturate
+    // the service deterministically.
+    let config = ServeConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..ServeConfig::default()
+    };
+    let state = Arc::new(ServeState::new(
+        Arc::new(SnapshotRegistry::new(ServeSnapshot::capture(&store, 1))),
+        config,
+    ));
+    let handle = Server::spawn(Arc::clone(&state)).expect("bind ephemeral port");
+    let addr = handle.addr();
+    let pause = std::time::Duration::from_millis(300);
+
+    // Occupy the only worker: a connection that sends nothing keeps it
+    // blocked in read until we hang up.
+    let worker_hog = TcpStream::connect(addr).expect("connect worker hog");
+    std::thread::sleep(pause);
+    // Fill the single queue slot the same way.
+    let queue_hog = TcpStream::connect(addr).expect("connect queue hog");
+    std::thread::sleep(pause);
+
+    // The next connection must be turned away immediately — not parked
+    // in the queue behind the hogs.
+    let reply = get(addr, "/healthz");
+    assert_eq!(reply.status, 503, "{}", reply.body);
+    assert_eq!(reply.header("retry-after"), Some("1"));
+    assert!(state.metrics().saturated() >= 1);
+
+    // Release the hogs: the service recovers and reports the episode.
+    // (Recovery is not instant — the worker still has to drain the two
+    // dead connections — so give it a few tries.)
+    drop(worker_hog);
+    drop(queue_hog);
+    let mut health = get(addr, "/healthz");
+    for _ in 0..20 {
+        if health.status == 200 {
+            break;
+        }
+        std::thread::sleep(pause);
+        health = get(addr, "/healthz");
+    }
+    assert_eq!(health.status, 200, "{}", health.body);
+    let metrics = get(addr, "/metrics");
+    let saturated = metrics
+        .body
+        .lines()
+        .find_map(|l| l.strip_prefix("nc_serve_queue_saturated_total "))
+        .expect("saturation counter exported");
+    assert!(saturated.parse::<u64>().unwrap() >= 1);
+
+    handle.shutdown();
+}
+
+#[test]
 fn shutdown_drains_and_releases_the_port() {
     let store = build_store(27, 200, 5);
     let (state, handle) = spawn_server(SnapshotRegistry::new(ServeSnapshot::capture(&store, 1)));
