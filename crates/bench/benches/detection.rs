@@ -3,9 +3,14 @@
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use nc_datasets::census;
-use nc_detect::blocking::{Blocker, FullPairwise, SortedNeighborhood, StandardBlocking};
+use nc_detect::blocking::{Blocker, FullPairwise, SortedNeighborhood, StandardBlocking, StreamBlocker};
 use nc_detect::eval::{linspace, score_candidates, threshold_sweep};
+use nc_detect::index::{
+    FreqVectorBlocker, IndexedQGramBlocker, IndexedTokenBlocker, SoundexBlocker,
+};
 use nc_detect::matcher::{MeasureKind, RecordMatcher};
+use nc_detect::qgram_blocking::QGramBlocking;
+use nc_detect::sink::PairCollector;
 
 fn bench_blocking(c: &mut Criterion) {
     let data = census::generate(1);
@@ -25,6 +30,45 @@ fn bench_blocking(c: &mut Criterion) {
             b.iter(|| black_box(snm.candidates(&data).len()))
         });
     }
+    group.finish();
+}
+
+fn bench_indexed_blocking(c: &mut Criterion) {
+    let data = census::generate(1);
+    let keys = data.top_entropy_attrs(5);
+    let key = keys[0];
+    let mut group = c.benchmark_group("indexed_blocking_census");
+    group.sample_size(10);
+
+    let stream = |blocker: &dyn StreamBlocker, data| {
+        let mut collector = PairCollector::new();
+        blocker.stream_into(data, &mut collector);
+        collector.finish_count()
+    };
+    group.bench_function("qgram_scan", |b| {
+        let scan = QGramBlocking::trigrams(key);
+        b.iter(|| black_box(stream(&scan, &data)))
+    });
+    group.bench_function("qgram_indexed", |b| {
+        let indexed = IndexedQGramBlocker::trigrams(key);
+        b.iter(|| black_box(stream(&indexed, &data)))
+    });
+    group.bench_function("qgram_indexed_capped", |b| {
+        let indexed = IndexedQGramBlocker::trigrams_capped(key, 64);
+        b.iter(|| black_box(stream(&indexed, &data)))
+    });
+    group.bench_function("token_any", |b| {
+        let tokens = IndexedTokenBlocker::any_token(keys.clone(), 64);
+        b.iter(|| black_box(stream(&tokens, &data)))
+    });
+    group.bench_function("soundex", |b| {
+        let phonetic = SoundexBlocker::new(key, 64);
+        b.iter(|| black_box(stream(&phonetic, &data)))
+    });
+    group.bench_function("freq_vector_2_edits", |b| {
+        let freq = FreqVectorBlocker::within_edits(key, 2, 64);
+        b.iter(|| black_box(stream(&freq, &data)))
+    });
     group.finish();
 }
 
@@ -60,5 +104,5 @@ fn bench_sweep(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_blocking, bench_matching, bench_sweep);
+criterion_group!(benches, bench_blocking, bench_indexed_blocking, bench_matching, bench_sweep);
 criterion_main!(benches);

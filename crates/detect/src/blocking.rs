@@ -5,31 +5,103 @@
 //! size w = 20" and verifies that no true duplicate is lost. Standard
 //! blocking and full pairwise enumeration are provided as baselines for
 //! the blocking ablation.
+//!
+//! Blockers implement the streaming [`StreamBlocker`] trait and push
+//! candidate pairs into a [`CandidateSink`](crate::sink::CandidateSink)
+//! as they are found; the original [`Blocker`] trait survives as a
+//! blanket compatibility shim that collects the stream into a
+//! `HashSet<Pair>`. The indexed strategies live in [`crate::index`].
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
 
 use crate::dataset::{Dataset, Pair};
+use crate::sink::CandidateSink;
+
+/// A streaming blocking strategy: candidate pairs are pushed into the
+/// sink as they are discovered, never materialized by the blocker.
+pub trait StreamBlocker {
+    /// Stream every candidate pair of `data` into `sink`. Pairs may be
+    /// emitted more than once unless [`StreamBlocker::emits_distinct`]
+    /// says otherwise.
+    fn stream_into(&self, data: &Dataset, sink: &mut dyn CandidateSink);
+
+    /// Whether this blocker emits every candidate pair exactly once.
+    /// Distinct emitters can skip deduplication downstream (e.g. score
+    /// pairs as they stream).
+    fn emits_distinct(&self) -> bool {
+        false
+    }
+}
 
 /// A blocking strategy produces the candidate pair set.
+///
+/// Compatibility shim: every [`StreamBlocker`] is a `Blocker` via a
+/// blanket impl that collects the stream into a set. Prefer streaming
+/// through [`StreamBlocker::stream_into`] — at archive scale the set
+/// materialization is the dominant cost.
 pub trait Blocker {
     /// Candidate pairs for a dataset.
     fn candidates(&self, data: &Dataset) -> HashSet<Pair>;
 }
 
+impl<B: StreamBlocker> Blocker for B {
+    fn candidates(&self, data: &Dataset) -> HashSet<Pair> {
+        let mut out = HashSet::new();
+        self.stream_into(data, &mut out);
+        out
+    }
+}
+
+/// A blocking configuration that cannot produce meaningful candidates.
+///
+/// Detection runs over archive-scale datasets take hours; aborting one
+/// on a bad window via `assert!` (the historical behavior) is not
+/// acceptable. Validating constructors return this error instead, and
+/// the streaming path documents its clamping fallback.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BlockingConfigError {
+    /// A Sorted-Neighborhood window below 2 cannot cover a pair.
+    WindowTooSmall {
+        /// The rejected window.
+        window: usize,
+    },
+    /// A pass list with no key attributes blocks nothing.
+    NoKeys,
+    /// A gram size of zero is meaningless.
+    ZeroGramSize,
+}
+
+impl fmt::Display for BlockingConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockingConfigError::WindowTooSmall { window } => {
+                write!(f, "sorted-neighborhood window {window} cannot cover two records (needs >= 2)")
+            }
+            BlockingConfigError::NoKeys => write!(f, "blocking needs at least one key attribute"),
+            BlockingConfigError::ZeroGramSize => write!(f, "gram size must be at least 1"),
+        }
+    }
+}
+
+impl std::error::Error for BlockingConfigError {}
+
 /// All `C(n, 2)` pairs — exact but quadratic.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct FullPairwise;
 
-impl Blocker for FullPairwise {
-    fn candidates(&self, data: &Dataset) -> HashSet<Pair> {
+impl StreamBlocker for FullPairwise {
+    fn stream_into(&self, data: &Dataset, sink: &mut dyn CandidateSink) {
         let n = data.len();
-        let mut out = HashSet::with_capacity(n * (n.saturating_sub(1)) / 2);
         for i in 0..n {
             for j in (i + 1)..n {
-                out.insert(Pair(i, j));
+                sink.push(Pair(i, j));
             }
         }
-        out
+    }
+
+    fn emits_distinct(&self) -> bool {
+        true
     }
 }
 
@@ -41,21 +113,25 @@ pub struct StandardBlocking {
     pub key: usize,
 }
 
-impl Blocker for StandardBlocking {
-    fn candidates(&self, data: &Dataset) -> HashSet<Pair> {
+impl StreamBlocker for StandardBlocking {
+    fn stream_into(&self, data: &Dataset, sink: &mut dyn CandidateSink) {
         let mut blocks: HashMap<&str, Vec<usize>> = HashMap::new();
         for (i, r) in data.records.iter().enumerate() {
             blocks.entry(r.values[self.key].trim()).or_default().push(i);
         }
-        let mut out = HashSet::new();
         for members in blocks.values() {
             for i in 0..members.len() {
                 for j in (i + 1)..members.len() {
-                    out.insert(Pair::new(members[i], members[j]));
+                    sink.push(Pair::new(members[i], members[j]));
                 }
             }
         }
-        out
+    }
+
+    // Blocks partition the records, so every pair lives in exactly one
+    // block.
+    fn emits_distinct(&self) -> bool {
+        true
     }
 }
 
@@ -67,21 +143,41 @@ impl Blocker for StandardBlocking {
 pub struct SortedNeighborhood {
     /// Key attribute indices, one pass per key.
     pub keys: Vec<usize>,
-    /// Window size (the paper uses 20).
+    /// Window size (the paper uses 20). Windows below 2 cannot cover a
+    /// pair and are clamped to 2 when streaming; use
+    /// [`SortedNeighborhood::new`] to reject them up front.
     pub window: usize,
 }
 
 impl SortedNeighborhood {
+    /// A validated configuration: rejects windows that cannot cover a
+    /// pair and empty key lists instead of surprising a long detection
+    /// run later.
+    pub fn new(keys: Vec<usize>, window: usize) -> Result<Self, BlockingConfigError> {
+        if window < 2 {
+            return Err(BlockingConfigError::WindowTooSmall { window });
+        }
+        if keys.is_empty() {
+            return Err(BlockingConfigError::NoKeys);
+        }
+        Ok(SortedNeighborhood { keys, window })
+    }
+
     /// The paper's configuration: one pass per given key, window 20.
     pub fn multi_pass(keys: Vec<usize>) -> Self {
         SortedNeighborhood { keys, window: 20 }
     }
+
+    /// The window actually used when streaming (degenerate configs are
+    /// clamped to the smallest window that can cover a pair).
+    pub fn effective_window(&self) -> usize {
+        self.window.max(2)
+    }
 }
 
-impl Blocker for SortedNeighborhood {
-    fn candidates(&self, data: &Dataset) -> HashSet<Pair> {
-        assert!(self.window >= 2, "window must cover at least two records");
-        let mut out = HashSet::new();
+impl StreamBlocker for SortedNeighborhood {
+    fn stream_into(&self, data: &Dataset, sink: &mut dyn CandidateSink) {
+        let window = self.effective_window();
         for &key in &self.keys {
             let mut order: Vec<usize> = (0..data.len()).collect();
             order.sort_by(|&a, &b| {
@@ -91,12 +187,16 @@ impl Blocker for SortedNeighborhood {
                     .then(a.cmp(&b))
             });
             for (pos, &i) in order.iter().enumerate() {
-                for &j in order[pos + 1..(pos + self.window).min(order.len())].iter() {
-                    out.insert(Pair::new(i, j));
+                for &j in order[pos + 1..(pos + window).min(order.len())].iter() {
+                    sink.push(Pair::new(i, j));
                 }
             }
         }
-        out
+    }
+
+    // Distinct within a pass, but passes rediscover each other's pairs.
+    fn emits_distinct(&self) -> bool {
+        self.keys.len() <= 1
     }
 }
 
@@ -129,6 +229,41 @@ pub fn blocking_quality(data: &Dataset, candidates: &HashSet<Pair>) -> BlockingQ
             found as f64 / gold.len() as f64
         },
         candidates: candidates.len(),
+    }
+}
+
+/// Streaming twin of [`blocking_quality`]: measures candidate volume
+/// and pair completeness without materializing the candidate set. The
+/// distinct count is taken through a [`crate::sink::PairCollector`]
+/// when `distinct` is requested, otherwise the emitted (with
+/// multiplicity) count is reported.
+pub fn streaming_quality(data: &Dataset, blocker: &dyn StreamBlocker, distinct: bool) -> BlockingQuality {
+    let gold = data.gold_pairs();
+    let n = data.len() as u64;
+    let all_pairs = n * n.saturating_sub(1) / 2;
+    let (candidates, found) = if distinct && !blocker.emits_distinct() {
+        let mut collector = crate::sink::PairCollector::new();
+        blocker.stream_into(data, &mut collector);
+        let pairs = collector.finish();
+        let found = gold.iter().filter(|p| pairs.binary_search(p).is_ok()).count();
+        (pairs.len(), found)
+    } else {
+        let mut sink = crate::sink::QualitySink::new(&gold);
+        blocker.stream_into(data, &mut sink);
+        (sink.emitted as usize, sink.gold_hits())
+    };
+    BlockingQuality {
+        reduction_ratio: if all_pairs == 0 {
+            0.0
+        } else {
+            1.0 - candidates as f64 / all_pairs as f64
+        },
+        pair_completeness: if gold.is_empty() {
+            1.0
+        } else {
+            found as f64 / gold.len() as f64
+        },
+        candidates,
     }
 }
 
@@ -205,10 +340,32 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "window")]
-    fn degenerate_window_panics() {
+    fn degenerate_window_no_longer_panics() {
+        // Regression for the old `assert!(window >= 2)` abort: a bad
+        // window now clamps to the smallest pair-covering window.
         let d = data();
-        SortedNeighborhood { keys: vec![0], window: 1 }.candidates(&d);
+        let degenerate = SortedNeighborhood { keys: vec![0], window: 1 }.candidates(&d);
+        let clamped = SortedNeighborhood { keys: vec![0], window: 2 }.candidates(&d);
+        assert_eq!(degenerate, clamped);
+        assert_eq!(SortedNeighborhood { keys: vec![0], window: 0 }.effective_window(), 2);
+    }
+
+    #[test]
+    fn validating_constructor_rejects_bad_configs() {
+        assert_eq!(
+            SortedNeighborhood::new(vec![0], 1).unwrap_err(),
+            BlockingConfigError::WindowTooSmall { window: 1 }
+        );
+        assert_eq!(
+            SortedNeighborhood::new(vec![], 5).unwrap_err(),
+            BlockingConfigError::NoKeys
+        );
+        let ok = SortedNeighborhood::new(vec![0, 1], 5).unwrap();
+        assert_eq!(ok.window, 5);
+        // The error is a real std error with a readable message.
+        let msg = BlockingConfigError::WindowTooSmall { window: 1 }.to_string();
+        assert!(msg.contains("window 1"), "{msg}");
+        let _: &dyn std::error::Error = &BlockingConfigError::NoKeys;
     }
 
     #[test]
@@ -219,5 +376,18 @@ mod tests {
         assert!(SortedNeighborhood { keys: vec![0], window: 5 }
             .candidates(&d)
             .is_empty());
+    }
+
+    #[test]
+    fn streaming_quality_agrees_with_materialized_quality() {
+        let d = data();
+        let snm = SortedNeighborhood { keys: vec![0, 1], window: 3 };
+        let materialized = blocking_quality(&d, &snm.candidates(&d));
+        let streamed = streaming_quality(&d, &snm, true);
+        assert_eq!(materialized, streamed);
+        // Non-distinct accounting can only report more candidates.
+        let emitted = streaming_quality(&d, &snm, false);
+        assert!(emitted.candidates >= streamed.candidates);
+        assert_eq!(emitted.pair_completeness, streamed.pair_completeness);
     }
 }

@@ -2,10 +2,11 @@
 
 use std::collections::HashSet;
 
-use crate::blocking::Blocker;
+use crate::blocking::{Blocker, StreamBlocker};
 use crate::classify::ScoredPair;
 use crate::dataset::{Dataset, Pair};
 use crate::matcher::RecordMatcher;
+use crate::sink::{CandidateSink, PairCollector};
 
 /// Precision / recall / F1 of a pair decision against a gold standard.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -56,6 +57,54 @@ pub fn score_candidates(
             score: matcher.similarity(&data.records[pair.0], &data.records[pair.1]),
         })
         .collect();
+    scored.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.pair.cmp(&b.pair)));
+    scored
+}
+
+/// Streaming twin of [`score_candidates`]: candidate pairs flow from
+/// the blocker straight into the matcher without a materialized set.
+///
+/// Distinct-emitting blockers (`emits_distinct()`) are scored as they
+/// stream; multi-pass emitters are deduplicated through a
+/// [`PairCollector`] first so no pair is scored twice. The result is
+/// identical to [`score_candidates`] over the same blocker.
+pub fn score_candidates_streaming(
+    data: &Dataset,
+    blocker: &dyn StreamBlocker,
+    matcher: &RecordMatcher,
+) -> Vec<ScoredPair> {
+    struct ScoringSink<'a> {
+        data: &'a Dataset,
+        matcher: &'a RecordMatcher,
+        scored: Vec<ScoredPair>,
+    }
+    impl CandidateSink for ScoringSink<'_> {
+        fn push(&mut self, pair: Pair) {
+            self.scored.push(ScoredPair {
+                pair,
+                score: self
+                    .matcher
+                    .similarity(&self.data.records[pair.0], &self.data.records[pair.1]),
+            });
+        }
+    }
+
+    let mut scored = if blocker.emits_distinct() {
+        let mut sink = ScoringSink { data, matcher, scored: Vec::new() };
+        blocker.stream_into(data, &mut sink);
+        sink.scored
+    } else {
+        let mut collector = PairCollector::new();
+        blocker.stream_into(data, &mut collector);
+        collector
+            .finish()
+            .into_iter()
+            .map(|pair| ScoredPair {
+                pair,
+                score: matcher.similarity(&data.records[pair.0], &data.records[pair.1]),
+            })
+            .collect()
+    };
     scored.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.pair.cmp(&b.pair)));
     scored
 }
@@ -207,6 +256,20 @@ mod tests {
             assert!((fast.f1 - slow.f1).abs() < 1e-12);
             assert!((fast.precision - slow.precision).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn streaming_scoring_matches_materialized_scoring() {
+        let d = toy_dataset();
+        let m = RecordMatcher::with_kind(MeasureKind::JaroWinkler, vec![1.0, 1.0], vec![]);
+        // Distinct emitter (FullPairwise) and a multi-pass emitter.
+        let full_set = score_candidates(&d, &FullPairwise, &m);
+        let full_stream = score_candidates_streaming(&d, &FullPairwise, &m);
+        assert_eq!(full_set, full_stream);
+        let snm = crate::blocking::SortedNeighborhood { keys: vec![0, 1], window: 3 };
+        let snm_set = score_candidates(&d, &snm, &m);
+        let snm_stream = score_candidates_streaming(&d, &snm, &m);
+        assert_eq!(snm_set, snm_stream);
     }
 
     #[test]

@@ -8,7 +8,15 @@
 //!   comparators;
 //! * [`blocking`] — search-space reduction: multi-pass Sorted
 //!   Neighborhood (the paper's choice: one pass per unique attribute,
-//!   window 20), standard blocking and full pairwise enumeration;
+//!   window 20), standard blocking and full pairwise enumeration, all
+//!   streaming through the [`sink`] API;
+//! * [`sink`] — streaming candidate emission: blockers push pairs into
+//!   a [`sink::CandidateSink`] instead of materializing `HashSet`s;
+//! * [`postings`] — inverted-index primitives: interned terms, sorted
+//!   posting lists, galloping intersection, counting unions;
+//! * [`index`] — indexed candidate generation: q-gram/token inverted
+//!   indexes, Soundex buckets and a sparse gram-frequency-vector index
+//!   with deterministic parallel probe;
 //! * [`matcher`] — record similarity as the entropy-weighted average of
 //!   attribute similarities, with the best 1:1 matching over the name
 //!   attributes (names are often confused between fields);
@@ -27,5 +35,8 @@ pub mod classify;
 pub mod cluster_eval;
 pub mod dataset;
 pub mod eval;
+pub mod index;
 pub mod matcher;
+pub mod postings;
 pub mod qgram_blocking;
+pub mod sink;

@@ -1,0 +1,322 @@
+//! Inverted-index primitives: interned terms, sorted posting lists and
+//! the set operations over them.
+//!
+//! A [`TermIndex`] maps byte-string terms (q-grams, tokens, phonetic
+//! codes) to posting lists of `u32` record ids. Records are inserted in
+//! ascending id order, so every posting list is sorted and distinct by
+//! construction — within-record duplicate terms collapse into a count
+//! instead of a second posting entry. Alongside the postings the index
+//! keeps a CSR map from record id back to its term slots, so probing a
+//! record never re-tokenizes its value.
+//!
+//! Posting lists are combined with [`intersect_gallop`] (galloping /
+//! exponential search, `O(m log(n/m))` for lists of length `m ≤ n`)
+//! and [`union_counts`] (k-way concatenation with sort-and-run-length
+//! counting, which doubles as the overlap accumulator of the
+//! frequency-vector index).
+
+use std::collections::HashMap;
+
+/// One interned term's posting data.
+#[derive(Debug, Default, Clone)]
+struct Posting {
+    /// Sorted, distinct record ids containing the term.
+    ids: Vec<u32>,
+    /// Per-id term frequency, parallel to `ids`.
+    counts: Vec<u32>,
+}
+
+/// An inverted index over byte-string terms with a CSR record→term map.
+#[derive(Debug, Default)]
+pub struct TermIndex {
+    /// Term bytes → slot.
+    slots: HashMap<Box<[u8]>, u32>,
+    postings: Vec<Posting>,
+    /// CSR storage: term slots of record `i` live at
+    /// `record_terms[record_offsets[i]..record_offsets[i + 1]]`.
+    record_terms: Vec<u32>,
+    /// Per-record term frequency, parallel to `record_terms`.
+    record_counts: Vec<u32>,
+    record_offsets: Vec<u32>,
+    /// Id of the record currently being inserted.
+    open_record: Option<u32>,
+}
+
+impl TermIndex {
+    /// An empty index.
+    pub fn new() -> Self {
+        TermIndex {
+            record_offsets: vec![0],
+            ..Default::default()
+        }
+    }
+
+    /// Begin the posting entries of record `id`. Records must be opened
+    /// in strictly ascending id order starting at the current record
+    /// count (gap-free), which is what keeps every posting list sorted
+    /// without a sort pass.
+    pub fn open_record(&mut self, id: u32) {
+        debug_assert_eq!(id as usize + 1, self.record_offsets.len(), "records must be gap-free and ascending");
+        self.open_record = Some(id);
+    }
+
+    /// Insert one term occurrence of the open record. Repeated terms
+    /// within a record bump the occurrence count instead of growing the
+    /// posting list.
+    pub fn insert(&mut self, term: &[u8]) {
+        let id = self.open_record.expect("open_record before insert");
+        let slot = match self.slots.get(term) {
+            Some(&slot) => slot,
+            None => {
+                let slot = self.postings.len() as u32;
+                self.slots.insert(term.into(), slot);
+                self.postings.push(Posting::default());
+                slot
+            }
+        };
+        let posting = &mut self.postings[slot as usize];
+        if posting.ids.last() == Some(&id) {
+            // Within-record duplicate: count it, don't re-post it. The
+            // CSR segment already holds the slot; bump its count too.
+            *posting.counts.last_mut().expect("counts parallel to ids") += 1;
+            let open = self.record_offsets[id as usize] as usize;
+            let seg = &self.record_terms[open..];
+            let k = open + seg.iter().position(|&s| s == slot).expect("slot in open segment");
+            self.record_counts[k] += 1;
+        } else {
+            posting.ids.push(id);
+            posting.counts.push(1);
+            self.record_terms.push(slot);
+            self.record_counts.push(1);
+        }
+    }
+
+    /// Close the open record. Must be called once per opened record.
+    pub fn close_record(&mut self) {
+        debug_assert!(self.open_record.is_some());
+        self.record_offsets.push(self.record_terms.len() as u32);
+        self.open_record = None;
+    }
+
+    /// Number of closed records.
+    pub fn records(&self) -> usize {
+        self.record_offsets.len() - 1
+    }
+
+    /// Number of distinct terms.
+    pub fn terms(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Document frequency of a term slot (records containing it).
+    pub fn df(&self, slot: u32) -> usize {
+        self.postings[slot as usize].ids.len()
+    }
+
+    /// The sorted posting list of a term slot.
+    pub fn posting(&self, slot: u32) -> &[u32] {
+        &self.postings[slot as usize].ids
+    }
+
+    /// Per-record term frequencies parallel to [`TermIndex::posting`].
+    pub fn posting_counts(&self, slot: u32) -> &[u32] {
+        &self.postings[slot as usize].counts
+    }
+
+    /// Look a term up by its bytes.
+    pub fn slot_of(&self, term: &[u8]) -> Option<u32> {
+        self.slots.get(term).copied()
+    }
+
+    /// The distinct term slots of record `id` with their in-record
+    /// occurrence counts.
+    pub fn record_terms(&self, id: u32) -> impl Iterator<Item = (u32, u32)> + '_ {
+        let lo = self.record_offsets[id as usize] as usize;
+        let hi = self.record_offsets[id as usize + 1] as usize;
+        self.record_terms[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.record_counts[lo..hi].iter().copied())
+    }
+}
+
+/// Galloping intersection of two sorted distinct lists, appended to
+/// `out`. Iterates the shorter list and locates each id in the longer
+/// one by exponential search — `O(m log(n / m))`, which beats a linear
+/// merge when one list is a stop-gram-sized tail of the other.
+pub fn intersect_gallop(a: &[u32], b: &[u32], out: &mut Vec<u32>) {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    let mut lo = 0usize;
+    for &x in small {
+        // Gallop: find the first index ≥ lo with large[idx] >= x.
+        let mut step = 1usize;
+        let mut hi = lo;
+        while hi < large.len() && large[hi] < x {
+            lo = hi + 1;
+            hi = lo + step;
+            step *= 2;
+        }
+        let hi = hi.min(large.len());
+        let rel = large[lo..hi].partition_point(|&y| y < x);
+        lo += rel;
+        if lo < large.len() && large[lo] == x {
+            out.push(x);
+            lo += 1;
+        }
+        if lo >= large.len() {
+            break;
+        }
+    }
+}
+
+/// Multi-way intersection: lists are intersected smallest-first so the
+/// running result only shrinks. Returns the ids present in **every**
+/// list. `scratch` is working memory reused across calls.
+pub fn intersect_all(lists: &mut [&[u32]], scratch: &mut Vec<u32>, out: &mut Vec<u32>) {
+    out.clear();
+    if lists.is_empty() {
+        return;
+    }
+    lists.sort_by_key(|l| l.len());
+    out.extend_from_slice(lists[0]);
+    for rest in &lists[1..] {
+        scratch.clear();
+        intersect_gallop(out, rest, scratch);
+        std::mem::swap(out, scratch);
+        if out.is_empty() {
+            return;
+        }
+    }
+}
+
+/// k-way union with multiplicity: append every id of every list to
+/// `scratch`, sort, and emit `(id, occurrences)` runs to `f`. The
+/// weighted variant used by the frequency-vector index pushes a weight
+/// per occurrence instead; see [`union_weighted`].
+pub fn union_counts(lists: &[&[u32]], scratch: &mut Vec<u32>, mut f: impl FnMut(u32, u32)) {
+    scratch.clear();
+    for list in lists {
+        scratch.extend_from_slice(list);
+    }
+    scratch.sort_unstable();
+    let mut i = 0;
+    while i < scratch.len() {
+        let id = scratch[i];
+        let mut n = 0u32;
+        while i < scratch.len() && scratch[i] == id {
+            n += 1;
+            i += 1;
+        }
+        f(id, n);
+    }
+}
+
+/// Weighted k-way union: entries are `(id, weight)`; emits
+/// `(id, Σ weight)` runs in ascending id order.
+pub fn union_weighted(entries: &mut [(u32, u32)], mut f: impl FnMut(u32, u32)) {
+    entries.sort_unstable_by_key(|&(id, _)| id);
+    let mut i = 0;
+    while i < entries.len() {
+        let id = entries[i].0;
+        let mut acc = 0u32;
+        while i < entries.len() && entries[i].0 == id {
+            acc += entries[i].1;
+            i += 1;
+        }
+        f(id, acc);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(rows: &[&[&[u8]]]) -> TermIndex {
+        let mut ix = TermIndex::new();
+        for (i, terms) in rows.iter().enumerate() {
+            ix.open_record(i as u32);
+            for t in *terms {
+                ix.insert(t);
+            }
+            ix.close_record();
+        }
+        ix
+    }
+
+    #[test]
+    fn postings_sorted_distinct_with_counts() {
+        let ix = build(&[
+            &[b"AB", b"BC", b"AB"],
+            &[b"BC"],
+            &[b"AB", b"ZZ"],
+        ]);
+        assert_eq!(ix.records(), 3);
+        assert_eq!(ix.terms(), 3);
+        let ab = ix.slot_of(b"AB").unwrap();
+        assert_eq!(ix.posting(ab), &[0, 2]);
+        assert_eq!(ix.posting_counts(ab), &[2, 1]);
+        assert_eq!(ix.df(ab), 2);
+        let bc = ix.slot_of(b"BC").unwrap();
+        assert_eq!(ix.posting(bc), &[0, 1]);
+        assert!(ix.slot_of(b"QQ").is_none());
+    }
+
+    #[test]
+    fn record_terms_round_trip() {
+        let ix = build(&[&[b"AB", b"BC", b"AB"], &[b"ZZ"]]);
+        let terms: Vec<(u32, u32)> = ix.record_terms(0).collect();
+        let ab = ix.slot_of(b"AB").unwrap();
+        let bc = ix.slot_of(b"BC").unwrap();
+        assert_eq!(terms, vec![(ab, 2), (bc, 1)]);
+        assert_eq!(ix.record_terms(1).count(), 1);
+    }
+
+    #[test]
+    fn gallop_intersection_matches_naive() {
+        let cases: &[(&[u32], &[u32])] = &[
+            (&[], &[1, 2, 3]),
+            (&[2], &[1, 2, 3]),
+            (&[1, 5, 9, 100], &[5, 100, 200]),
+            (&[1, 2, 3, 4, 5, 6, 7, 8], &[0, 8]),
+            (&[3, 50], &(0..64).collect::<Vec<u32>>()),
+        ];
+        for (a, b) in cases {
+            let mut out = Vec::new();
+            intersect_gallop(a, b, &mut out);
+            let naive: Vec<u32> = a.iter().filter(|x| b.contains(x)).copied().collect();
+            assert_eq!(out, naive, "a={a:?} b={b:?}");
+            out.clear();
+            intersect_gallop(b, a, &mut out);
+            assert_eq!(out, naive, "swapped a={a:?} b={b:?}");
+        }
+    }
+
+    #[test]
+    fn intersect_all_requires_every_list() {
+        let lists: Vec<&[u32]> = vec![&[1, 2, 3, 9], &[2, 3, 9], &[0, 3, 9, 12]];
+        let mut lists = lists;
+        let (mut scratch, mut out) = (Vec::new(), Vec::new());
+        intersect_all(&mut lists, &mut scratch, &mut out);
+        assert_eq!(out, vec![3, 9]);
+        let mut empty: Vec<&[u32]> = vec![];
+        intersect_all(&mut empty, &mut scratch, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn union_counts_runs() {
+        let lists: Vec<&[u32]> = vec![&[1, 2], &[2, 3], &[2]];
+        let mut scratch = Vec::new();
+        let mut seen = Vec::new();
+        union_counts(&lists, &mut scratch, |id, n| seen.push((id, n)));
+        assert_eq!(seen, vec![(1, 1), (2, 3), (3, 1)]);
+    }
+
+    #[test]
+    fn union_weighted_sums() {
+        let mut entries = vec![(4u32, 2u32), (1, 1), (4, 5), (1, 1)];
+        let mut seen = Vec::new();
+        union_weighted(&mut entries, |id, w| seen.push((id, w)));
+        assert_eq!(seen, vec![(1, 2), (4, 7)]);
+    }
+}

@@ -6,18 +6,30 @@
 //! one block per q-gram of its key value, so two values sharing *any*
 //! q-gram meet in at least one block. Overly frequent q-grams are
 //! skipped to keep candidate counts bounded.
+//!
+//! The original implementation allocated a `HashSet<String>` of grams
+//! per record and uppercased each value on every visit. It now rides
+//! the indexed core: one normalized-view pass over the column
+//! ([`crate::index::NormalizedKey`]), byte-window gramming with an
+//! ASCII fast path, and a [`TermIndex`] whose posting lists *are* the
+//! blocks (within-record duplicate grams collapse during insertion, so
+//! no per-record set exists). The candidate set is unchanged —
+//! property-tested equal to [`crate::index::IndexedQGramBlocker`] and
+//! to the historical scan semantics.
 
-use std::collections::{HashMap, HashSet};
-
-use crate::blocking::Blocker;
+use crate::blocking::StreamBlocker;
 use crate::dataset::{Dataset, Pair};
+use crate::index::{for_each_gram, NormalizedKey};
+use crate::postings::TermIndex;
+use crate::sink::CandidateSink;
 
 /// q-gram blocking over one key attribute.
 #[derive(Debug, Clone)]
 pub struct QGramBlocking {
     /// Index of the blocking-key attribute.
     pub key: usize,
-    /// Gram size (3 is a good default for names).
+    /// Gram size (3 is a good default for names). A size of 0 is
+    /// treated as 1.
     pub q: usize,
     /// Blocks larger than this fraction of the dataset are considered
     /// stop-grams and skipped (e.g. `0.05` = 5 %).
@@ -34,50 +46,50 @@ impl QGramBlocking {
         }
     }
 
-    fn grams(&self, value: &str) -> HashSet<String> {
-        let chars: Vec<char> = value.trim().to_uppercase().chars().collect();
-        if chars.is_empty() {
-            return HashSet::new();
+    /// A validated configuration: rejects a zero gram size instead of
+    /// silently clamping it.
+    pub fn validated(
+        key: usize,
+        q: usize,
+        max_block_fraction: f64,
+    ) -> Result<Self, crate::blocking::BlockingConfigError> {
+        if q == 0 {
+            return Err(crate::blocking::BlockingConfigError::ZeroGramSize);
         }
-        if chars.len() < self.q {
-            return HashSet::from([chars.iter().collect()]);
-        }
-        chars
-            .windows(self.q)
-            .map(|w| w.iter().collect::<String>())
-            .collect()
+        Ok(QGramBlocking { key, q, max_block_fraction })
     }
 }
 
-impl Blocker for QGramBlocking {
-    fn candidates(&self, data: &Dataset) -> HashSet<Pair> {
-        assert!(self.q >= 1, "gram size must be positive");
-        let mut blocks: HashMap<String, Vec<usize>> = HashMap::new();
-        for (i, r) in data.records.iter().enumerate() {
-            for g in self.grams(&r.values[self.key]) {
-                blocks.entry(g).or_default().push(i);
-            }
+impl StreamBlocker for QGramBlocking {
+    fn stream_into(&self, data: &Dataset, sink: &mut dyn CandidateSink) {
+        assert!(data.len() <= u32::MAX as usize, "indexes address records as u32");
+        let view = NormalizedKey::build(data, self.key);
+        let mut index = TermIndex::new();
+        for i in 0..view.len() {
+            index.open_record(i as u32);
+            for_each_gram(view.value(i), self.q, |g| index.insert(g));
+            index.close_record();
         }
         let cap = ((data.len() as f64 * self.max_block_fraction).ceil() as usize).max(2);
-        let mut out = HashSet::new();
-        for members in blocks.values() {
+        // Posting lists are the blocks: distinct ascending ids per gram.
+        for slot in 0..index.terms() as u32 {
+            let members = index.posting(slot);
             if members.len() > cap {
                 continue; // stop-gram
             }
-            for i in 0..members.len() {
-                for j in (i + 1)..members.len() {
-                    out.insert(Pair::new(members[i], members[j]));
+            for a in 0..members.len() {
+                for b in (a + 1)..members.len() {
+                    sink.push(Pair(members[a] as usize, members[b] as usize));
                 }
             }
         }
-        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::blocking::{blocking_quality, StandardBlocking};
+    use crate::blocking::{blocking_quality, Blocker, StandardBlocking};
 
     fn data() -> Dataset {
         let mut d = Dataset::new(vec!["last".into()]);
@@ -146,5 +158,30 @@ mod tests {
         d.push(vec!["SMITH".into()], 0);
         let c = QGramBlocking::trigrams(0).candidates(&d);
         assert!(c.contains(&Pair(0, 1)));
+    }
+
+    #[test]
+    fn repeated_grams_within_a_value_post_once() {
+        // "ABABAB" repeats gram AB/BA; the posting must hold each record
+        // once or within-block pairs would double-emit.
+        let mut d = Dataset::new(vec!["v".into()]);
+        d.push(vec!["ABABAB".into()], 0);
+        d.push(vec!["ABAB".into()], 0);
+        let mut emitted = Vec::new();
+        QGramBlocking { key: 0, q: 2, max_block_fraction: 1.0 }.stream_into(&d, &mut emitted);
+        // One emission per shared distinct gram (AB, BA), not per occurrence.
+        assert_eq!(emitted.len(), 2);
+        assert!(emitted.iter().all(|&p| p == Pair(0, 1)));
+    }
+
+    #[test]
+    fn unicode_values_gram_by_chars() {
+        let mut d = Dataset::new(vec!["v".into()]);
+        d.push(vec!["MÜLLER".into()], 0);
+        d.push(vec!["müller".into()], 0);
+        d.push(vec!["MÖLLER".into()], 0);
+        let c = QGramBlocking { key: 0, q: 3, max_block_fraction: 1.0 }.candidates(&d);
+        assert!(c.contains(&Pair(0, 1)), "case folds before gramming");
+        assert!(c.contains(&Pair(0, 2)), "LLE/LER shared");
     }
 }

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Candidate-generation scaling benchmark: builds the release binary,
+# measures the indexed blocking pipeline against the multi-pass
+# Sorted-Neighborhood baseline on votergen record prefixes of
+# 10k/100k/1M, asserts the parallel probe bit-identical to the
+# sequential one, and writes BENCH_detect.json in the repo root. Any
+# extra arguments are passed through (e.g. --scales 10000,50000
+# --cap 256).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p nc-bench --bin bench_detect
+exec target/release/bench_detect --out BENCH_detect.json "$@"

@@ -22,6 +22,15 @@ cargo run --release -q -p nc-bench --bin bench_shard "$@" -- \
     --pop 200 --snapshots 3 --shards 3 --reps 1 \
     --out target/BENCH_shard_smoke.json > /dev/null
 
+echo "=== detect smoke ==="
+# Tiny-parameter pass through the candidate-generation benchmark:
+# indexed pipeline vs the SNM baseline on two scales — the binary
+# asserts the parallel probe bit-identical to the sequential one and
+# exits non-zero on any failure.
+cargo run --release -q -p nc-bench --bin bench_detect "$@" -- \
+    --scales 2000,4000 --pop 1000 --reps 1 \
+    --out target/BENCH_detect_smoke.json > /dev/null
+
 echo "=== serve smoke ==="
 # End-to-end smoke of the carving service on an ephemeral port:
 # /healthz, a carved page (cold + cached), and a clean shutdown —
