@@ -21,6 +21,8 @@ use std::fs::File;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 
+use nc_vfs::{StdVfs, Vfs};
+
 use crate::cluster::ClusterStore;
 use crate::import::ImportStats;
 use crate::record::DedupPolicy;
@@ -74,22 +76,21 @@ pub fn store_path(state_dir: &Path) -> PathBuf {
     state_dir.join(STORE_FILE)
 }
 
-/// Write `text` to `path` atomically (tmp + fsync + rename).
-fn write_atomic(path: &Path, text: &str) -> Result<(), TsvError> {
+/// Write `text` to `path` atomically (tmp + fsync + rename), with
+/// every mutating syscall issued through `vfs`.
+fn write_atomic(path: &Path, text: &str, vfs: &dyn Vfs) -> Result<(), TsvError> {
     let file_name = path
         .file_name()
         .and_then(|n| n.to_str())
         .unwrap_or("manifest.json");
     let tmp = path.with_file_name(format!("{file_name}.tmp"));
-    let mut f = File::create(&tmp)?;
+    let mut f = vfs.create(&tmp)?;
     f.write_all(text.as_bytes())?;
-    f.sync_all()?;
+    f.sync_file()?;
     drop(f);
-    std::fs::rename(&tmp, path)?;
+    vfs.rename(&tmp, path)?;
     if let Some(parent) = path.parent() {
-        if let Ok(dir) = File::open(parent) {
-            let _ = dir.sync_all();
-        }
+        vfs.sync_dir(parent)?;
     }
     Ok(())
 }
@@ -166,7 +167,23 @@ pub fn import_archive_dir_resumable(
     version: u32,
     options: &ImportOptions,
 ) -> Result<ResumeOutcome, TsvError> {
-    std::fs::create_dir_all(state_dir)?;
+    import_archive_dir_resumable_with_vfs(archive_dir, state_dir, policy, version, options, &StdVfs)
+}
+
+/// [`import_archive_dir_resumable`], with every durability-critical
+/// syscall (store checkpoint save, manifest tmp/fsync/rename) issued
+/// through `vfs` — the injectable form the crash sweeps drive. A run
+/// crashed at any syscall restarts under [`StdVfs`] and recovers to
+/// the last completed checkpoint, never a torn in-between.
+pub fn import_archive_dir_resumable_with_vfs(
+    archive_dir: &Path,
+    state_dir: &Path,
+    policy: DedupPolicy,
+    version: u32,
+    options: &ImportOptions,
+    vfs: &dyn Vfs,
+) -> Result<ResumeOutcome, TsvError> {
+    vfs.create_dir_all(state_dir)?;
     let (restored, checkpoint_discarded) = restore(state_dir, policy, version)?;
     let (mut store, mut stats, mut quarantine, resumed_snapshots) = match restored {
         Some((store, manifest)) => {
@@ -226,11 +243,11 @@ pub fn import_archive_dir_resumable(
         // Order matters — a manifest must never promise snapshots the
         // store file does not contain.
         store.finalize();
-        nc_docstore::persist::save(store.collection(), &store_path(state_dir)).map_err(|e| {
-            TsvError::Checkpoint {
+        nc_docstore::persist::save_with(store.collection(), &store_path(state_dir), vfs).map_err(
+            |e| TsvError::Checkpoint {
                 message: format!("cannot persist store checkpoint: {e}"),
-            }
-        })?;
+            },
+        )?;
         let manifest = Manifest {
             format: MANIFEST_FORMAT,
             policy: policy.label().to_owned(),
@@ -241,7 +258,7 @@ pub fn import_archive_dir_resumable(
         let text = serde_json::to_string_pretty(&manifest).map_err(|e| TsvError::Checkpoint {
             message: format!("cannot serialize manifest: {e}"),
         })?;
-        write_atomic(&manifest_path(state_dir), &text)?;
+        write_atomic(&manifest_path(state_dir), &text, vfs)?;
     }
     store.finalize();
     Ok(ResumeOutcome {
@@ -397,6 +414,107 @@ mod tests {
 
         std::fs::remove_dir_all(archive).unwrap();
         std::fs::remove_dir_all(state).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_crash_sweep_leaves_old_or_new_bit_exactly() {
+        use nc_vfs::fault::FaultVfs;
+
+        let dir = tmp_dir("atomic_sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.json");
+        let (old_text, new_text) = ("{\"v\":1}\n", "{\"v\":2,\"grown\":true}\n");
+
+        write_atomic(&path, old_text, &StdVfs).unwrap();
+        let recorder = FaultVfs::recorder();
+        write_atomic(&path, new_text, &recorder).unwrap();
+        let total = recorder.ops();
+        let rename_idx = recorder
+            .trace()
+            .iter()
+            .find(|r| r.op == "rename")
+            .expect("atomic write must rename")
+            .index;
+
+        for k in 0..total {
+            std::fs::write(&path, old_text).unwrap();
+            let _ = std::fs::remove_file(dir.join("manifest.json.tmp"));
+            let vfs = FaultVfs::crash_at(k);
+            write_atomic(&path, new_text, &vfs).unwrap_err();
+            let after = std::fs::read_to_string(&path).unwrap();
+            if k <= rename_idx {
+                assert_eq!(after, old_text, "crash at {k}: rename never ran");
+            } else {
+                assert_eq!(after, new_text, "crash at {k}: rename committed");
+            }
+        }
+        std::fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn crash_at_every_syscall_then_resume_matches_uninterrupted_run() {
+        use nc_vfs::fault::FaultVfs;
+
+        let archive = tmp_dir("sweep_archive");
+        write_archive(&archive, 25, 50, 2);
+        let reference = import_archive_dir_resumable(
+            &archive,
+            &tmp_dir("sweep_ref_state"),
+            DedupPolicy::Trimmed,
+            1,
+            &ImportOptions::strict(),
+        )
+        .unwrap();
+
+        // Learn the syscall trace of a fresh run, fault-free.
+        let recorder = FaultVfs::recorder();
+        import_archive_dir_resumable_with_vfs(
+            &archive,
+            &tmp_dir("sweep_trace_state"),
+            DedupPolicy::Trimmed,
+            1,
+            &ImportOptions::strict(),
+            &recorder,
+        )
+        .unwrap();
+        let total = recorder.ops();
+        assert!(total > 4, "two snapshots must checkpoint twice: {total} ops");
+
+        for k in 0..total {
+            let state = tmp_dir("sweep_state");
+            let vfs = FaultVfs::crash_at(k);
+            import_archive_dir_resumable_with_vfs(
+                &archive,
+                &state,
+                DedupPolicy::Trimmed,
+                1,
+                &ImportOptions::strict(),
+                &vfs,
+            )
+            .unwrap_err();
+            assert!(vfs.crashed(), "crash point {k} must have fired");
+
+            // A new process over whatever hit the disk resumes (or
+            // restarts) and converges on the uninterrupted result.
+            let resumed = import_archive_dir_resumable(
+                &archive,
+                &state,
+                DedupPolicy::Trimmed,
+                1,
+                &ImportOptions::strict(),
+            )
+            .unwrap();
+            assert_eq!(resumed.stats, reference.stats, "crash at {k}");
+            assert_eq!(
+                resumed.store.record_count(),
+                reference.store.record_count(),
+                "crash at {k}"
+            );
+            std::fs::remove_dir_all(&state).unwrap();
+        }
+        for d in [archive, tmp_dir("sweep_ref_state"), tmp_dir("sweep_trace_state")] {
+            let _ = std::fs::remove_dir_all(d);
+        }
     }
 
     #[test]

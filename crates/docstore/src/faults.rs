@@ -10,40 +10,10 @@
 use std::io;
 use std::path::Path;
 
-/// A small deterministic RNG (SplitMix64): no external dependencies,
-/// identical sequences on every platform for a given seed.
-#[derive(Debug, Clone)]
-pub struct FaultRng {
-    state: u64,
-}
-
-impl FaultRng {
-    /// Create a generator from a seed.
-    pub fn new(seed: u64) -> Self {
-        FaultRng { state: seed }
-    }
-
-    /// Next raw 64-bit value.
-    pub fn next_u64(&mut self) -> u64 {
-        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^ (z >> 31)
-    }
-
-    /// Uniform value in `0..n` (`n > 0`).
-    pub fn below(&mut self, n: u64) -> u64 {
-        debug_assert!(n > 0);
-        // Multiply-shift reduction; bias is negligible for test usage.
-        ((self.next_u64() as u128 * n as u128) >> 64) as u64
-    }
-
-    /// Bernoulli draw with probability `p`.
-    pub fn chance(&mut self, p: f64) -> bool {
-        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64 >= 1.0 - p
-    }
-}
+// The RNG moved into `nc-vfs` (the syscall-level fault injector needs
+// it below this crate in the dependency graph); re-exported here so
+// existing `nc_docstore::faults::FaultRng` users keep working.
+pub use nc_vfs::fault::FaultRng;
 
 /// One injectable fault.
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -24,6 +24,8 @@ use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::Path;
 
+use nc_vfs::{StdVfs, Vfs};
+
 use crate::collection::Collection;
 use crate::crc32::{crc32, Crc32};
 use crate::value::Document;
@@ -154,12 +156,24 @@ pub fn read_framed(line: &str) -> Option<&str> {
 /// renamed into place, so an interrupted save never corrupts a
 /// previously saved file.
 pub fn save(collection: &Collection, path: &Path) -> Result<(), PersistError> {
+    save_with(collection, path, &StdVfs)
+}
+
+/// [`save`], with every mutating syscall issued through `vfs`.
+///
+/// This is the injectable form the fault sweeps drive: a
+/// [`nc_vfs::FaultVfs`] crashed at any operation K must leave `path`
+/// loading as either its previous contents or the new ones — the
+/// atomic tmp + fsync + rename protocol guarantees there is no third
+/// state, and `crates/docstore/tests/syscall_sweep.rs` proves it for
+/// every K.
+pub fn save_with(collection: &Collection, path: &Path, vfs: &dyn Vfs) -> Result<(), PersistError> {
     let file_name = path
         .file_name()
         .and_then(|n| n.to_str())
         .unwrap_or("collection.jsonl");
     let tmp = path.with_file_name(format!("{file_name}.tmp"));
-    let mut w = BufWriter::new(File::create(&tmp)?);
+    let mut w = BufWriter::new(vfs.create(&tmp)?);
     let mut running = Crc32::new();
     let mut count: u64 = 0;
     for (_, doc) in collection.iter_ordered() {
@@ -180,13 +194,13 @@ pub fn save(collection: &Collection, path: &Path) -> Result<(), PersistError> {
         .map_err(|e| PersistError::Parse { line: 0, message: e.to_string() })?;
     writeln!(w, "{FOOTER_PREFIX}{footer_json}")?;
     w.flush()?;
-    let file = w.into_inner().map_err(|e| PersistError::Io(e.into_error()))?;
-    file.sync_all()?;
+    let mut file = w.into_inner().map_err(|e| PersistError::Io(e.into_error()))?;
+    file.sync_file()?;
     drop(file);
-    std::fs::rename(&tmp, path)?;
+    vfs.rename(&tmp, path)?;
     // Make the rename itself durable.
     if let Some(parent) = path.parent() {
-        sync_dir(parent)?;
+        vfs.sync_dir(parent)?;
     }
     Ok(())
 }

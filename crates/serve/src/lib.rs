@@ -47,9 +47,11 @@ pub mod cache;
 pub mod carve;
 pub mod http;
 pub mod metrics;
+pub mod retry;
 pub mod server;
 pub mod snapshot;
 
 pub use carve::{CacheStatus, CarveEngine, CarveError, CarveOutcome, CarveRequest, CarveResult};
+pub use retry::{RetryExhausted, RetryPolicy};
 pub use server::{Server, ServerHandle, ServeConfig, ServeState};
 pub use snapshot::{ServeSnapshot, SnapshotRegistry};

@@ -77,6 +77,8 @@ pub struct Metrics {
     requests_total: AtomicU64,
     in_flight: AtomicU64,
     queue_saturated: AtomicU64,
+    worker_panics: AtomicU64,
+    socket_cfg_failures: AtomicU64,
     endpoints: [EndpointStats; Endpoint::ALL.len()],
 }
 
@@ -131,6 +133,30 @@ impl Metrics {
         self.queue_saturated.load(Ordering::Relaxed)
     }
 
+    /// Count one handler panic caught by worker supervision (the
+    /// worker survives; the connection gets a `500`).
+    pub fn worker_panic_inc(&self) {
+        self.worker_panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Handler panics caught so far.
+    pub fn worker_panics(&self) -> u64 {
+        self.worker_panics.load(Ordering::Relaxed)
+    }
+
+    /// Count one failed per-socket configuration call (blocking mode or
+    /// timeouts). The connection proceeds — a socket without its
+    /// timeout is degraded, not dead — but silently swallowing the
+    /// error would hide an OS-level problem from operators.
+    pub fn socket_cfg_failure_inc(&self) {
+        self.socket_cfg_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Socket-configuration failures so far.
+    pub fn socket_cfg_failures(&self) -> u64 {
+        self.socket_cfg_failures.load(Ordering::Relaxed)
+    }
+
     /// Requests recorded for one endpoint.
     pub fn endpoint_requests(&self, endpoint: Endpoint) -> u64 {
         self.endpoints[endpoint.index()]
@@ -150,6 +176,14 @@ impl Metrics {
         out.push_str(&format!(
             "nc_serve_queue_saturated_total {}\n",
             self.saturated()
+        ));
+        out.push_str(&format!(
+            "nc_serve_worker_panics_total {}\n",
+            self.worker_panics()
+        ));
+        out.push_str(&format!(
+            "nc_serve_socket_cfg_failures_total {}\n",
+            self.socket_cfg_failures()
         ));
         out.push_str(&format!(
             "nc_serve_snapshot_current_version {current_version}\n"
@@ -217,10 +251,17 @@ mod tests {
         m.record(Endpoint::Carve, 404, 2_000_000);
         m.saturation_inc();
         assert_eq!(m.saturated(), 1);
+        m.worker_panic_inc();
+        m.socket_cfg_failure_inc();
+        m.socket_cfg_failure_inc();
+        assert_eq!(m.worker_panics(), 1);
+        assert_eq!(m.socket_cfg_failures(), 2);
         let text = m.render(&CacheStats::default(), 3, 2);
         assert!(text.contains("nc_serve_requests_total 2\n"));
         assert!(text.contains("nc_serve_in_flight 0\n"));
         assert!(text.contains("nc_serve_queue_saturated_total 1\n"));
+        assert!(text.contains("nc_serve_worker_panics_total 1\n"));
+        assert!(text.contains("nc_serve_socket_cfg_failures_total 2\n"));
         assert!(text.contains("nc_serve_snapshot_current_version 3\n"));
         assert!(text.contains("nc_serve_endpoint_requests_total{endpoint=\"carve\"} 2\n"));
         assert!(text.contains("nc_serve_endpoint_errors_total{endpoint=\"carve\"} 1\n"));

@@ -1,0 +1,157 @@
+//! Capped exponential backoff for transient publish failures.
+//!
+//! A publish into the [`crate::snapshot::SnapshotRegistry`] is cheap
+//! but sits on the hot path between ingest and serving: a transient
+//! failure (a panicking scorer derivation, a poisoned lock being
+//! recovered) should not fail an entire multi-snapshot ingest. The
+//! [`RetryPolicy`] re-runs the operation a bounded number of times,
+//! sleeping `min(cap, base << attempt)` between tries, and reports
+//! every attempt's error text when it gives up.
+
+use std::time::Duration;
+
+/// How often and how patiently to retry a fallible operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Total attempts, including the first (clamped to ≥ 1).
+    pub attempts: u32,
+    /// Sleep before the first retry; doubles per subsequent retry.
+    pub base: Duration,
+    /// Upper bound on any single sleep.
+    pub cap: Duration,
+}
+
+impl Default for RetryPolicy {
+    /// Four attempts with 10ms/20ms/40ms backoff — enough to ride out
+    /// a transiently poisoned lock without stalling ingest visibly.
+    fn default() -> Self {
+        RetryPolicy {
+            attempts: 4,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(200),
+        }
+    }
+}
+
+/// Every attempt failed; the per-attempt error texts, in order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RetryExhausted {
+    /// One error message per attempt made.
+    pub errors: Vec<String>,
+}
+
+impl std::fmt::Display for RetryExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gave up after {} attempts: [{}]",
+            self.errors.len(),
+            self.errors.join("; ")
+        )
+    }
+}
+
+impl std::error::Error for RetryExhausted {}
+
+impl RetryPolicy {
+    /// An immediate policy for tests: `attempts` tries, no sleeping.
+    pub fn immediate(attempts: u32) -> Self {
+        RetryPolicy {
+            attempts,
+            base: Duration::ZERO,
+            cap: Duration::ZERO,
+        }
+    }
+
+    /// The sleep before retry number `retry` (0-based).
+    fn backoff(&self, retry: u32) -> Duration {
+        let factor = 1u32.checked_shl(retry).unwrap_or(u32::MAX);
+        self.base.saturating_mul(factor).min(self.cap)
+    }
+
+    /// Run `op` until it succeeds or the attempt budget is spent. The
+    /// closure receives the 0-based attempt number.
+    pub fn run<T>(
+        &self,
+        mut op: impl FnMut(u32) -> Result<T, String>,
+    ) -> Result<T, RetryExhausted> {
+        let attempts = self.attempts.max(1);
+        let mut errors = Vec::new();
+        for attempt in 0..attempts {
+            match op(attempt) {
+                Ok(value) => return Ok(value),
+                Err(err) => errors.push(err),
+            }
+            if attempt + 1 < attempts {
+                let sleep = self.backoff(attempt);
+                if !sleep.is_zero() {
+                    std::thread::sleep(sleep);
+                }
+            }
+        }
+        Err(RetryExhausted { errors })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_success_short_circuits() {
+        let mut calls = 0;
+        let out = RetryPolicy::immediate(5).run(|_| {
+            calls += 1;
+            Ok::<_, String>(42)
+        });
+        assert_eq!(out.unwrap(), 42);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn recovers_after_transient_failures() {
+        let out = RetryPolicy::immediate(5).run(|attempt| {
+            if attempt < 2 {
+                Err(format!("transient {attempt}"))
+            } else {
+                Ok(attempt)
+            }
+        });
+        assert_eq!(out.unwrap(), 2);
+    }
+
+    #[test]
+    fn exhaustion_reports_every_error() {
+        let out = RetryPolicy::immediate(3).run(|attempt| Err::<(), _>(format!("e{attempt}")));
+        let err = out.unwrap_err();
+        assert_eq!(err.errors, vec!["e0", "e1", "e2"]);
+        let text = err.to_string();
+        assert!(text.contains("3 attempts"));
+        assert!(text.contains("e1"));
+    }
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            attempts: 6,
+            base: Duration::from_millis(10),
+            cap: Duration::from_millis(35),
+        };
+        assert_eq!(policy.backoff(0), Duration::from_millis(10));
+        assert_eq!(policy.backoff(1), Duration::from_millis(20));
+        assert_eq!(policy.backoff(2), Duration::from_millis(35));
+        assert_eq!(policy.backoff(31), Duration::from_millis(35));
+        assert_eq!(policy.backoff(32), Duration::from_millis(35), "shift overflow saturates");
+    }
+
+    #[test]
+    fn zero_attempts_clamps_to_one() {
+        let mut calls = 0;
+        let out = RetryPolicy::immediate(0).run(|_| {
+            calls += 1;
+            Err::<(), _>("nope".to_string())
+        });
+        assert_eq!(calls, 1);
+        assert_eq!(out.unwrap_err().errors.len(), 1);
+    }
+}

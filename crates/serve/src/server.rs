@@ -9,11 +9,23 @@
 //! is graceful by construction: the acceptor stops accepting, drops
 //! the sender, and every worker finishes the connections already in
 //! the queue before its `recv` disconnects and the scope joins.
+//!
+//! # Panic isolation
+//!
+//! Workers are supervised at two layers. Inside the handler, routing
+//! runs under `catch_unwind`: a panicking carve turns into a `500`
+//! (counted in `nc_serve_worker_panics_total`) while the connection
+//! and the worker both survive. Around the drain loop, a second
+//! `catch_unwind` resurrects the worker if a panic ever escapes the
+//! inner layer — the pool never shrinks below its configured size, so
+//! a pathological request cannot brown out the service one worker at
+//! a time.
 
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::TrySendError;
@@ -43,6 +55,10 @@ pub struct ServeConfig {
     pub cache_capacity: usize,
     /// Defaults for requests that omit parameters.
     pub defaults: RequestDefaults,
+    /// Expose `GET /debug/panic`, a route that panics inside the
+    /// handler. Off by default; tests enable it to prove worker
+    /// supervision keeps the pool alive through a panicking handler.
+    pub panic_probe: bool,
 }
 
 impl Default for ServeConfig {
@@ -59,6 +75,7 @@ impl Default for ServeConfig {
                 page_size: 100,
                 max_page_size: 10_000,
             },
+            panic_probe: false,
         }
     }
 }
@@ -170,14 +187,27 @@ fn run(listener: TcpListener, state: Arc<ServeState>, stop: Arc<AtomicBool>) {
             let rx = Arc::clone(&rx);
             let state = Arc::clone(&state);
             scope.spawn(move |_| loop {
-                let conn = {
-                    let guard = rx.lock().expect("serve queue lock");
-                    guard.recv()
-                };
-                match conn {
-                    Ok(stream) => handle_connection(stream, &state),
-                    // Sender dropped and queue drained: shutdown.
-                    Err(_) => break,
+                // Outer supervision layer: if a panic ever escapes the
+                // per-request catch in `handle_connection`, count it
+                // and resurrect the worker instead of shrinking the
+                // pool. A clean exit (queue disconnected) ends it.
+                let drained = panic::catch_unwind(AssertUnwindSafe(|| loop {
+                    let conn = {
+                        // A panicking sibling may have poisoned the
+                        // queue lock; the data behind it (an mpsc
+                        // receiver) is panic-safe, so keep serving.
+                        let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+                        guard.recv()
+                    };
+                    match conn {
+                        Ok(stream) => handle_connection(stream, &state),
+                        // Sender dropped and queue drained: shutdown.
+                        Err(_) => break,
+                    }
+                }));
+                match drained {
+                    Ok(()) => break,
+                    Err(_) => state.metrics.worker_panic_inc(),
                 }
             });
         }
@@ -211,11 +241,14 @@ fn run(listener: TcpListener, state: Arc<ServeState>, stop: Arc<AtomicBool>) {
 /// point is not to queue). Counted both in the per-endpoint error
 /// metrics and the dedicated saturation counter.
 fn saturated_reply(stream: TcpStream, state: &ServeState) {
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    count_cfg(state, stream.set_nonblocking(false));
+    count_cfg(state, stream.set_write_timeout(Some(SOCKET_TIMEOUT)));
     // Short read timeout: this runs on the acceptor thread, which must
     // not be parked long by a client that trickles its request in.
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    count_cfg(
+        state,
+        stream.set_read_timeout(Some(Duration::from_millis(250))),
+    );
     state.metrics.begin();
     let started = Instant::now();
     state.metrics.saturation_inc();
@@ -237,18 +270,43 @@ fn saturated_reply(stream: TcpStream, state: &ServeState) {
     state.metrics.record(Endpoint::Other, 503, micros);
 }
 
+/// Record a per-socket configuration outcome: failures are counted
+/// (see [`Metrics::socket_cfg_failure_inc`]) but not fatal — the
+/// connection proceeds with whatever the OS left configured.
+fn count_cfg(state: &ServeState, outcome: io::Result<()>) {
+    if outcome.is_err() {
+        state.metrics.socket_cfg_failure_inc();
+    }
+}
+
 /// Handle one connection: parse, route, respond, record metrics.
+///
+/// Routing runs under `catch_unwind`: a panicking handler becomes a
+/// `500` on this connection and a bump of
+/// `nc_serve_worker_panics_total`, and the worker carries on with the
+/// next connection.
 fn handle_connection(stream: TcpStream, state: &ServeState) {
     // Accepted sockets must block again (the listener is nonblocking).
-    let _ = stream.set_nonblocking(false);
-    let _ = stream.set_read_timeout(Some(SOCKET_TIMEOUT));
-    let _ = stream.set_write_timeout(Some(SOCKET_TIMEOUT));
+    count_cfg(state, stream.set_nonblocking(false));
+    count_cfg(state, stream.set_read_timeout(Some(SOCKET_TIMEOUT)));
+    count_cfg(state, stream.set_write_timeout(Some(SOCKET_TIMEOUT)));
 
     state.metrics.begin();
     let started = Instant::now();
 
     let (endpoint, response) = match read_request(&stream) {
-        Ok(request) => route(&request, state),
+        Ok(request) => {
+            match panic::catch_unwind(AssertUnwindSafe(|| route(&request, state))) {
+                Ok(routed) => routed,
+                Err(_) => {
+                    state.metrics.worker_panic_inc();
+                    (
+                        Endpoint::Other,
+                        Response::text(500, "internal error: handler panicked\n"),
+                    )
+                }
+            }
+        }
         Err(err) => (
             Endpoint::Other,
             Response::text(err.status(), "bad request: cannot parse\n"),
@@ -263,6 +321,9 @@ fn handle_connection(stream: TcpStream, state: &ServeState) {
 /// Dispatch a parsed request to its handler.
 fn route(request: &Request, state: &ServeState) -> (Endpoint, Response) {
     match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/debug/panic") if state.config.panic_probe => {
+            panic!("panic probe: deliberate handler panic for supervision tests")
+        }
         ("GET", "/healthz") => (Endpoint::Healthz, healthz(state)),
         ("GET", "/metrics") => (Endpoint::Metrics, metrics_page(state)),
         ("POST", "/carve") => (Endpoint::Carve, carve_from_body(request, state)),

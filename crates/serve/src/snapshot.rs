@@ -11,7 +11,7 @@
 //! invalidates an in-flight carve.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, PoisonError, RwLock};
 
 use nc_core::cluster::ClusterStore;
 use nc_core::customize::{CustomDataset, CustomizeParams};
@@ -74,6 +74,11 @@ impl ServeSnapshot {
 
 /// The set of published snapshots: one *current* version plus a history
 /// of still-pinnable older versions.
+///
+/// Lock poisoning is tolerated on every path: the guarded data is a
+/// pair of `Arc`s whose every mutation is a single assignment, so a
+/// panic between lock and unlock cannot leave it half-updated, and a
+/// registry shared with a panicking worker keeps serving.
 #[derive(Debug)]
 pub struct SnapshotRegistry {
     inner: RwLock<Inner>,
@@ -101,7 +106,7 @@ impl SnapshotRegistry {
     /// previous snapshot are unaffected — they hold their own `Arc`.
     pub fn publish(&self, snapshot: ServeSnapshot) -> Arc<ServeSnapshot> {
         let snapshot = Arc::new(snapshot);
-        let mut inner = self.inner.write().expect("registry lock");
+        let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
         inner.history.insert(snapshot.version(), Arc::clone(&snapshot));
         inner.current = Arc::clone(&snapshot);
         snapshot
@@ -109,13 +114,13 @@ impl SnapshotRegistry {
 
     /// The current snapshot (brief read lock, then lock-free use).
     pub fn current(&self) -> Arc<ServeSnapshot> {
-        Arc::clone(&self.inner.read().expect("registry lock").current)
+        Arc::clone(&self.inner.read().unwrap_or_else(PoisonError::into_inner).current)
     }
 
     /// The snapshot for `version`, or the current one when `None`.
     /// Returns `None` for versions that were never published here.
     pub fn pinned(&self, version: Option<u32>) -> Option<Arc<ServeSnapshot>> {
-        let inner = self.inner.read().expect("registry lock");
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
         match version {
             None => Some(Arc::clone(&inner.current)),
             Some(v) => inner.history.get(&v).map(Arc::clone),
@@ -126,7 +131,7 @@ impl SnapshotRegistry {
     pub fn versions(&self) -> Vec<u32> {
         self.inner
             .read()
-            .expect("registry lock")
+            .unwrap_or_else(PoisonError::into_inner)
             .history
             .keys()
             .copied()

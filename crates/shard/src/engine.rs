@@ -13,9 +13,23 @@
 //! snapshot files and ingests the rest — so a crashed run resumed over
 //! the same archive converges on exactly the store an uninterrupted
 //! run produces (asserted in `tests/wal_recovery.rs`).
+//!
+//! # Fault handling
+//!
+//! All durability-critical syscalls go through an injected
+//! [`nc_vfs::Vfs`] ([`ShardEngine::open_with_vfs`]), so the sweep
+//! tests can fail any single write, fsync or rename. When a write
+//! fails mid-ingest, the engine *rolls back*: it reopens from disk
+//! (replaying only manifest-committed snapshots, truncating the
+//! in-flight suffix with exact loss accounting) and surfaces a typed
+//! [`RecoveryReport`] via [`ShardEngine::last_failure`], while the
+//! original error propagates to the caller. If even the reopen fails,
+//! the engine is *poisoned* — further ingest refuses deterministically
+//! instead of appending to logs of unknown integrity.
 
 use std::collections::BTreeSet;
 use std::fs::{self, File};
+use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
@@ -26,7 +40,10 @@ use nc_core::tsv::{
     archive_files, date_from_file_name, read_snapshot_budgeted, ImportOptions, QuarantineReport,
     TsvError,
 };
+use nc_serve::retry::{RetryExhausted, RetryPolicy};
 use nc_serve::snapshot::{ServeSnapshot, SnapshotRegistry};
+use nc_vfs::{StdVfs, Vfs};
+use nc_votergen::snapshot::Snapshot;
 
 use crate::ingest;
 use crate::store::ShardedStore;
@@ -80,6 +97,22 @@ fn shard_dir(state_dir: &Path, shard: usize) -> PathBuf {
     state_dir.join(format!("shard-{shard}"))
 }
 
+/// What a rollback after a mid-ingest write failure did — the typed
+/// post-mortem behind [`ShardEngine::last_failure`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Date of the snapshot whose ingest failed.
+    pub snapshot: String,
+    /// The write error that triggered the rollback, as text.
+    pub cause: String,
+    /// In-flight rows discarded by rolling back to the last commit
+    /// (they were never manifest-committed, and re-ingesting the same
+    /// file reproduces them exactly).
+    pub rows_rolled_back: u64,
+    /// What the recovery replay dropped on disk, byte-exact.
+    pub recovery: WalRecovery,
+}
+
 /// A [`ShardedStore`] bound to a state directory: every ingested row is
 /// write-ahead logged to its shard, and completed snapshots commit via
 /// the manifest.
@@ -93,12 +126,28 @@ pub struct ShardEngine {
     quarantine: QuarantineReport,
     recovery: WalRecovery,
     discarded: Option<String>,
+    vfs: Arc<dyn Vfs>,
+    last_failure: Option<RecoveryReport>,
+    poisoned: Option<String>,
 }
 
 impl ShardEngine {
     /// Open (or create) the engine state in `state_dir`, replaying the
-    /// logs back into memory.
+    /// logs back into memory. Uses the real filesystem; the fault
+    /// sweeps use [`ShardEngine::open_with_vfs`].
     pub fn open(state_dir: &Path, config: ShardEngineConfig) -> Result<Self, TsvError> {
+        Self::open_with_vfs(state_dir, config, Arc::new(StdVfs))
+    }
+
+    /// [`ShardEngine::open`] with every durability-critical syscall —
+    /// WAL appends, fsyncs, segment rotation, manifest tmp+rename —
+    /// routed through `vfs`. Recovery *reads* stay on the real
+    /// filesystem: replay must see whatever actually hit the disk.
+    pub fn open_with_vfs(
+        state_dir: &Path,
+        config: ShardEngineConfig,
+        vfs: Arc<dyn Vfs>,
+    ) -> Result<Self, TsvError> {
         let config = ShardEngineConfig {
             shards: config.shards.max(1),
             ..config
@@ -207,6 +256,7 @@ impl ShardEngine {
             wals.push(ShardWal::open(
                 &shard_dir(state_dir, shard),
                 config.segment_bytes,
+                Arc::clone(&vfs),
             )?);
         }
         Ok(ShardEngine {
@@ -218,6 +268,9 @@ impl ShardEngine {
             quarantine,
             recovery,
             discarded,
+            vfs,
+            last_failure: None,
+            poisoned: None,
         })
     }
 
@@ -264,6 +317,11 @@ impl ShardEngine {
         archive_dir: &Path,
         options: &ImportOptions,
     ) -> Result<ShardIngestOutcome, TsvError> {
+        if let Some(reason) = &self.poisoned {
+            return Err(TsvError::Checkpoint {
+                message: format!("engine is poisoned: {reason}"),
+            });
+        }
         if let Some(sink) = &options.quarantine_path {
             File::create(sink)?;
         }
@@ -290,40 +348,10 @@ impl ShardEngine {
                         self.quarantine.remapped_headers += 1;
                     }
                     let snap = parsed.snapshot;
-                    for wal in &mut self.wals {
-                        wal.begin_snapshot(&snap.date, self.config.version)?;
+                    match self.ingest_one(&snap, parsed.quarantined) {
+                        Ok(total) => stats.push(total),
+                        Err(err) => return Err(self.roll_back(&snap.date, err)),
                     }
-                    let start_seq = self.store.next_seq();
-                    let parts = ingest::fan_out(
-                        self.store.shards_mut(),
-                        Some(self.wals.as_mut_slice()),
-                        &snap.rows,
-                        &snap.date,
-                        self.config.policy,
-                        self.config.version,
-                        start_seq,
-                        self.config.channel_depth,
-                    )?;
-                    self.store.advance_seq(snap.rows.len() as u64);
-                    // Step 1 of the commit: durable C on every log.
-                    for (wal, part) in self.wals.iter_mut().zip(&parts) {
-                        wal.commit_snapshot(&snap.date, part.total_rows)?;
-                    }
-                    for wal in &mut self.wals {
-                        wal.maybe_rotate()?;
-                    }
-                    let mut total = ImportStats::zero(snap.date.clone());
-                    for part in &parts {
-                        total.merge(part);
-                    }
-                    total.quarantined = parsed.quarantined;
-                    self.quarantine
-                        .per_snapshot
-                        .push((total.date.clone(), parsed.quarantined));
-                    self.completed.push(total.clone());
-                    // Step 2: the manifest makes it official.
-                    self.manifest().save(&self.state_dir)?;
-                    stats.push(total);
                 }
                 None => {
                     self.quarantine.files_quarantined += 1;
@@ -345,6 +373,76 @@ impl ShardEngine {
         })
     }
 
+    /// The write path of one parsed snapshot: WAL begin/rows/commit,
+    /// rotation, then the manifest commit. Any error leaves memory and
+    /// disk out of step — the caller must roll back.
+    fn ingest_one(&mut self, snap: &Snapshot, quarantined: u64) -> Result<ImportStats, TsvError> {
+        for wal in &mut self.wals {
+            wal.begin_snapshot(&snap.date, self.config.version)?;
+        }
+        let start_seq = self.store.next_seq();
+        let parts = ingest::fan_out(
+            self.store.shards_mut(),
+            Some(self.wals.as_mut_slice()),
+            &snap.rows,
+            &snap.date,
+            self.config.policy,
+            self.config.version,
+            start_seq,
+            self.config.channel_depth,
+        )?;
+        self.store.advance_seq(snap.rows.len() as u64);
+        // Step 1 of the commit: durable C on every log.
+        for (wal, part) in self.wals.iter_mut().zip(&parts) {
+            wal.commit_snapshot(&snap.date, part.total_rows)?;
+        }
+        for wal in &mut self.wals {
+            wal.maybe_rotate()?;
+        }
+        let mut total = ImportStats::zero(snap.date.clone());
+        for part in &parts {
+            total.merge(part);
+        }
+        total.quarantined = quarantined;
+        self.quarantine
+            .per_snapshot
+            .push((total.date.clone(), quarantined));
+        self.completed.push(total.clone());
+        // Step 2: the manifest makes it official.
+        self.manifest().save(&self.state_dir, self.vfs.as_ref())?;
+        Ok(total)
+    }
+
+    /// Roll back after a failed write: reopen from disk — only
+    /// manifest-committed state survives; the in-flight suffix is
+    /// truncated with exact accounting — record a [`RecoveryReport`],
+    /// and hand the original error back for propagation. When even the
+    /// reopen fails, the engine poisons itself: every further ingest
+    /// refuses deterministically rather than appending to logs of
+    /// unknown integrity.
+    fn roll_back(&mut self, date: &str, cause: TsvError) -> TsvError {
+        let rows_before = self.store.rows_imported();
+        match Self::open_with_vfs(&self.state_dir, self.config, Arc::clone(&self.vfs)) {
+            Ok(mut fresh) => {
+                let rows_after = fresh.store.rows_imported();
+                fresh.last_failure = Some(RecoveryReport {
+                    snapshot: date.to_owned(),
+                    cause: cause.to_string(),
+                    rows_rolled_back: rows_before.saturating_sub(rows_after),
+                    recovery: fresh.recovery.clone(),
+                });
+                *self = fresh;
+            }
+            Err(reopen) => {
+                self.poisoned = Some(format!(
+                    "ingest of snapshot {date} failed ({cause}), and the recovery \
+                     reopen failed too ({reopen})"
+                ));
+            }
+        }
+        cause
+    }
+
     /// Materialize a versioned [`StoreSnapshot`] (incremental: only
     /// dirty shards rebuild; see [`ShardedStore::publish`]).
     pub fn publish(&mut self, version: u32) -> StoreSnapshot {
@@ -359,6 +457,35 @@ impl ShardEngine {
         version: u32,
     ) -> Arc<ServeSnapshot> {
         registry.publish(ServeSnapshot::new(self.store.publish(version)))
+    }
+
+    /// [`ShardEngine::publish_into`] under supervision: the publish
+    /// runs under `catch_unwind` and is retried with capped
+    /// exponential backoff, so a transiently panicking registry path
+    /// (a poisoned lock being recovered, a pathological scorer
+    /// derivation) degrades to a delay instead of failing the whole
+    /// ingest-and-publish pipeline.
+    pub fn publish_into_supervised(
+        &mut self,
+        registry: &SnapshotRegistry,
+        version: u32,
+        retry: &RetryPolicy,
+    ) -> Result<Arc<ServeSnapshot>, RetryExhausted> {
+        let snapshot = self.store.publish(version);
+        retry.run(|attempt| {
+            let snapshot = snapshot.clone();
+            panic::catch_unwind(AssertUnwindSafe(move || {
+                registry.publish(ServeSnapshot::new(snapshot))
+            }))
+            .map_err(|payload| {
+                let text = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                format!("publish attempt {attempt} panicked: {text}")
+            })
+        })
     }
 
     /// The in-memory sharded store.
@@ -385,6 +512,18 @@ impl ShardEngine {
     /// Why the previous state was discarded at open, if it was.
     pub fn discarded(&self) -> Option<&str> {
         self.discarded.as_deref()
+    }
+
+    /// The post-mortem of the most recent mid-ingest rollback, if this
+    /// engine is the product of one (see [`RecoveryReport`]).
+    pub fn last_failure(&self) -> Option<&RecoveryReport> {
+        self.last_failure.as_ref()
+    }
+
+    /// Why the engine refuses to ingest, when a rollback's recovery
+    /// reopen itself failed.
+    pub fn poisoned(&self) -> Option<&str> {
+        self.poisoned.as_deref()
     }
 
     /// Cumulative quarantine accounting across all runs.

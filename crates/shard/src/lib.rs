@@ -29,6 +29,13 @@
 //!   only dirty shards are re-materialized into the next
 //!   [`nc_core::snapshot::StoreSnapshot`], which publishes straight
 //!   into `nc-serve`'s snapshot registry.
+//! * **Fault injection and rollback** ([`engine`], [`wal`]): every
+//!   durability-critical syscall goes through an injected
+//!   [`nc_vfs::Vfs`], so the syscall sweeps in `tests/syscall_sweep.rs`
+//!   can crash the engine at *every* write/fsync/rename index and
+//!   assert recovery lands on a committed state. Mid-ingest write
+//!   failures roll the engine back to the last manifest commit with a
+//!   typed [`engine::RecoveryReport`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +45,6 @@ pub(crate) mod ingest;
 pub mod store;
 pub mod wal;
 
-pub use engine::{ShardEngine, ShardEngineConfig, ShardIngestOutcome};
+pub use engine::{RecoveryReport, ShardEngine, ShardEngineConfig, ShardIngestOutcome};
 pub use store::{shard_of, ShardedDocId, ShardedStore};
 pub use wal::WalRecovery;

@@ -33,14 +33,16 @@
 //! and then re-importing would double the rows-seen bookkeeping.
 
 use std::collections::BTreeSet;
-use std::fs::{self, File, OpenOptions};
+use std::fs::{self, OpenOptions};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use nc_core::import::ImportStats;
 use nc_core::record::DedupPolicy;
 use nc_core::tsv::QuarantineReport;
 use nc_docstore::persist::{frame_line, read_framed, sync_dir};
+use nc_vfs::{Vfs, VfsFile};
 use nc_votergen::schema::Row;
 
 /// Aggregated outcome of WAL recovery across all shards.
@@ -109,31 +111,33 @@ pub(crate) fn segments(dir: &Path) -> io::Result<Vec<(u32, PathBuf)>> {
     Ok(found)
 }
 
-/// One shard's append-only log.
+/// One shard's append-only log. All mutating syscalls go through the
+/// injected [`Vfs`], so the fault sweeps can fail any one of them.
 #[derive(Debug)]
 pub(crate) struct ShardWal {
     dir: PathBuf,
     segment: u32,
-    writer: BufWriter<File>,
+    writer: BufWriter<Box<dyn VfsFile>>,
     bytes: u64,
     segment_bytes: u64,
+    vfs: Arc<dyn Vfs>,
 }
 
 impl ShardWal {
     /// Open the shard's log for appending, continuing the last segment
     /// (or creating `wal-000000.log` in a fresh directory).
-    pub(crate) fn open(dir: &Path, segment_bytes: u64) -> io::Result<Self> {
-        fs::create_dir_all(dir)?;
+    pub(crate) fn open(dir: &Path, segment_bytes: u64, vfs: Arc<dyn Vfs>) -> io::Result<Self> {
+        vfs.create_dir_all(dir)?;
         let existing = segments(dir)?;
         let (segment, created) = match existing.last() {
             Some((idx, _)) => (*idx, false),
             None => (0, true),
         };
         let path = segment_path(dir, segment);
-        let file = OpenOptions::new().append(true).create(true).open(&path)?;
-        let bytes = file.metadata()?.len();
+        let file = vfs.append(&path)?;
+        let bytes = file.file_len()?;
         if created {
-            sync_dir(dir)?;
+            vfs.sync_dir(dir)?;
         }
         Ok(ShardWal {
             dir: dir.to_path_buf(),
@@ -141,6 +145,7 @@ impl ShardWal {
             writer: BufWriter::new(file),
             bytes,
             segment_bytes,
+            vfs,
         })
     }
 
@@ -167,7 +172,7 @@ impl ShardWal {
     pub(crate) fn commit_snapshot(&mut self, date: &str, rows: u64) -> io::Result<()> {
         self.append(&format!("C\t{date}\t{rows}"))?;
         self.writer.flush()?;
-        self.writer.get_ref().sync_all()
+        self.writer.get_mut().sync_file()
     }
 
     /// Rotate to a fresh segment when the current one has outgrown the
@@ -178,15 +183,11 @@ impl ShardWal {
             return Ok(false);
         }
         self.writer.flush()?;
-        self.writer.get_ref().sync_all()?;
+        self.writer.get_mut().sync_file()?;
         self.segment += 1;
         let path = segment_path(&self.dir, self.segment);
-        let file = OpenOptions::new()
-            .write(true)
-            .create(true)
-            .truncate(true)
-            .open(&path)?;
-        sync_dir(&self.dir)?;
+        let file = self.vfs.create(&path)?;
+        self.vfs.sync_dir(&self.dir)?;
         self.writer = BufWriter::new(file);
         self.bytes = 0;
         Ok(true)
@@ -438,8 +439,11 @@ impl ShardManifest {
 
     /// Atomically persist the manifest into `state_dir`
     /// (tmp + fsync + rename + directory fsync), making everything the
-    /// WALs hold for the listed snapshots durable-by-reference.
-    pub(crate) fn save(&self, state_dir: &Path) -> io::Result<()> {
+    /// WALs hold for the listed snapshots durable-by-reference. Every
+    /// mutating syscall goes through `vfs`; the commit-point guarantee
+    /// ("old manifest or new manifest, never a third state") is swept
+    /// at every crash point in `tests/syscall_sweep.rs`.
+    pub(crate) fn save(&self, state_dir: &Path, vfs: &dyn Vfs) -> io::Result<()> {
         let mut text = String::new();
         let header = format!(
             "{MANIFEST_HEADER}\t{MANIFEST_FORMAT}\t{}\t{}\t{}",
@@ -468,12 +472,12 @@ impl ShardManifest {
         let tmp = state_dir.join(format!("{MANIFEST_FILE}.tmp"));
         let path = state_dir.join(MANIFEST_FILE);
         {
-            let mut file = File::create(&tmp)?;
+            let mut file = vfs.create(&tmp)?;
             file.write_all(text.as_bytes())?;
-            file.sync_all()?;
+            file.sync_file()?;
         }
-        fs::rename(&tmp, &path)?;
-        sync_dir(state_dir)?;
+        vfs.rename(&tmp, &path)?;
+        vfs.sync_dir(state_dir)?;
         Ok(())
     }
 
@@ -574,6 +578,7 @@ impl ShardManifest {
 mod tests {
     use super::*;
     use nc_votergen::schema::{Row, LAST_NAME, NCID};
+    use nc_vfs::StdVfs;
 
     fn tmp_dir(name: &str) -> PathBuf {
         let mut dir = std::env::temp_dir();
@@ -601,7 +606,7 @@ mod tests {
     #[test]
     fn clean_log_replays_only_manifested_snapshots() {
         let dir = tmp_dir("clean");
-        let mut wal = ShardWal::open(&dir, 1 << 20).unwrap();
+        let mut wal = ShardWal::open(&dir, 1 << 20, Arc::new(StdVfs)).unwrap();
         write_snapshot_records(&mut wal, "2008-11-04", &[0, 1, 2]);
         write_snapshot_records(&mut wal, "2009-01-01", &[5, 7]);
         drop(wal);
@@ -627,7 +632,7 @@ mod tests {
     #[test]
     fn torn_tail_is_truncated_with_exact_accounting() {
         let dir = tmp_dir("torn");
-        let mut wal = ShardWal::open(&dir, 1 << 20).unwrap();
+        let mut wal = ShardWal::open(&dir, 1 << 20, Arc::new(StdVfs)).unwrap();
         write_snapshot_records(&mut wal, "2008-11-04", &[0, 1]);
         // Crash mid-snapshot: begin + one row, no commit, torn bytes.
         wal.begin_snapshot("2009-01-01", 1).unwrap();
@@ -656,7 +661,7 @@ mod tests {
     #[test]
     fn rotation_splits_segments_on_snapshot_boundaries() {
         let dir = tmp_dir("rotate");
-        let mut wal = ShardWal::open(&dir, 64).unwrap();
+        let mut wal = ShardWal::open(&dir, 64, Arc::new(StdVfs)).unwrap();
         write_snapshot_records(&mut wal, "2008-11-04", &[0, 1, 2, 3]);
         assert!(wal.maybe_rotate().unwrap(), "past the 64-byte bound");
         write_snapshot_records(&mut wal, "2009-01-01", &[4, 5]);
@@ -671,7 +676,7 @@ mod tests {
         assert!(replay.recovery.is_clean());
 
         // Reopen appends to the *last* segment.
-        let wal = ShardWal::open(&dir, 64).unwrap();
+        let wal = ShardWal::open(&dir, 64, Arc::new(StdVfs)).unwrap();
         assert_eq!(wal.segment, 1);
         fs::remove_dir_all(dir).unwrap();
     }
@@ -679,7 +684,7 @@ mod tests {
     #[test]
     fn corrupt_middle_discards_everything_after_it() {
         let dir = tmp_dir("flip");
-        let mut wal = ShardWal::open(&dir, 1 << 20).unwrap();
+        let mut wal = ShardWal::open(&dir, 1 << 20, Arc::new(StdVfs)).unwrap();
         write_snapshot_records(&mut wal, "2008-11-04", &[0]);
         let keep_len = {
             wal.writer.flush().unwrap();
@@ -735,7 +740,7 @@ mod tests {
                 per_snapshot: vec![("2008-11-04".into(), 1), ("2009-01-01".into(), 0)],
             },
         };
-        manifest.save(&dir).unwrap();
+        manifest.save(&dir, &StdVfs).unwrap();
         match ShardManifest::load(&dir).unwrap() {
             ManifestState::Loaded(loaded) => assert_eq!(loaded, manifest),
             other => panic!("expected Loaded, got {other:?}"),

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Syscall-fault sweep: runs every offline-capable crash/fault test
+# (shard engine syscall sweeps, the checkpoint write_atomic sweep, the
+# FaultVfs unit tests), then the bench_faults binary — a full
+# crash-at-every-syscall sweep plus seeded random chaos — and writes
+# BENCH_faults.json in the repo root. Any extra arguments are passed to
+# every cargo invocation (e.g. --offline --config .verify/patch.toml).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== shard syscall sweep ==="
+cargo test -q -p nc-shard --test syscall_sweep "$@"
+
+echo "=== checkpoint atomic-write sweep ==="
+cargo test -q -p nc-core "$@" -- write_atomic_crash_sweep
+
+echo "=== fault vfs unit tests ==="
+cargo test -q -p nc-vfs "$@"
+
+echo "=== crash sweep + chaos bench ==="
+cargo build --release -p nc-bench --bin bench_faults "$@"
+exec target/release/bench_faults --out BENCH_faults.json

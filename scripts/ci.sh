@@ -31,6 +31,15 @@ cargo run --release -q -p nc-bench --bin bench_detect "$@" -- \
     --scales 2000,4000 --pop 1000 --reps 1 \
     --out target/BENCH_detect_smoke.json > /dev/null
 
+echo "=== fault sweep smoke ==="
+# Bounded syscall-fault sweep: crash the shard engine's commit sequence
+# at every 5th mutating syscall and run a handful of seeded chaos
+# schedules — the binary asserts every crash point recovers to the pre-
+# or post-commit state (never a third) and exits non-zero otherwise.
+cargo run --release -q -p nc-bench --bin bench_faults "$@" -- \
+    --pop 100 --shards 2 --stride 5 --chaos-runs 12 \
+    --out target/BENCH_faults_smoke.json > /dev/null
+
 echo "=== serve smoke ==="
 # End-to-end smoke of the carving service on an ephemeral port:
 # /healthz, a carved page (cold + cached), and a clean shutdown —

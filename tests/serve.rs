@@ -339,6 +339,50 @@ fn saturated_queue_returns_503_with_retry_after() {
 }
 
 #[test]
+fn panicking_handler_returns_500_and_the_worker_pool_survives() {
+    let store = build_store(29, 200, 5);
+    // A single worker: if the panic killed it, no later request could
+    // ever be answered.
+    let config = ServeConfig {
+        workers: 1,
+        panic_probe: true,
+        ..ServeConfig::default()
+    };
+    let state = Arc::new(ServeState::new(
+        Arc::new(SnapshotRegistry::new(ServeSnapshot::capture(&store, 1))),
+        config,
+    ));
+    let handle = Server::spawn(Arc::clone(&state)).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    for round in 0..3 {
+        let reply = get(addr, "/debug/panic");
+        assert_eq!(reply.status, 500, "round {round}: {}", reply.body);
+        assert!(reply.body.contains("panicked"), "round {round}: {}", reply.body);
+
+        // The same (only) worker keeps serving.
+        let health = get(addr, "/healthz");
+        assert_eq!(health.status, 200, "round {round}: {}", health.body);
+    }
+
+    assert!(state.metrics().worker_panics() >= 3);
+    let metrics = get(addr, "/metrics");
+    let panics = metrics
+        .body
+        .lines()
+        .find_map(|l| l.strip_prefix("nc_serve_worker_panics_total "))
+        .expect("panic counter exported");
+    assert!(panics.parse::<u64>().unwrap() >= 3, "{panics}");
+    handle.shutdown();
+
+    // Without the probe flag the route does not exist at all.
+    let (_, handle) = spawn_server(SnapshotRegistry::new(ServeSnapshot::capture(&store, 2)));
+    let reply = get(handle.addr(), "/debug/panic");
+    assert_eq!(reply.status, 404, "{}", reply.body);
+    handle.shutdown();
+}
+
+#[test]
 fn shutdown_drains_and_releases_the_port() {
     let store = build_store(27, 200, 5);
     let (state, handle) = spawn_server(SnapshotRegistry::new(ServeSnapshot::capture(&store, 1)));
