@@ -1,0 +1,494 @@
+//! Change-stream benchmark: full re-scoring vs dirty-only incremental
+//! re-scoring at several churn rates, plus the warm-carve hit rate a
+//! delta-aware publish preserves that a blind publish throws away.
+//!
+//! ```sh
+//! cargo run --release -p nc-bench --bin bench_stream -- \
+//!     --pop 52000 --snapshots 8 --shards 4 --out BENCH_stream.json
+//! ```
+//!
+//! The store is built once through the WAL-backed shard engine; each
+//! churn level then ingests a revise-only snapshot touching the given
+//! fraction of clusters, derives the dirty set from the change stream
+//! (never from the snapshot itself), and times a full
+//! `score_clusters` pass against `score_clusters_incremental` over the
+//! stream's dirty set — asserting **bit-identical** output on every
+//! repetition, so a reported speedup can never come from a wrong
+//! answer. The carve phase publishes further low-churn versions into
+//! two cache-backed carve engines — one fed the folded
+//! [`PublishDelta`], one publishing blind — and counts warm hits on a
+//! fixed request mix. The JSON is written by hand so the binary has no
+//! serialization dependency.
+
+use std::collections::HashSet;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use nc_core::customize::CustomizeParams;
+use nc_core::heterogeneity::Scope;
+use nc_core::plausibility::PlausibilityScorer;
+use nc_core::record::DedupPolicy;
+use nc_core::scoring::{
+    score_clusters, score_clusters_incremental, ClusterScore, ScoringConfig,
+};
+use nc_core::snapshot::StoreSnapshot;
+use nc_core::tsv::{self, ImportOptions};
+use nc_serve::{
+    CacheStatus, CarveEngine, CarveRequest, PublishDelta, ServeSnapshot, SnapshotRegistry,
+};
+use nc_shard::{ShardEngine, ShardEngineConfig};
+use nc_stream::{fold_delta, ChangeStream};
+use nc_votergen::config::GeneratorConfig;
+use nc_votergen::registry::Registry;
+use nc_votergen::schema::{Row, FIRST_NAME, LAST_NAME, NCID};
+use nc_votergen::snapshot::{standard_calendar, Snapshot};
+
+const CHURN_FRACTIONS: [f64; 3] = [0.001, 0.01, 0.1];
+
+struct Args {
+    population: usize,
+    snapshots: usize,
+    shards: usize,
+    seed: u64,
+    reps: usize,
+    threads: usize,
+    publishes: usize,
+    out: PathBuf,
+    min_speedup: f64,
+    require_hits: bool,
+}
+
+fn parse_args() -> Args {
+    let mut parsed = Args {
+        population: 52_000,
+        snapshots: 8,
+        shards: 4,
+        seed: 2021,
+        reps: 3,
+        threads: 0,
+        publishes: 3,
+        out: PathBuf::from("BENCH_stream.json"),
+        min_speedup: 0.0,
+        require_hits: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next()
+                .unwrap_or_else(|| panic!("flag {flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--pop" => parsed.population = value().parse().expect("--pop takes a number"),
+            "--snapshots" => parsed.snapshots = value().parse().expect("--snapshots takes a number"),
+            "--shards" => parsed.shards = value().parse().expect("--shards takes a number"),
+            "--seed" => parsed.seed = value().parse().expect("--seed takes a number"),
+            "--reps" => parsed.reps = value().parse().expect("--reps takes a number"),
+            "--threads" => parsed.threads = value().parse().expect("--threads takes a number"),
+            "--publishes" => parsed.publishes = value().parse().expect("--publishes takes a number"),
+            "--out" => parsed.out = PathBuf::from(value()),
+            "--min-speedup" => {
+                parsed.min_speedup = value().parse().expect("--min-speedup takes a number")
+            }
+            "--require-hits" => parsed.require_hits = true,
+            other => {
+                eprintln!("unknown flag: {other}");
+                eprintln!(
+                    "usage: bench_stream [--pop N] [--snapshots N] [--shards N] [--seed N] \
+                     [--reps N] [--threads N] [--publishes N] [--out FILE] \
+                     [--min-speedup X] [--require-hits]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    parsed
+}
+
+fn best(samples: &[f64]) -> f64 {
+    samples.iter().copied().fold(f64::INFINITY, f64::min)
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let mut dir = std::env::temp_dir();
+    dir.push(format!("nc_bench_stream_{name}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+/// Evenly-strided cluster NCIDs, rotated by `offset` so successive
+/// churn rounds touch different clusters.
+fn pick_ncids(clusters: &[(String, Vec<Row>)], count: usize, offset: usize) -> Vec<String> {
+    let n = clusters.len();
+    let count = count.clamp(1, n);
+    (0..count)
+        .map(|i| clusters[(offset + i * n / count) % n].0.clone())
+        .collect()
+}
+
+/// A revise-only churn snapshot: one fresh (never duplicate-dropped)
+/// row appended to each picked cluster.
+fn churn_snapshot(index: usize, date: &str, ncids: &[String]) -> Snapshot {
+    let rows = ncids
+        .iter()
+        .enumerate()
+        .map(|(i, ncid)| {
+            let mut row = Row::empty();
+            row.set(NCID, ncid);
+            row.set(FIRST_NAME, "ZELDA");
+            row.set(LAST_NAME, format!("CHURN{index}X{i}"));
+            row
+        })
+        .collect();
+    Snapshot {
+        index,
+        date: date.to_string(),
+        rows,
+    }
+}
+
+/// Bit-exact score comparison; a speedup must never come from a wrong
+/// answer, so any drift aborts the whole benchmark.
+fn assert_bit_identical(full: &[ClusterScore], incremental: &[ClusterScore], label: &str) {
+    if full.len() != incremental.len() {
+        eprintln!(
+            "BIT-IDENTITY VIOLATION at {label}: {} vs {} clusters",
+            full.len(),
+            incremental.len()
+        );
+        std::process::exit(1);
+    }
+    for (f, i) in full.iter().zip(incremental) {
+        if f.ncid != i.ncid
+            || f.records != i.records
+            || f.plausibility.to_bits() != i.plausibility.to_bits()
+            || f.heterogeneity.to_bits() != i.heterogeneity.to_bits()
+        {
+            eprintln!("BIT-IDENTITY VIOLATION at {label}: cluster {}", f.ncid);
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The fixed request mix for the carve phase: NC1–NC3 at two seeds.
+fn carve_requests(sample: usize, output: usize, seed: u64) -> Vec<CarveRequest> {
+    let mut requests = Vec::new();
+    for s in [seed, seed + 1] {
+        for params in [
+            CustomizeParams::nc1(sample, output, s),
+            CustomizeParams::nc2(sample, output, s),
+            CustomizeParams::nc3(sample, output, s),
+        ] {
+            requests.push(CarveRequest {
+                version: None,
+                params,
+                page: 0,
+                page_size: usize::MAX,
+            });
+        }
+    }
+    requests
+}
+
+struct ChurnResult {
+    fraction: f64,
+    dirty: usize,
+    full_secs: f64,
+    incremental_secs: f64,
+    speedup: f64,
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "generating workload: population {}, {} snapshots, seed {}…",
+        args.population, args.snapshots, args.seed
+    );
+    let mut registry = Registry::new(GeneratorConfig {
+        seed: args.seed,
+        initial_population: args.population,
+        ..Default::default()
+    });
+    let calendar = standard_calendar();
+    assert!(
+        args.snapshots <= calendar.len(),
+        "--snapshots must be at most {}",
+        calendar.len()
+    );
+    let snapshots: Vec<Snapshot> = calendar
+        .iter()
+        .take(args.snapshots)
+        .map(|info| registry.generate_snapshot(info))
+        .collect();
+    let rows: u64 = snapshots.iter().map(|s| s.rows.len() as u64).sum();
+
+    let archive = tmp_dir("archive");
+    for snap in &snapshots {
+        tsv::write_snapshot(&archive, snap).expect("write snapshot");
+    }
+
+    let state = tmp_dir("state");
+    let config = ShardEngineConfig::new(args.shards, DedupPolicy::Trimmed, 1);
+    let mut engine = ShardEngine::open(&state, config).expect("open shard engine");
+    eprintln!("ingesting {rows} rows through the WAL…");
+    engine
+        .ingest_archive(&archive, &ImportOptions::strict())
+        .expect("engine ingest");
+
+    // The stream replays the base ingest; its batches seed the
+    // known-cluster set so later churn classifies as revisions.
+    let mut stream = ChangeStream::open(&state);
+    let base_batches = stream.drain().expect("stream drain");
+    assert_eq!(base_batches.len(), args.snapshots);
+
+    let mut version = 1u32;
+    let base = engine.publish(version);
+    let clusters = base.cluster_count();
+    let records = base.record_count();
+    eprintln!("store: {clusters} clusters, {records} records");
+
+    let plausibility = PlausibilityScorer::new();
+    let scoring = ScoringConfig::with_threads(args.threads);
+
+    // Baseline full pass (and the previous-scores seed for churn 1).
+    let entropy = base.entropy_scorer(Scope::Person);
+    let start = Instant::now();
+    let mut previous = score_clusters(base.clusters(), &plausibility, &entropy, &scoring);
+    let base_full_secs = start.elapsed().as_secs_f64();
+    eprintln!("baseline full score: {:.1} ms", base_full_secs * 1e3);
+
+    // Churn levels: ingest, stream, fold, then full vs incremental.
+    let mut churn_results = Vec::new();
+    let mut snapshot_index = args.snapshots;
+    for (level, fraction) in CHURN_FRACTIONS.iter().enumerate() {
+        version += 1;
+        snapshot_index += 1;
+        let touch = ((clusters as f64 * fraction).round() as usize).max(1);
+        let ncids = pick_ncids(base.clusters(), touch, level * 17 + 1);
+        let date = format!("2040-01-{:02}", level + 1);
+        let snap = churn_snapshot(snapshot_index, &date, &ncids);
+        tsv::write_snapshot(&archive, &snap).expect("write churn snapshot");
+        engine
+            .ingest_archive(&archive, &ImportOptions::strict())
+            .expect("ingest churn");
+        let batches = stream.drain().expect("stream drain");
+        assert_eq!(batches.len(), 1, "one committed snapshot per churn level");
+        let delta = fold_delta(&batches, version);
+        assert!(
+            delta.founded.is_empty(),
+            "revise-only churn must not found clusters"
+        );
+        assert_eq!(delta.revised.len(), ncids.len());
+        let dirty: HashSet<String> = delta.dirty_clusters().map(str::to_owned).collect();
+
+        let published = engine.publish(version);
+        let entropy = published.entropy_scorer(Scope::Person);
+        let label = format!("churn {fraction}");
+
+        // Warmup both sides once, then interleave best-of-reps so
+        // clock drift and cache warmth bias neither.
+        let full = score_clusters(published.clusters(), &plausibility, &entropy, &scoring);
+        let incremental = score_clusters_incremental(
+            published.clusters(),
+            &previous,
+            &dirty,
+            &plausibility,
+            &entropy,
+            &scoring,
+        );
+        assert_bit_identical(&full, &incremental, &label);
+        let mut full_samples = Vec::with_capacity(args.reps);
+        let mut incremental_samples = Vec::with_capacity(args.reps);
+        for _ in 0..args.reps.max(1) {
+            let start = Instant::now();
+            let full = score_clusters(published.clusters(), &plausibility, &entropy, &scoring);
+            full_samples.push(start.elapsed().as_secs_f64());
+            let start = Instant::now();
+            let incremental = score_clusters_incremental(
+                published.clusters(),
+                &previous,
+                &dirty,
+                &plausibility,
+                &entropy,
+                &scoring,
+            );
+            incremental_samples.push(start.elapsed().as_secs_f64());
+            assert_bit_identical(&full, &incremental, &label);
+        }
+        previous = full;
+
+        let full_secs = best(&full_samples);
+        let incremental_secs = best(&incremental_samples);
+        let speedup = full_secs / incremental_secs;
+        eprintln!(
+            "churn {:.1}%: {} dirty, full {:.1} ms, incremental {:.1} ms ({speedup:.1}x)",
+            fraction * 100.0,
+            dirty.len(),
+            full_secs * 1e3,
+            incremental_secs * 1e3,
+        );
+        churn_results.push(ChurnResult {
+            fraction: *fraction,
+            dirty: dirty.len(),
+            full_secs,
+            incremental_secs,
+            speedup,
+        });
+    }
+
+    // Carve phase: the same low-churn publishes flow into two cached
+    // engines — one told what changed, one publishing blind — and the
+    // request mix re-runs after every publish. Range invalidation is
+    // what lets the delta-aware engine keep serving warm entries.
+    let current: StoreSnapshot = engine.publish(version);
+    let sample = 200.min(clusters.max(1));
+    let output = 50.min(sample);
+    let requests = carve_requests(sample, output, args.seed);
+    let with_delta = CarveEngine::new(
+        Arc::new(SnapshotRegistry::new(ServeSnapshot::new(current.clone()))),
+        64,
+    );
+    let without_delta = CarveEngine::new(
+        Arc::new(SnapshotRegistry::new(ServeSnapshot::new(current.clone()))),
+        64,
+    );
+    for request in &requests {
+        with_delta.carve(request).expect("prime carve");
+        without_delta.carve(request).expect("prime carve");
+    }
+
+    let mut hits_with_delta = 0usize;
+    let mut hits_without_delta = 0usize;
+    let mut carves = 0usize;
+    for publish in 0..args.publishes {
+        version += 1;
+        snapshot_index += 1;
+        let touch = ((clusters as f64 * 0.001).round() as usize).max(1);
+        let ncids = pick_ncids(current.clusters(), touch, 7919 * (publish + 1));
+        let date = format!("2041-01-{:02}", publish + 1);
+        let snap = churn_snapshot(snapshot_index, &date, &ncids);
+        tsv::write_snapshot(&archive, &snap).expect("write churn snapshot");
+        engine
+            .ingest_archive(&archive, &ImportOptions::strict())
+            .expect("ingest churn");
+        let batches = stream.drain().expect("stream drain");
+        let delta: PublishDelta = fold_delta(&batches, version);
+        let published = engine.publish(version);
+        with_delta.publish(ServeSnapshot::new(published.clone()), Some(delta));
+        without_delta.publish(ServeSnapshot::new(published), None);
+        for request in &requests {
+            let warm = with_delta.carve(request).expect("carve");
+            let blind = without_delta.carve(request).expect("carve");
+            carves += 1;
+            hits_with_delta += usize::from(warm.status == CacheStatus::Hit);
+            hits_without_delta += usize::from(blind.status == CacheStatus::Hit);
+            // A carried-forward entry must still be byte-identical to
+            // a fresh carve of the new snapshot.
+            if warm.result.page(0, usize::MAX) != blind.result.page(0, usize::MAX) {
+                eprintln!("CARVE DRIFT at version {version}: cached != fresh");
+                std::process::exit(1);
+            }
+        }
+    }
+    let stats = with_delta.delta_stats();
+    let hit_rate_with = hits_with_delta as f64 / carves.max(1) as f64;
+    let hit_rate_without = hits_without_delta as f64 / carves.max(1) as f64;
+    eprintln!(
+        "carve: {carves} post-publish carves, warm hits {hits_with_delta} with deltas \
+         vs {hits_without_delta} blind (carried forward {}, invalidated {})",
+        stats.carried_forward, stats.invalidated,
+    );
+
+    fs::remove_dir_all(&archive).ok();
+    fs::remove_dir_all(&state).ok();
+
+    let mut churn_json = String::new();
+    for (i, c) in churn_results.iter().enumerate() {
+        churn_json.push_str(&format!(
+            concat!(
+                "    {{\n",
+                "      \"fraction\": {},\n",
+                "      \"dirty_clusters\": {},\n",
+                "      \"full_secs\": {:.6},\n",
+                "      \"incremental_secs\": {:.6},\n",
+                "      \"speedup\": {:.4}\n",
+                "    }}{}\n"
+            ),
+            c.fraction,
+            c.dirty,
+            c.full_secs,
+            c.incremental_secs,
+            c.speedup,
+            if i + 1 < churn_results.len() { "," } else { "" },
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"population\": {},\n",
+            "  \"snapshots\": {},\n",
+            "  \"shards\": {},\n",
+            "  \"seed\": {},\n",
+            "  \"rows\": {},\n",
+            "  \"clusters\": {},\n",
+            "  \"records\": {},\n",
+            "  \"scoring_threads\": {},\n",
+            "  \"base_full_score_secs\": {:.6},\n",
+            "  \"churn\": [\n{}  ],\n",
+            "  \"carve\": {{\n",
+            "    \"requests\": {},\n",
+            "    \"publishes\": {},\n",
+            "    \"post_publish_carves\": {},\n",
+            "    \"hits_with_delta\": {},\n",
+            "    \"hits_without_delta\": {},\n",
+            "    \"hit_rate_with_delta\": {:.4},\n",
+            "    \"hit_rate_without_delta\": {:.4},\n",
+            "    \"carried_forward\": {},\n",
+            "    \"invalidated\": {}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        args.population,
+        args.snapshots,
+        args.shards,
+        args.seed,
+        rows,
+        clusters,
+        records,
+        scoring.effective_threads(),
+        base_full_secs,
+        churn_json,
+        requests.len(),
+        args.publishes,
+        carves,
+        hits_with_delta,
+        hits_without_delta,
+        hit_rate_with,
+        hit_rate_without,
+        stats.carried_forward,
+        stats.invalidated,
+    );
+    fs::write(&args.out, json).expect("write benchmark json");
+    eprintln!("wrote {}", args.out.display());
+
+    if args.min_speedup > 0.0 {
+        let gated = churn_results
+            .iter()
+            .find(|c| c.fraction == 0.01)
+            .expect("1% churn level");
+        if gated.speedup < args.min_speedup {
+            eprintln!(
+                "FAIL: incremental speedup {:.2}x at 1% churn is below the \
+                 required {:.2}x",
+                gated.speedup, args.min_speedup
+            );
+            std::process::exit(1);
+        }
+    }
+    if args.require_hits && hits_with_delta == 0 {
+        eprintln!("FAIL: delta-aware carve cache produced no warm hits");
+        std::process::exit(1);
+    }
+}

@@ -52,6 +52,7 @@ pub struct ClusterStore {
     state: HashMap<DocId, ClusterState>,
     records_total: u64,
     rows_total: u64,
+    max_version: u32,
     finalized: bool,
 }
 
@@ -72,6 +73,7 @@ impl ClusterStore {
             state: HashMap::new(),
             records_total: 0,
             rows_total: 0,
+            max_version: 0,
             finalized: false,
         }
     }
@@ -156,6 +158,7 @@ impl ClusterStore {
             state.hashes.push(fp);
             state.hash_set.insert(fp);
             state.first_version.push(version);
+            self.max_version = self.max_version.max(version);
             state.record_snapshots.push(vec![snapshot_date.to_owned()]);
             if let Some((d, n)) = state.snapshot_counts.last_mut() {
                 if d == snapshot_date {
@@ -185,6 +188,7 @@ impl ClusterStore {
                 },
             );
             self.records_total += 1;
+            self.max_version = self.max_version.max(version);
             self.finalized = false;
             RowOutcome::NewCluster
         }
@@ -292,6 +296,15 @@ impl ClusterStore {
         self.state.values().map(|s| s.rows_seen).collect()
     }
 
+    /// The highest version stamped on any record in the store (`0` for
+    /// an empty store). O(1): maintained on import and rebuilt on load.
+    /// When this is ≤ a published version `v`, reconstructing `v` is
+    /// equivalent to capturing the live store — the fast path
+    /// [`crate::snapshot::StoreSnapshot::capture_version`] relies on.
+    pub fn max_record_version(&self) -> u32 {
+        self.max_version
+    }
+
     /// The version that introduced each record of a cluster.
     pub fn record_versions(&self, ncid: &str) -> Option<&[u32]> {
         self.ncid_to_doc
@@ -336,6 +349,7 @@ impl ClusterStore {
         let mut state = HashMap::new();
         let mut records_total: u64 = 0;
         let mut rows_total: u64 = 0;
+        let mut max_version: u32 = 0;
         for (doc_id, doc) in collection.iter_ordered() {
             let ncid = doc
                 .get_str("ncid")
@@ -406,6 +420,7 @@ impl ClusterStore {
             }
             records_total += hashes.len() as u64;
             rows_total += rows_seen;
+            max_version = first_version.iter().copied().fold(max_version, u32::max);
             let hash_set = hashes.iter().copied().collect();
             state.insert(
                 doc_id,
@@ -426,6 +441,7 @@ impl ClusterStore {
             state,
             records_total,
             rows_total,
+            max_version,
             finalized: true,
         })
     }

@@ -67,6 +67,13 @@ pub struct CustomCluster {
 pub struct CustomDataset {
     /// Clusters, largest first.
     pub clusters: Vec<CustomCluster>,
+    /// NCIDs of every cluster drawn in the sampling step (2a), in
+    /// sample order — a superset of `clusters`, because ranking may
+    /// cut sampled clusters. Cache invalidation needs the *sampled*
+    /// set: a revision to any sampled cluster (kept or cut) can change
+    /// the ranking outcome, while clusters never sampled cannot affect
+    /// this carve at all.
+    pub sampled: Vec<String>,
 }
 
 impl CustomDataset {
@@ -135,7 +142,11 @@ where
 
 /// Sort reduced clusters largest-first (NCID breaks ties) and keep the
 /// best `output_clusters` (step 3 of the recipe).
-fn rank_and_truncate(mut reduced: Vec<CustomCluster>, params: &CustomizeParams) -> CustomDataset {
+fn rank_and_truncate(
+    mut reduced: Vec<CustomCluster>,
+    sampled: Vec<String>,
+    params: &CustomizeParams,
+) -> CustomDataset {
     reduced.sort_by(|a, b| {
         b.records
             .len()
@@ -143,7 +154,10 @@ fn rank_and_truncate(mut reduced: Vec<CustomCluster>, params: &CustomizeParams) 
             .then_with(|| a.ncid.cmp(&b.ncid))
     });
     reduced.truncate(params.output_clusters);
-    CustomDataset { clusters: reduced }
+    CustomDataset {
+        clusters: reduced,
+        sampled,
+    }
 }
 
 /// Run the customization recipe over a cluster store.
@@ -161,6 +175,7 @@ pub fn customize(
     ids.truncate(params.sample_clusters);
 
     // Step 2b: reduce every cluster to records within the bounds.
+    let sampled: Vec<String> = ids.iter().map(|(ncid, _)| ncid.clone()).collect();
     let mut reduced: Vec<CustomCluster> = Vec::with_capacity(ids.len());
     for (ncid, _) in ids {
         let rows = store.cluster_rows(&ncid);
@@ -168,7 +183,7 @@ pub fn customize(
         reduced.push(CustomCluster { ncid, records });
     }
 
-    rank_and_truncate(reduced, params)
+    rank_and_truncate(reduced, sampled, params)
 }
 
 /// Run the customization recipe over pre-materialized clusters — the
@@ -194,6 +209,7 @@ pub fn customize_clusters(
     order.shuffle(&mut rng);
     order.truncate(params.sample_clusters);
 
+    let sampled: Vec<String> = order.iter().map(|&i| clusters[i].0.clone()).collect();
     let mut reduced: Vec<CustomCluster> = Vec::with_capacity(order.len());
     for i in order {
         let (ncid, rows) = &clusters[i];
@@ -204,7 +220,7 @@ pub fn customize_clusters(
         });
     }
 
-    rank_and_truncate(reduced, params)
+    rank_and_truncate(reduced, sampled, params)
 }
 
 #[cfg(test)]

@@ -160,6 +160,7 @@ mod tests {
                     records: vec![mk("B2", "JOHN", "JONES")],
                 },
             ],
+            sampled: vec!["A1".into(), "B2".into()],
         }
     }
 

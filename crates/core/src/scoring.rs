@@ -10,6 +10,8 @@
 //! arithmetic as the sequential path and the output order is the input
 //! order, the parallel result is **bit-identical** to `threads = 1`.
 
+use std::collections::HashSet;
+
 use nc_similarity::Scratch;
 use nc_votergen::schema::Row;
 
@@ -146,6 +148,127 @@ pub fn score_clusters(
     })
 }
 
+/// Re-score only the clusters named in `dirty`, splicing everything
+/// else from `previous` — the incremental half of the change-stream
+/// pipeline.
+///
+/// `previous` must be the score vector of an earlier version of the
+/// same cluster list (cluster order only ever appends: new clusters
+/// found at version k+1 sort after every cluster of version k by
+/// founding sequence). A position is *reused* from `previous` when all
+/// of these hold, and re-scored otherwise:
+///
+/// * the position exists in `previous` with the same NCID (appended
+///   clusters always re-score),
+/// * its NCID is not in `dirty`,
+/// * its record count is unchanged (a defensive check: rows only ever
+///   append, so a grown cluster is always dirty — but an
+///   under-approximated dirty set must not silently ship stale
+///   scores).
+///
+/// Because per-cluster scoring is a pure function of the cluster's
+/// rows, the spliced output is **bit-identical** to a full
+/// [`score_clusters`] pass whenever `dirty` covers every changed
+/// cluster (property-tested against random churn in `nc-stream`).
+/// NCIDs in both `dirty` and the cluster list are the store's trimmed
+/// keys; no further normalization is applied.
+pub fn score_clusters_incremental(
+    clusters: &[(String, Vec<Row>)],
+    previous: &[ClusterScore],
+    dirty: &HashSet<String>,
+    plausibility: &PlausibilityScorer,
+    heterogeneity: &HeterogeneityScorer,
+    config: &ScoringConfig,
+) -> Vec<ClusterScore> {
+    let reusable = |i: usize, ncid: &str, rows: &[Row]| {
+        previous
+            .get(i)
+            .is_some_and(|p| p.ncid == ncid && p.records == rows.len() && !dirty.contains(ncid))
+    };
+    let stale: Vec<&(String, Vec<Row>)> = clusters
+        .iter()
+        .enumerate()
+        .filter(|(i, (ncid, rows))| !reusable(*i, ncid, rows))
+        .map(|(_, c)| c)
+        .collect();
+    // Score through the same map_clusters kernel path as
+    // score_clusters, over borrowed clusters (no row clones).
+    let mut rescored = map_clusters(config, &stale, |scratch, c| {
+        let (ncid, rows) = *c;
+        ClusterScore {
+            ncid: ncid.clone(),
+            records: rows.len(),
+            plausibility: plausibility.cluster_with(scratch, rows),
+            heterogeneity: heterogeneity.cluster_with(scratch, rows),
+        }
+    })
+    .into_iter();
+    let spliced: Vec<ClusterScore> = clusters
+        .iter()
+        .enumerate()
+        .map(|(i, (ncid, rows))| {
+            if reusable(i, ncid, rows) {
+                previous[i].clone()
+            } else {
+                rescored.next().expect("one rescored entry per stale cluster")
+            }
+        })
+        .collect();
+    debug_assert!(rescored.next().is_none());
+    spliced
+}
+
+/// Incrementally score a store: like [`score_store`], but clusters not
+/// in `dirty` reuse their entry from `previous` *without being
+/// materialized at all* — the work avoided is both the scoring kernels
+/// and the per-cluster row clones, which is what makes low-churn
+/// re-scoring sub-linear in store size.
+///
+/// Unlike [`score_clusters_incremental`] this variant cannot apply the
+/// defensive record-count check without materializing rows, so `dirty`
+/// must cover every cluster changed since `previous` was computed (the
+/// change stream's founded + revised sets satisfy this by
+/// construction). Output is bit-identical to a full [`score_store`]
+/// pass.
+pub fn score_store_incremental(
+    store: &ClusterStore,
+    previous: &[ClusterScore],
+    dirty: &HashSet<String>,
+    plausibility: &PlausibilityScorer,
+    heterogeneity: &HeterogeneityScorer,
+    config: &ScoringConfig,
+) -> Vec<ClusterScore> {
+    let ids = store.cluster_ids();
+    let reusable = |i: usize, ncid: &str| {
+        previous
+            .get(i)
+            .is_some_and(|p| p.ncid == ncid && !dirty.contains(ncid))
+    };
+    let stale: Vec<(String, Vec<Row>)> = ids
+        .iter()
+        .enumerate()
+        .filter(|(i, (ncid, _))| !reusable(*i, ncid))
+        .map(|(_, (ncid, _))| {
+            let rows = store.cluster_rows(ncid);
+            (ncid.clone(), rows)
+        })
+        .collect();
+    let mut rescored = score_clusters(&stale, plausibility, heterogeneity, config).into_iter();
+    let spliced: Vec<ClusterScore> = ids
+        .iter()
+        .enumerate()
+        .map(|(i, (ncid, _))| {
+            if reusable(i, ncid) {
+                previous[i].clone()
+            } else {
+                rescored.next().expect("one rescored entry per stale cluster")
+            }
+        })
+        .collect();
+    debug_assert!(rescored.next().is_none());
+    spliced
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,5 +363,61 @@ mod tests {
         let cfg = ScoringConfig::default();
         assert_eq!(cfg, ScoringConfig::with_threads(0), "default stays machine-independent");
         assert_eq!(cfg.effective_threads(), hw, "sentinel resolves to hardware parallelism");
+    }
+
+    fn assert_bits_equal(a: &[ClusterScore], b: &[ClusterScore]) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.ncid, y.ncid);
+            assert_eq!(x.records, y.records);
+            assert_eq!(x.plausibility.to_bits(), y.plausibility.to_bits());
+            assert_eq!(x.heterogeneity.to_bits(), y.heterogeneity.to_bits());
+        }
+    }
+
+    #[test]
+    fn incremental_scores_splice_bit_identically() {
+        let mut store = store();
+        let (plaus, het) = scorers();
+        let cfg = ScoringConfig::with_threads(1);
+        let before = score_store(&store, &plaus, &het, &cfg);
+
+        // Churn: revise two existing clusters, found one new one.
+        let mut import = |ncid: &str, last: &str| {
+            let mut r = Row::empty();
+            r.set(NCID, ncid);
+            r.set(FIRST_NAME, "NEW");
+            r.set(LAST_NAME, last);
+            store.import_row(r, DedupPolicy::Trimmed, "s4", 2);
+        };
+        import("C3", "CHANGED3");
+        import("C11", "CHANGED11");
+        import("C99", "FOUNDED");
+        let dirty: HashSet<String> = ["C3".to_owned(), "C11".to_owned(), "C99".to_owned()].into();
+
+        let full = score_store(&store, &plaus, &het, &cfg);
+        let inc_store = score_store_incremental(&store, &before, &dirty, &plaus, &het, &cfg);
+        assert_bits_equal(&full, &inc_store);
+
+        let clusters: Vec<(String, Vec<Row>)> = store
+            .cluster_ids()
+            .into_iter()
+            .map(|(ncid, _)| {
+                let rows = store.cluster_rows(&ncid);
+                (ncid, rows)
+            })
+            .collect();
+        let inc = score_clusters_incremental(&clusters, &before, &dirty, &plaus, &het, &cfg);
+        assert_bits_equal(&full, &inc);
+
+        // An empty dirty set over an unchanged store reuses everything.
+        let clean = score_store_incremental(&store, &full, &HashSet::new(), &plaus, &het, &cfg);
+        assert_bits_equal(&full, &clean);
+
+        // The defensive record-count check catches an under-approximated
+        // dirty set in the materialized variant.
+        let stale_guard =
+            score_clusters_incremental(&clusters, &before, &HashSet::new(), &plaus, &het, &cfg);
+        assert_bits_equal(&full, &stale_guard);
     }
 }

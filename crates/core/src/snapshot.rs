@@ -85,6 +85,17 @@ impl StoreSnapshot {
                 "version {version} not published (history has {published})"
             ));
         }
+        // Fast path: when the requested version is the current one and
+        // the store holds no rows stamped with a yet-unpublished
+        // version, reconstruction would keep every record of every
+        // cluster — so reuse the plain capture path and skip the
+        // per-cluster version bookkeeping (lookups and per-record
+        // scans) entirely. `max_record_version` makes the precondition
+        // O(1); benched in `nc-bench benches/version.rs`, which also
+        // counts allocator calls on both paths.
+        if version == published && store.max_record_version() <= version {
+            return Ok(Self::capture(store, version));
+        }
         let clusters = versions.reconstruct(store, version);
         let records = clusters.iter().map(|(_, r)| r.len() as u64).sum();
         Ok(StoreSnapshot {
@@ -197,6 +208,25 @@ mod tests {
         assert_eq!(v1.record_count(), 3);
         let v2 = StoreSnapshot::capture_version(&store, &versions, 2).unwrap();
         assert_eq!(v2.record_count(), store.record_count());
+    }
+
+    #[test]
+    fn capture_version_fast_path_matches_reconstruction() {
+        let (store, versions) = two_version_store();
+        // The fast path fires at the current version (no unpublished
+        // rows in this store); its output must be byte-identical to an
+        // explicit reconstruction of the same version.
+        let fast = StoreSnapshot::capture_version(&store, &versions, 2).unwrap();
+        let slow = StoreSnapshot::from_clusters(2, versions.reconstruct(&store, 2));
+        assert_eq!(fast.clusters(), slow.clusters());
+        assert_eq!(fast.record_count(), slow.record_count());
+
+        // With unpublished rows in the store the fast path must NOT
+        // fire: version 2 may no longer include the version-3 row.
+        let (mut store, versions) = two_version_store();
+        import(&mut store, "H1", "MARY", "ANN", "SMIJTH", "s3", 3);
+        let v2 = StoreSnapshot::capture_version(&store, &versions, 2).unwrap();
+        assert_eq!(v2.clusters(), slow.clusters(), "unpublished row excluded");
     }
 
     #[test]

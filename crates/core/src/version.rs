@@ -74,10 +74,19 @@ impl VersionManager {
     pub fn reconstruct(&self, store: &ClusterStore, version: u32) -> Vec<(String, Vec<Row>)> {
         let mut out = Vec::new();
         for (ncid, _) in store.cluster_ids() {
-            let rows = store.cluster_rows(&ncid);
             let versions = store
                 .record_versions(&ncid)
                 .expect("cluster has version info");
+            // Clusters whose records all qualify — every cluster when
+            // reconstructing the current version — keep their
+            // materialized rows as-is instead of paying the
+            // zip/filter re-collect.
+            if versions.iter().all(|&v| v <= version) {
+                let rows = store.cluster_rows(&ncid);
+                out.push((ncid, rows));
+                continue;
+            }
+            let rows = store.cluster_rows(&ncid);
             let kept: Vec<Row> = rows
                 .into_iter()
                 .zip(versions.iter())

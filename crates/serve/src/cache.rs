@@ -30,8 +30,8 @@ pub struct CacheStats {
 
 #[derive(Debug)]
 struct LruInner<V> {
-    /// key → (last-use tick, value).
-    map: HashMap<Digest, (u64, Arc<V>)>,
+    /// key → (last-use tick, tag, value).
+    map: HashMap<Digest, (u64, u64, Arc<V>)>,
     /// Monotonic use counter; higher = more recently used.
     tick: u64,
 }
@@ -73,7 +73,7 @@ impl<V> LruCache<V> {
         inner.tick += 1;
         let tick = inner.tick;
         match inner.map.get_mut(key) {
-            Some((stamp, value)) => {
+            Some((stamp, _, value)) => {
                 *stamp = tick;
                 let value = Arc::clone(value);
                 drop(inner);
@@ -88,10 +88,19 @@ impl<V> LruCache<V> {
         }
     }
 
-    /// Insert a value, evicting the least-recently-used entry when the
-    /// cache is full and the key is new. Re-inserting an existing key
-    /// replaces its value and bumps recency without evicting.
+    /// Insert a value with tag 0, evicting the least-recently-used
+    /// entry when the cache is full and the key is new. Re-inserting an
+    /// existing key replaces its value and bumps recency without
+    /// evicting.
     pub fn insert(&self, key: Digest, value: Arc<V>) {
+        self.insert_tagged(key, 0, value);
+    }
+
+    /// [`LruCache::insert`] with an explicit tag. Tags carry
+    /// caller-defined grouping (the carve cache tags every entry with
+    /// the snapshot version it was carved against) and drive
+    /// [`LruCache::retain`]-based invalidation.
+    pub fn insert_tagged(&self, key: Digest, tag: u64, value: Arc<V>) {
         if self.capacity == 0 {
             return;
         }
@@ -106,14 +115,42 @@ impl<V> LruCache<V> {
             if let Some(stale) = inner
                 .map
                 .iter()
-                .min_by_key(|(k, (stamp, _))| (*stamp, **k))
+                .min_by_key(|(k, (stamp, _, _))| (*stamp, **k))
                 .map(|(k, _)| *k)
             {
                 inner.map.remove(&stale);
                 self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
-        inner.map.insert(key, (tick, value));
+        inner.map.insert(key, (tick, tag, value));
+    }
+
+    /// Snapshot of the resident entries as `(tag, value)` pairs, in
+    /// deterministic key order. Used by publish-time reconciliation to
+    /// find entries worth carrying forward to a new version.
+    pub fn entries(&self) -> Vec<(u64, Arc<V>)> {
+        let inner = self.inner.lock().expect("cache lock");
+        let mut items: Vec<(Digest, u64, Arc<V>)> = inner
+            .map
+            .iter()
+            .map(|(k, (_, tag, v))| (*k, *tag, Arc::clone(v)))
+            .collect();
+        items.sort_by_key(|(k, _, _)| *k);
+        items.into_iter().map(|(_, tag, v)| (tag, v)).collect()
+    }
+
+    /// Drop every entry whose `(tag, value)` fails the predicate,
+    /// returning how many were dropped. Unlike capacity evictions these
+    /// are *invalidations*: they do not increment the eviction counter,
+    /// so the two causes stay distinguishable in metrics.
+    pub fn retain<F>(&self, keep: F) -> u64
+    where
+        F: Fn(u64, &V) -> bool,
+    {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let before = inner.map.len();
+        inner.map.retain(|_, (_, tag, v)| keep(*tag, v));
+        (before - inner.map.len()) as u64
     }
 
     /// Current counter values.
@@ -178,6 +215,27 @@ mod tests {
         let stats = cache.stats();
         assert_eq!(stats.entries, 0);
         assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn tags_drive_retain_and_entries() {
+        let cache: LruCache<String> = LruCache::new(8);
+        cache.insert_tagged(key("a"), 1, Arc::new("A".into()));
+        cache.insert_tagged(key("b"), 1, Arc::new("B".into()));
+        cache.insert_tagged(key("c"), 2, Arc::new("C".into()));
+
+        let entries = cache.entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(entries.iter().filter(|(tag, _)| *tag == 1).count(), 2);
+
+        // Invalidate everything tagged 1.
+        let dropped = cache.retain(|tag, _| tag != 1);
+        assert_eq!(dropped, 2);
+        assert!(cache.get(&key("a")).is_none());
+        assert_eq!(*cache.get(&key("c")).unwrap(), "C");
+        // Invalidations are not capacity evictions.
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().entries, 1);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use nc_core::md5::{md5, Digest};
 use nc_votergen::schema::{Row, SCHEMA};
 
 use crate::cache::{CacheStats, LruCache};
-use crate::snapshot::SnapshotRegistry;
+use crate::snapshot::{PublishDelta, SnapshotRegistry};
 
 /// A request to carve one page of a customized dataset.
 #[derive(Debug, Clone, PartialEq)]
@@ -91,8 +91,19 @@ impl std::error::Error for CarveError {}
 /// `Arc` between the cache and any number of concurrent responses.
 #[derive(Debug)]
 pub struct CarveResult {
-    /// The snapshot version the carve was pinned to.
+    /// The snapshot version the carve was pinned to *when first
+    /// computed*. A carried-forward cache entry keeps this original
+    /// version — responses report the resolved version from
+    /// [`CarveOutcome::version`], not from here.
     pub version: u32,
+    /// The parameters the carve was computed with (needed to re-key a
+    /// carried-forward entry under a new version's fingerprint).
+    pub params: CustomizeParams,
+    /// NCIDs of every cluster the carve *sampled* (pre-ranking),
+    /// sorted ascending for binary search. A publish delta whose
+    /// revised set is disjoint from this makes the entry bit-identical
+    /// at the new version (see [`CarveEngine::publish`]).
+    pub sampled: Vec<String>,
     /// Number of clusters in the carved dataset.
     pub clusters: usize,
     /// Total number of labeled records (== `lines.len()`).
@@ -105,10 +116,14 @@ pub struct CarveResult {
 
 impl CarveResult {
     /// Render a carved dataset into its response form.
-    pub fn render(version: u32, dataset: &CustomDataset) -> Self {
+    pub fn render(version: u32, params: &CustomizeParams, dataset: &CustomDataset) -> Self {
         let lines = render_lines(dataset);
+        let mut sampled = dataset.sampled.clone();
+        sampled.sort_unstable();
         CarveResult {
             version,
+            params: params.clone(),
+            sampled,
             clusters: dataset.clusters.len(),
             records: lines.len(),
             duplicate_pairs: dataset.duplicate_pairs(),
@@ -135,11 +150,24 @@ pub struct CarveOutcome {
     pub result: Arc<CarveResult>,
 }
 
+/// Publish-time cache reconciliation counters, exported via `/metrics`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Entries invalidated because their version died or their carve
+    /// intersected a publish delta.
+    pub invalidated: u64,
+    /// Entries re-keyed to a new version because the publish delta
+    /// provably did not affect them.
+    pub carried_forward: u64,
+}
+
 /// The carve engine: snapshot resolution + fingerprinted cache + carve.
 #[derive(Debug)]
 pub struct CarveEngine {
     registry: Arc<SnapshotRegistry>,
     cache: LruCache<CarveResult>,
+    invalidated: std::sync::atomic::AtomicU64,
+    carried_forward: std::sync::atomic::AtomicU64,
 }
 
 impl CarveEngine {
@@ -149,6 +177,8 @@ impl CarveEngine {
         CarveEngine {
             registry,
             cache: LruCache::new(cache_capacity),
+            invalidated: std::sync::atomic::AtomicU64::new(0),
+            carried_forward: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -160,6 +190,82 @@ impl CarveEngine {
     /// Cache counters for `/metrics`.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Publish-time reconciliation counters for `/metrics`.
+    pub fn delta_stats(&self) -> DeltaStats {
+        use std::sync::atomic::Ordering;
+        DeltaStats {
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            carried_forward: self.carried_forward.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Publish a snapshot through the registry and reconcile the carve
+    /// cache against it.
+    ///
+    /// Two reconciliation steps run, in order:
+    ///
+    /// 1. **Carry-forward** (needs a `delta` for the exact
+    ///    `previous → new` transition): a cached carve transfers to the
+    ///    new version bit-identically when the delta founded no cluster
+    ///    (cluster count unchanged ⇒ the seeded sampling permutation
+    ///    and the first-record entropy scorer are unchanged) and none
+    ///    of the carve's *sampled* clusters was revised (rows only
+    ///    append, so unrevised clusters reduce and rank identically).
+    ///    Qualifying entries are re-keyed under the new version's
+    ///    fingerprint — the same `Arc`, no re-render — which is what
+    ///    keeps the warm-cache hit rate non-zero across low-churn
+    ///    publishes. This bit-identity is property-tested against
+    ///    fresh carves in `nc-stream`'s churn suite.
+    /// 2. **Dead-version eviction**: entries tagged with a version no
+    ///    longer in the registry (evicted by retention) are dropped
+    ///    immediately instead of lingering until LRU pressure pushes
+    ///    them out.
+    ///
+    /// Without a delta only step 2 runs: old-version entries stay
+    /// correct (they serve pinned-version requests) but nothing can be
+    /// carried forward.
+    pub fn publish(
+        &self,
+        snapshot: crate::snapshot::ServeSnapshot,
+        delta: Option<PublishDelta>,
+    ) -> Arc<crate::snapshot::ServeSnapshot> {
+        use std::sync::atomic::Ordering;
+        let outcome = self.registry.publish_with_delta(snapshot, delta.clone());
+        let new_version = outcome.snapshot.version();
+
+        if let Some(delta) = delta {
+            let transition_ok = delta.version == new_version
+                && outcome.previous_version != new_version
+                && delta.founded.is_empty();
+            if transition_ok {
+                for (tag, result) in self.cache.entries() {
+                    if tag != u64::from(outcome.previous_version) {
+                        continue;
+                    }
+                    let untouched = delta
+                        .revised
+                        .iter()
+                        .all(|ncid| result.sampled.binary_search(ncid).is_err());
+                    if untouched {
+                        let key = fingerprint(new_version, &result.params);
+                        self.cache.insert_tagged(key, u64::from(new_version), result);
+                        self.carried_forward.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        }
+
+        let live: std::collections::BTreeSet<u64> = self
+            .registry
+            .versions()
+            .into_iter()
+            .map(u64::from)
+            .collect();
+        let dropped = self.cache.retain(|tag, _| live.contains(&tag));
+        self.invalidated.fetch_add(dropped, Ordering::Relaxed);
+        outcome.snapshot
     }
 
     /// Execute a carve request: resolve the snapshot, consult the cache,
@@ -183,8 +289,9 @@ impl CarveEngine {
         }
 
         let dataset = snapshot.carve(&request.params);
-        let result = Arc::new(CarveResult::render(version, &dataset));
-        self.cache.insert(key, Arc::clone(&result));
+        let result = Arc::new(CarveResult::render(version, &request.params, &dataset));
+        self.cache
+            .insert_tagged(key, u64::from(version), Arc::clone(&result));
         Ok(CarveOutcome {
             version,
             status: CacheStatus::Miss,
@@ -268,7 +375,7 @@ fn render_record(cluster: usize, ncid: &str, record: &Row) -> String {
 }
 
 /// Escape a string for embedding in a JSON string literal.
-fn json_escape_into(out: &mut String, s: &str) {
+pub(crate) fn json_escape_into(out: &mut String, s: &str) {
     for c in s.chars() {
         match c {
             '"' => out.push_str("\\\""),
@@ -495,6 +602,112 @@ mod tests {
         ));
     }
 
+    /// The v1 store plus a revised copy where cluster C1 gained a row
+    /// (no cluster founded).
+    fn revised_store() -> ClusterStore {
+        let mut store = small_store();
+        let mut r = Row::empty();
+        r.set(NCID, "C1");
+        r.set(FIRST_NAME, "PATRICIA");
+        r.set(LAST_NAME, "CHANGED");
+        store.import_row(r, DedupPolicy::Trimmed, "s3", 2);
+        store
+    }
+
+    fn revise_delta() -> PublishDelta {
+        PublishDelta {
+            version: 2,
+            date: "s3".into(),
+            founded: Vec::new(),
+            revised: vec!["C1".into()],
+        }
+    }
+
+    #[test]
+    fn publish_carries_forward_unaffected_carves_bit_identically() {
+        let engine = engine(32);
+        // Carve with several small samples; split them by whether C1
+        // (the cluster about to be revised) was sampled.
+        let mut req = request(0);
+        req.params.sample_clusters = 3;
+        let mut touched = Vec::new();
+        let mut untouched = Vec::new();
+        for seed in 0..12 {
+            req.params.seed = seed;
+            let out = engine.carve(&req).unwrap();
+            if out.result.sampled.binary_search(&"C1".to_string()).is_ok() {
+                touched.push(seed);
+            } else {
+                untouched.push(seed);
+            }
+        }
+        assert!(!touched.is_empty() && !untouched.is_empty(), "need both kinds");
+
+        let store2 = revised_store();
+        engine.publish(ServeSnapshot::capture(&store2, 2), Some(revise_delta()));
+        assert!(engine.delta_stats().carried_forward >= untouched.len() as u64);
+
+        let fresh = ServeSnapshot::capture(&revised_store(), 2);
+        for &seed in &untouched {
+            req.params.seed = seed;
+            let out = engine.carve(&req).unwrap();
+            assert_eq!(out.status, CacheStatus::Hit, "seed {seed} carried forward");
+            assert_eq!(out.version, 2, "served as the new version");
+            // The carried-forward lines are bit-identical to a fresh
+            // carve at the new version.
+            let fresh_lines = render_lines(&fresh.carve(&req.params));
+            assert_eq!(out.result.lines, fresh_lines);
+        }
+        for &seed in &touched {
+            req.params.seed = seed;
+            let out = engine.carve(&req).unwrap();
+            assert_eq!(out.status, CacheStatus::Miss, "seed {seed} sampled C1");
+        }
+    }
+
+    #[test]
+    fn founding_a_cluster_blocks_all_carry_forward() {
+        let engine = engine(32);
+        let mut req = request(3);
+        req.params.sample_clusters = 3;
+        engine.carve(&req).unwrap();
+
+        let mut store2 = revised_store();
+        let mut r = Row::empty();
+        r.set(NCID, "C99");
+        r.set(FIRST_NAME, "NEW");
+        r.set(LAST_NAME, "CLUSTER");
+        store2.import_row(r, DedupPolicy::Trimmed, "s3", 2);
+        let mut delta = revise_delta();
+        delta.founded.push("C99".into());
+
+        engine.publish(ServeSnapshot::capture(&store2, 2), Some(delta));
+        assert_eq!(engine.delta_stats().carried_forward, 0);
+        assert_eq!(engine.carve(&req).unwrap().status, CacheStatus::Miss);
+    }
+
+    #[test]
+    fn publish_evicts_dead_version_entries_under_retention() {
+        let registry = Arc::new(SnapshotRegistry::with_retention(
+            ServeSnapshot::capture(&small_store(), 1),
+            1,
+        ));
+        let engine = CarveEngine::new(registry, 8);
+        engine.carve(&request(5)).unwrap();
+        assert_eq!(engine.cache_stats().entries, 1);
+
+        // No delta: nothing carries forward; version 1 dies under the
+        // retention limit and its entry is invalidated immediately.
+        engine.publish(ServeSnapshot::capture(&revised_store(), 2), None);
+        assert_eq!(engine.cache_stats().entries, 0);
+        assert_eq!(engine.delta_stats().invalidated, 1);
+        assert_eq!(
+            engine.cache_stats().evictions,
+            0,
+            "invalidation is not a capacity eviction"
+        );
+    }
+
     #[test]
     fn fingerprint_distinguishes_bit_level_params() {
         let base = request(1).params;
@@ -516,6 +729,7 @@ mod tests {
                 ncid: "Q\"1".to_string(),
                 records: vec![r],
             }],
+            sampled: vec!["Q\"1".to_string()],
         };
         let lines = render_lines(&ds);
         assert_eq!(lines.len(), 1);
@@ -529,6 +743,8 @@ mod tests {
     fn pagination_slices_without_overlap() {
         let result = CarveResult {
             version: 1,
+            params: request(1).params,
+            sampled: Vec::new(),
             clusters: 1,
             records: 5,
             duplicate_pairs: 10,

@@ -168,12 +168,24 @@ fn read_head_line<R: BufRead>(reader: &mut R, consumed: &mut usize) -> Result<St
     Ok(line)
 }
 
+/// The body of a [`Response`]: either a single buffer sent with
+/// `Content-Length`, or a sequence of chunks sent with
+/// `Transfer-Encoding: chunked` (used by `/watch`, whose delta frames
+/// are naturally incremental).
+#[derive(Debug, Clone)]
+enum Payload {
+    /// One contiguous body, framed by `Content-Length`.
+    Full(Vec<u8>),
+    /// Chunked transfer encoding; each element becomes one chunk.
+    Chunked(Vec<Vec<u8>>),
+}
+
 /// An HTTP response under construction.
 #[derive(Debug, Clone)]
 pub struct Response {
     status: u16,
     headers: Vec<(String, String)>,
-    body: Vec<u8>,
+    payload: Payload,
 }
 
 impl Response {
@@ -182,7 +194,7 @@ impl Response {
         Response {
             status,
             headers: Vec::new(),
-            body: Vec::new(),
+            payload: Payload::Full(Vec::new()),
         }
     }
 
@@ -206,9 +218,19 @@ impl Response {
         self
     }
 
-    /// Set the body.
+    /// Set the body (switches the response back to `Content-Length`
+    /// framing if chunks had been set).
     pub fn body(mut self, body: Vec<u8>) -> Self {
-        self.body = body;
+        self.payload = Payload::Full(body);
+        self
+    }
+
+    /// Send the body as `Transfer-Encoding: chunked`, one wire chunk
+    /// per element. Empty elements are skipped at write time — an
+    /// empty chunk is the terminator in chunked framing, so emitting
+    /// one mid-stream would truncate the body at the receiver.
+    pub fn chunked(mut self, chunks: Vec<Vec<u8>>) -> Self {
+        self.payload = Payload::Chunked(chunks);
         self
     }
 
@@ -217,8 +239,9 @@ impl Response {
         self.status
     }
 
-    /// Serialize onto the wire. `Content-Length` and
-    /// `Connection: close` are always appended.
+    /// Serialize onto the wire. Framing (`Content-Length` or
+    /// `Transfer-Encoding: chunked`) and `Connection: close` are always
+    /// appended.
     pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
         let mut head = format!(
             "HTTP/1.1 {} {}\r\n",
@@ -231,10 +254,28 @@ impl Response {
             head.push_str(value);
             head.push_str("\r\n");
         }
-        head.push_str(&format!("Content-Length: {}\r\n", self.body.len()));
-        head.push_str("Connection: close\r\n\r\n");
-        w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        match &self.payload {
+            Payload::Full(body) => {
+                head.push_str(&format!("Content-Length: {}\r\n", body.len()));
+                head.push_str("Connection: close\r\n\r\n");
+                w.write_all(head.as_bytes())?;
+                w.write_all(body)?;
+            }
+            Payload::Chunked(chunks) => {
+                head.push_str("Transfer-Encoding: chunked\r\n");
+                head.push_str("Connection: close\r\n\r\n");
+                w.write_all(head.as_bytes())?;
+                for chunk in chunks {
+                    if chunk.is_empty() {
+                        continue;
+                    }
+                    w.write_all(format!("{:x}\r\n", chunk.len()).as_bytes())?;
+                    w.write_all(chunk)?;
+                    w.write_all(b"\r\n")?;
+                }
+                w.write_all(b"0\r\n\r\n")?;
+            }
+        }
         w.flush()
     }
 }
@@ -246,6 +287,7 @@ pub fn status_reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        410 => "Gone",
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
@@ -396,6 +438,33 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\nok"));
+    }
+
+    #[test]
+    fn chunked_wire_format() {
+        let mut out = Vec::new();
+        Response::new(200)
+            .header("Content-Type", "application/jsonlines; charset=utf-8")
+            .chunked(vec![
+                b"{\"a\":1}\n".to_vec(),
+                Vec::new(), // empty chunks are skipped, not emitted
+                b"{\"b\":22}\n".to_vec(),
+            ])
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(!text.contains("Content-Length"));
+        // Hex chunk sizes frame each body piece; the stream ends with
+        // the zero-length terminator chunk.
+        assert!(text.contains("\r\n\r\n8\r\n{\"a\":1}\n\r\n9\r\n{\"b\":22}\n\r\n0\r\n\r\n"));
+        assert!(text.ends_with("0\r\n\r\n"));
+    }
+
+    #[test]
+    fn gone_status_has_a_reason() {
+        assert_eq!(status_reason(410), "Gone");
     }
 
     #[test]

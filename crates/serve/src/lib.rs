@@ -28,6 +28,15 @@
 //!   return paginated labeled records as JSON lines. Shutdown is
 //!   graceful: the acceptor stops, queued and in-flight requests are
 //!   drained, then the workers exit.
+//! * **Change deltas** — a publish can carry a
+//!   [`snapshot::PublishDelta`] naming the clusters founded and
+//!   revised since the previous version. The carve engine uses it to
+//!   reconcile the warm cache across versions (carry forward carves
+//!   whose sampled clusters are untouched, bit-identically; invalidate
+//!   entries for retention-evicted versions), and
+//!   `GET /watch?from=<version>` streams the recorded delta window as
+//!   chunked JSON lines so subscribers can catch up incrementally —
+//!   or learn (via `410 Gone`) that they must re-fetch a full carve.
 //!
 //! Requests are dispatched to a crossbeam-channel worker pool sized by
 //! [`nc_core::scoring::ScoringConfig`] — the same "0 means hardware
@@ -51,7 +60,9 @@ pub mod retry;
 pub mod server;
 pub mod snapshot;
 
-pub use carve::{CacheStatus, CarveEngine, CarveError, CarveOutcome, CarveRequest, CarveResult};
+pub use carve::{
+    CacheStatus, CarveEngine, CarveError, CarveOutcome, CarveRequest, CarveResult, DeltaStats,
+};
 pub use retry::{RetryExhausted, RetryPolicy};
 pub use server::{Server, ServerHandle, ServeConfig, ServeState};
-pub use snapshot::{ServeSnapshot, SnapshotRegistry};
+pub use snapshot::{PublishDelta, ServeSnapshot, SnapshotRegistry, WatchWindow};

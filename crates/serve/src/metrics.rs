@@ -9,6 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::cache::CacheStats;
+use crate::carve::DeltaStats;
 
 /// Upper bounds (µs) of the latency histogram buckets; an implicit
 /// `+Inf` bucket follows. Spans sub-millisecond cache hits through
@@ -27,16 +28,19 @@ pub enum Endpoint {
     Carve,
     /// `GET /datasets/{preset}`
     Datasets,
+    /// `GET /watch`
+    Watch,
     /// Anything else (404s, bad methods, parse failures).
     Other,
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 5] = [
+    const ALL: [Endpoint; 6] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Carve,
         Endpoint::Datasets,
+        Endpoint::Watch,
         Endpoint::Other,
     ];
 
@@ -46,7 +50,8 @@ impl Endpoint {
             Endpoint::Metrics => 1,
             Endpoint::Carve => 2,
             Endpoint::Datasets => 3,
-            Endpoint::Other => 4,
+            Endpoint::Watch => 4,
+            Endpoint::Other => 5,
         }
     }
 
@@ -57,6 +62,7 @@ impl Endpoint {
             Endpoint::Metrics => "metrics",
             Endpoint::Carve => "carve",
             Endpoint::Datasets => "datasets",
+            Endpoint::Watch => "watch",
             Endpoint::Other => "other",
         }
     }
@@ -166,7 +172,13 @@ impl Metrics {
 
     /// Render the `/metrics` page: service counters, cache counters,
     /// and cumulative per-endpoint latency histograms.
-    pub fn render(&self, cache: &CacheStats, current_version: u32, versions: usize) -> String {
+    pub fn render(
+        &self,
+        cache: &CacheStats,
+        delta: &DeltaStats,
+        current_version: u32,
+        versions: usize,
+    ) -> String {
         let mut out = String::with_capacity(2048);
         out.push_str(&format!(
             "nc_serve_requests_total {}\n",
@@ -197,6 +209,14 @@ impl Metrics {
         ));
         out.push_str(&format!("nc_serve_cache_entries {}\n", cache.entries));
         out.push_str(&format!("nc_serve_cache_capacity {}\n", cache.capacity));
+        out.push_str(&format!(
+            "nc_serve_cache_invalidated_total {}\n",
+            delta.invalidated
+        ));
+        out.push_str(&format!(
+            "nc_serve_cache_carried_forward_total {}\n",
+            delta.carried_forward
+        ));
 
         for endpoint in Endpoint::ALL {
             let stats = &self.endpoints[endpoint.index()];
@@ -256,7 +276,7 @@ mod tests {
         m.socket_cfg_failure_inc();
         assert_eq!(m.worker_panics(), 1);
         assert_eq!(m.socket_cfg_failures(), 2);
-        let text = m.render(&CacheStats::default(), 3, 2);
+        let text = m.render(&CacheStats::default(), &DeltaStats::default(), 3, 2);
         assert!(text.contains("nc_serve_requests_total 2\n"));
         assert!(text.contains("nc_serve_in_flight 0\n"));
         assert!(text.contains("nc_serve_queue_saturated_total 1\n"));
@@ -279,7 +299,7 @@ mod tests {
             m.begin();
             m.record(Endpoint::Datasets, 200, micros);
         }
-        let text = m.render(&CacheStats::default(), 1, 1);
+        let text = m.render(&CacheStats::default(), &DeltaStats::default(), 1, 1);
         assert!(text.contains("{endpoint=\"datasets\",le=\"250\"} 2\n"));
         assert!(text.contains("{endpoint=\"datasets\",le=\"4000\"} 3\n"));
         assert!(text.contains("{endpoint=\"datasets\",le=\"65000\"} 4\n"));
@@ -296,11 +316,27 @@ mod tests {
             entries: 3,
             capacity: 8,
         };
-        let text = m.render(&cache, 1, 1);
+        let delta = DeltaStats {
+            invalidated: 4,
+            carried_forward: 6,
+        };
+        let text = m.render(&cache, &delta, 1, 1);
         assert!(text.contains("nc_serve_cache_hits_total 5\n"));
         assert!(text.contains("nc_serve_cache_misses_total 2\n"));
         assert!(text.contains("nc_serve_cache_evictions_total 1\n"));
         assert!(text.contains("nc_serve_cache_entries 3\n"));
         assert!(text.contains("nc_serve_cache_capacity 8\n"));
+        assert!(text.contains("nc_serve_cache_invalidated_total 4\n"));
+        assert!(text.contains("nc_serve_cache_carried_forward_total 6\n"));
+    }
+
+    #[test]
+    fn watch_endpoint_is_tracked() {
+        let m = Metrics::new();
+        m.begin();
+        m.record(Endpoint::Watch, 200, 100);
+        assert_eq!(m.endpoint_requests(Endpoint::Watch), 1);
+        let text = m.render(&CacheStats::default(), &DeltaStats::default(), 1, 1);
+        assert!(text.contains("nc_serve_endpoint_requests_total{endpoint=\"watch\"} 1\n"));
     }
 }

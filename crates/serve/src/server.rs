@@ -31,10 +31,12 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::TrySendError;
 use nc_core::scoring::ScoringConfig;
 
-use crate::carve::{parse_carve_request, CarveError, CarveEngine, CarveOutcome, RequestDefaults};
+use crate::carve::{
+    json_escape_into, parse_carve_request, CarveError, CarveEngine, CarveOutcome, RequestDefaults,
+};
 use crate::http::{parse_form, read_request, Request, Response};
 use crate::metrics::{Endpoint, Metrics};
-use crate::snapshot::SnapshotRegistry;
+use crate::snapshot::{PublishDelta, ServeSnapshot, SnapshotRegistry};
 
 /// How long the acceptor sleeps when there is nothing to accept.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
@@ -105,6 +107,19 @@ impl ServeState {
     /// The snapshot registry (publish new versions through this).
     pub fn registry(&self) -> &Arc<SnapshotRegistry> {
         &self.registry
+    }
+
+    /// Publish a new snapshot version with its change delta, letting
+    /// the carve engine reconcile the warm cache (carry forward
+    /// unaffected carves, invalidate dead-version entries). Passing
+    /// `None` for the delta publishes conservatively: nothing is
+    /// carried forward and `/watch` subscribers see a gap.
+    pub fn publish(
+        &self,
+        snapshot: ServeSnapshot,
+        delta: Option<PublishDelta>,
+    ) -> Arc<ServeSnapshot> {
+        self.engine.publish(snapshot, delta)
     }
 
     /// The carve engine.
@@ -327,11 +342,12 @@ fn route(request: &Request, state: &ServeState) -> (Endpoint, Response) {
         ("GET", "/healthz") => (Endpoint::Healthz, healthz(state)),
         ("GET", "/metrics") => (Endpoint::Metrics, metrics_page(state)),
         ("POST", "/carve") => (Endpoint::Carve, carve_from_body(request, state)),
+        ("GET", "/watch") => (Endpoint::Watch, watch(request, state)),
         ("GET", path) if path.starts_with("/datasets/") => (
             Endpoint::Datasets,
             dataset_preset(&path["/datasets/".len()..], request, state),
         ),
-        (_, "/healthz") | (_, "/metrics") | (_, "/carve") => (
+        (_, "/healthz") | (_, "/metrics") | (_, "/carve") | (_, "/watch") => (
             Endpoint::Other,
             Response::text(405, "method not allowed\n"),
         ),
@@ -358,9 +374,89 @@ fn healthz(state: &ServeState) -> Response {
 
 fn metrics_page(state: &ServeState) -> Response {
     let cache = state.engine.cache_stats();
+    let delta = state.engine.delta_stats();
     let current = state.registry.current().version();
     let versions = state.registry.versions().len();
-    Response::text(200, state.metrics.render(&cache, current, versions))
+    Response::text(200, state.metrics.render(&cache, &delta, current, versions))
+}
+
+/// `GET /watch?from=<version>` — the delta feed. Streams, as chunked
+/// JSON lines, one summary line followed by one line per published
+/// version in `from+1 ..= current` with its founded/revised cluster
+/// ids. Subscribers poll with their last-seen version; `410 Gone`
+/// means the recorded delta chain no longer reaches back to `from`
+/// (retention evicted it, or a publish carried no delta) and the
+/// subscriber must re-fetch a full carve.
+fn watch(request: &Request, state: &ServeState) -> Response {
+    let mut from: Option<u32> = None;
+    for (key, value) in parse_form(&request.query) {
+        match key.as_str() {
+            "from" => match value.parse::<u32>() {
+                Ok(v) => from = Some(v),
+                Err(_) => {
+                    return Response::text(400, format!("bad from `{value}`: expected a version\n"))
+                }
+            },
+            other => return Response::text(400, format!("unknown parameter `{other}`\n")),
+        }
+    }
+    let Some(from) = from else {
+        return Response::text(400, "missing required parameter `from`\n");
+    };
+
+    let window = state.registry.watch_since(from);
+    if window.gap {
+        return Response::text(
+            410,
+            format!("no delta chain from version {from}; re-fetch a full carve\n"),
+        )
+        .header("X-Version", window.current.to_string());
+    }
+
+    let mut chunks = Vec::with_capacity(window.deltas.len() + 1);
+    chunks.push(
+        format!(
+            "{{\"from\":{from},\"current\":{},\"deltas\":{}}}\n",
+            window.current,
+            window.deltas.len()
+        )
+        .into_bytes(),
+    );
+    for delta in &window.deltas {
+        chunks.push(delta_json_line(delta).into_bytes());
+    }
+    Response::new(200)
+        .header("Content-Type", "application/jsonlines; charset=utf-8")
+        .header("X-Version", window.current.to_string())
+        .header("X-Deltas", window.deltas.len().to_string())
+        .chunked(chunks)
+}
+
+/// One `/watch` delta as a JSON line.
+fn delta_json_line(delta: &PublishDelta) -> String {
+    let mut line = String::with_capacity(64);
+    line.push_str(&format!("{{\"version\":{},\"date\":\"", delta.version));
+    json_escape_into(&mut line, &delta.date);
+    line.push_str("\",\"founded\":[");
+    for (i, ncid) in delta.founded.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push('"');
+        json_escape_into(&mut line, ncid);
+        line.push('"');
+    }
+    line.push_str("],\"revised\":[");
+    for (i, ncid) in delta.revised.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        line.push('"');
+        json_escape_into(&mut line, ncid);
+        line.push('"');
+    }
+    line.push_str("]}\n");
+    line
 }
 
 /// `POST /carve` — parameters in an `application/x-www-form-urlencoded`

@@ -72,6 +72,53 @@ impl ServeSnapshot {
     }
 }
 
+/// The cluster-level difference between two consecutively published
+/// versions, derived from the shard WAL by the change stream
+/// (`nc-stream`) and threaded through publishes so downstream caches
+/// invalidate *only* what actually changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PublishDelta {
+    /// The version this delta publishes (the transition's target).
+    pub version: u32,
+    /// Date label of the last source snapshot folded in (informational).
+    pub date: String,
+    /// Trimmed NCIDs of clusters founded since the previous version,
+    /// first-seen order.
+    pub founded: Vec<String>,
+    /// Trimmed NCIDs of pre-existing clusters whose WAL rows changed
+    /// since the previous version, first-seen order. Conservative:
+    /// includes clusters whose new rows were all duplicate-dropped.
+    pub revised: Vec<String>,
+}
+
+impl PublishDelta {
+    /// Every dirty cluster id (founded then revised), for incremental
+    /// re-scoring.
+    pub fn dirty_clusters(&self) -> impl Iterator<Item = &str> {
+        self.founded
+            .iter()
+            .chain(self.revised.iter())
+            .map(String::as_str)
+    }
+
+    /// True when nothing changed between the two versions.
+    pub fn is_empty(&self) -> bool {
+        self.founded.is_empty() && self.revised.is_empty()
+    }
+}
+
+/// What a [`SnapshotRegistry::publish_with_delta`] did, for callers
+/// that reconcile downstream state (the carve cache).
+#[derive(Debug)]
+pub struct PublishOutcome {
+    /// The newly current snapshot.
+    pub snapshot: Arc<ServeSnapshot>,
+    /// The version that was current before this publish.
+    pub previous_version: u32,
+    /// Versions evicted from history by the retention limit.
+    pub evicted: Vec<u32>,
+}
+
 /// The set of published snapshots: one *current* version plus a history
 /// of still-pinnable older versions.
 ///
@@ -82,22 +129,42 @@ impl ServeSnapshot {
 #[derive(Debug)]
 pub struct SnapshotRegistry {
     inner: RwLock<Inner>,
+    /// Maximum number of versions kept pinnable (0 = unlimited). The
+    /// current version is never evicted.
+    history_limit: usize,
 }
 
 #[derive(Debug)]
 struct Inner {
     current: Arc<ServeSnapshot>,
     history: BTreeMap<u32, Arc<ServeSnapshot>>,
+    /// Per-version publish deltas, for `/watch` and cache
+    /// reconciliation. A version published without a delta leaves a
+    /// gap here, which `watch_since` reports honestly.
+    deltas: BTreeMap<u32, Arc<PublishDelta>>,
 }
 
 impl SnapshotRegistry {
-    /// Create a registry serving `initial` as the current version.
+    /// Create a registry serving `initial` as the current version, with
+    /// unlimited version retention.
     pub fn new(initial: ServeSnapshot) -> Self {
+        Self::with_retention(initial, 0)
+    }
+
+    /// Create a registry keeping at most `history_limit` versions
+    /// pinnable (`0` = unlimited). Older versions are evicted on
+    /// publish, oldest first; the current version always survives.
+    pub fn with_retention(initial: ServeSnapshot, history_limit: usize) -> Self {
         let current = Arc::new(initial);
         let mut history = BTreeMap::new();
         history.insert(current.version(), Arc::clone(&current));
         SnapshotRegistry {
-            inner: RwLock::new(Inner { current, history }),
+            inner: RwLock::new(Inner {
+                current,
+                history,
+                deltas: BTreeMap::new(),
+            }),
+            history_limit,
         }
     }
 
@@ -105,11 +172,47 @@ impl SnapshotRegistry {
     /// addressable by its version number. In-flight carves against the
     /// previous snapshot are unaffected — they hold their own `Arc`.
     pub fn publish(&self, snapshot: ServeSnapshot) -> Arc<ServeSnapshot> {
+        self.publish_with_delta(snapshot, None).snapshot
+    }
+
+    /// Publish a new snapshot together with the cluster-level delta
+    /// that produced it. The delta is retained (keyed by the new
+    /// version) for `/watch` subscribers and cache reconciliation, and
+    /// the retention limit evicts the oldest versions (and their
+    /// deltas) beyond `history_limit`.
+    pub fn publish_with_delta(
+        &self,
+        snapshot: ServeSnapshot,
+        delta: Option<PublishDelta>,
+    ) -> PublishOutcome {
         let snapshot = Arc::new(snapshot);
         let mut inner = self.inner.write().unwrap_or_else(PoisonError::into_inner);
+        let previous_version = inner.current.version();
         inner.history.insert(snapshot.version(), Arc::clone(&snapshot));
         inner.current = Arc::clone(&snapshot);
-        snapshot
+        if let Some(delta) = delta {
+            inner.deltas.insert(snapshot.version(), Arc::new(delta));
+        }
+        let mut evicted = Vec::new();
+        if self.history_limit > 0 {
+            let current_version = snapshot.version();
+            while inner.history.len() > self.history_limit {
+                let Some((&oldest, _)) = inner.history.iter().next() else {
+                    break;
+                };
+                if oldest == current_version {
+                    break; // never evict the current version
+                }
+                inner.history.remove(&oldest);
+                inner.deltas.remove(&oldest);
+                evicted.push(oldest);
+            }
+        }
+        PublishOutcome {
+            snapshot,
+            previous_version,
+            evicted,
+        }
     }
 
     /// The current snapshot (brief read lock, then lock-free use).
@@ -137,6 +240,52 @@ impl SnapshotRegistry {
             .copied()
             .collect()
     }
+
+    /// The delta window a `/watch` subscriber at version `from` needs
+    /// to catch up to the current version.
+    ///
+    /// The window is *complete* only when a recorded delta exists for
+    /// every version in `from+1 ..= current`; any hole (a version
+    /// published without a delta, a delta evicted by retention, or a
+    /// cursor predating this registry) flips `gap` and empties the
+    /// delta list, because a partial delta chain cannot be applied
+    /// soundly — the client must re-fetch a full carve instead.
+    pub fn watch_since(&self, from: u32) -> WatchWindow {
+        let inner = self.inner.read().unwrap_or_else(PoisonError::into_inner);
+        let current = inner.current.version();
+        let mut deltas = Vec::new();
+        let mut gap = false;
+        let mut v = from;
+        while v < current {
+            v += 1;
+            match inner.deltas.get(&v) {
+                Some(delta) => deltas.push(Arc::clone(delta)),
+                None => {
+                    gap = true;
+                    deltas.clear();
+                    break;
+                }
+            }
+        }
+        WatchWindow {
+            current,
+            deltas,
+            gap,
+        }
+    }
+}
+
+/// The answer to [`SnapshotRegistry::watch_since`].
+#[derive(Debug)]
+pub struct WatchWindow {
+    /// The currently published version.
+    pub current: u32,
+    /// Deltas for versions `from+1 ..= current`, ascending; empty when
+    /// the subscriber is already current or when `gap` is set.
+    pub deltas: Vec<Arc<PublishDelta>>,
+    /// True when the recorded delta chain does not reach back to
+    /// `from`; the subscriber must re-fetch a full carve.
+    pub gap: bool,
 }
 
 #[cfg(test)]
@@ -173,6 +322,67 @@ mod tests {
         assert_eq!(registry.pinned(Some(2)).unwrap().cluster_count(), 5);
         assert_eq!(registry.pinned(None).unwrap().version(), 2);
         assert!(registry.pinned(Some(9)).is_none());
+    }
+
+    fn delta(version: u32, founded: &[&str], revised: &[&str]) -> PublishDelta {
+        PublishDelta {
+            version,
+            date: format!("d{version}"),
+            founded: founded.iter().map(|s| s.to_string()).collect(),
+            revised: revised.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn retention_evicts_oldest_versions_but_never_current() {
+        let registry =
+            SnapshotRegistry::with_retention(ServeSnapshot::capture(&store("A", 2), 1), 2);
+        let out2 = registry
+            .publish_with_delta(ServeSnapshot::capture(&store("B", 2), 2), Some(delta(2, &[], &[])));
+        assert_eq!(out2.previous_version, 1);
+        assert!(out2.evicted.is_empty());
+        let out3 = registry
+            .publish_with_delta(ServeSnapshot::capture(&store("C", 2), 3), Some(delta(3, &[], &[])));
+        assert_eq!(out3.evicted, vec![1]);
+        assert_eq!(registry.versions(), vec![2, 3]);
+        assert!(registry.pinned(Some(1)).is_none(), "evicted version is gone");
+        assert_eq!(registry.current().version(), 3);
+    }
+
+    #[test]
+    fn watch_since_returns_complete_windows_or_reports_gaps() {
+        let registry = SnapshotRegistry::new(ServeSnapshot::capture(&store("A", 2), 1));
+        registry.publish_with_delta(
+            ServeSnapshot::capture(&store("B", 2), 2),
+            Some(delta(2, &["N1"], &["A0"])),
+        );
+        registry.publish_with_delta(
+            ServeSnapshot::capture(&store("C", 2), 3),
+            Some(delta(3, &[], &["A1"])),
+        );
+
+        let w = registry.watch_since(1);
+        assert!(!w.gap);
+        assert_eq!(w.current, 3);
+        assert_eq!(w.deltas.len(), 2);
+        assert_eq!(w.deltas[0].version, 2);
+        assert_eq!(w.deltas[0].founded, vec!["N1".to_string()]);
+        assert_eq!(w.deltas[1].version, 3);
+
+        // Already current: empty window, no gap.
+        let w3 = registry.watch_since(3);
+        assert!(!w3.gap && w3.deltas.is_empty());
+
+        // A cursor predating the registry's first version hits the
+        // missing delta for version 1 and reports a gap.
+        let w0 = registry.watch_since(0);
+        assert!(w0.gap && w0.deltas.is_empty());
+
+        // A publish without a delta punches a hole in later windows.
+        registry.publish(ServeSnapshot::capture(&store("D", 2), 4));
+        let w = registry.watch_since(2);
+        assert!(w.gap);
+        assert_eq!(w.current, 4);
     }
 
     #[test]

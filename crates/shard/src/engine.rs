@@ -47,7 +47,9 @@ use nc_votergen::snapshot::Snapshot;
 
 use crate::ingest;
 use crate::store::ShardedStore;
-use crate::wal::{self, ManifestState, ShardManifest, ShardWal, WalRecovery};
+use crate::wal::{
+    self, shard_log_dir as shard_dir, ManifestState, ShardManifest, ShardWal, WalRecovery,
+};
 
 /// Ingest parameters fixed for the lifetime of a state directory.
 ///
@@ -93,9 +95,6 @@ pub struct ShardIngestOutcome {
     pub quarantine: QuarantineReport,
 }
 
-fn shard_dir(state_dir: &Path, shard: usize) -> PathBuf {
-    state_dir.join(format!("shard-{shard}"))
-}
 
 /// What a rollback after a mid-ingest write failure did — the typed
 /// post-mortem behind [`ShardEngine::last_failure`].

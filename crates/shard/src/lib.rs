@@ -47,4 +47,6 @@ pub mod wal;
 
 pub use engine::{RecoveryReport, ShardEngine, ShardEngineConfig, ShardIngestOutcome};
 pub use store::{shard_of, ShardedDocId, ShardedStore};
-pub use wal::WalRecovery;
+pub use wal::{
+    shard_log_dir, tail_group, ManifestState, ShardManifest, TailCursor, TailGroup, WalRecovery,
+};

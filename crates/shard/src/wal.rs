@@ -88,6 +88,158 @@ fn segment_path(dir: &Path, index: u32) -> PathBuf {
     dir.join(format!("wal-{index:06}.log"))
 }
 
+/// Directory holding one shard's segmented log under an engine state
+/// directory (`<state>/shard-<n>/`). Public so log consumers — the
+/// change stream in `nc-stream` — can tail the same files the engine
+/// writes without guessing the layout.
+pub fn shard_log_dir(state_dir: &Path, shard: usize) -> PathBuf {
+    state_dir.join(format!("shard-{shard}"))
+}
+
+/// Byte position of a log tailer within one shard's segmented WAL.
+///
+/// The default cursor (`segment: 0, offset: 0`) points at the very
+/// first record ever logged. Cursors returned by [`tail_group`] always
+/// sit on a group boundary (just past a `C` record), which is also
+/// where rotation happens — so a cursor never points into the middle
+/// of a snapshot's records.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TailCursor {
+    /// Segment index (the `NNNNNN` of `wal-NNNNNN.log`).
+    pub segment: u32,
+    /// Byte offset of the next unread record within that segment.
+    pub offset: u64,
+}
+
+/// One complete `B..C` snapshot group read from a shard's log by
+/// [`tail_group`]. Rows carry only their global sequence number and
+/// trimmed NCID — enough to derive cluster-level change events without
+/// paying for a full row parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TailGroup {
+    /// Snapshot date from the `B` record.
+    pub date: String,
+    /// Import version from the `B` record.
+    pub version: u32,
+    /// `(global sequence number, trimmed NCID)` per logged row, in log
+    /// (= original snapshot) order. Duplicate-dropped rows are
+    /// included, exactly as the WAL records them.
+    pub rows: Vec<(u64, String)>,
+    /// Cursor positioned just past this group's commit record.
+    pub next: TailCursor,
+}
+
+/// Read the next complete `B..C` group from a shard's log, starting at
+/// `cursor`.
+///
+/// Returns `Ok(None)` when no *complete* group is readable yet: a
+/// fresh directory, a cursor at the durable end of the log, or a tail
+/// that is torn, corrupt, or still being written. Callers that know
+/// (from the manifest) that a committed group must exist at the cursor
+/// should treat `None` as desynchronization, because `C` records are
+/// fsynced before the manifest commits.
+///
+/// Rotation is handled transparently: a cursor at the clean end of a
+/// segment advances to the next segment when one exists. A segment
+/// *missing* beneath the cursor while later segments exist means the
+/// log was rewritten behind the tailer (wipe + re-ingest) and is
+/// reported as an error rather than silently rereading.
+pub fn tail_group(dir: &Path, cursor: TailCursor) -> io::Result<Option<TailGroup>> {
+    let mut segment = cursor.segment;
+    let mut offset = cursor.offset;
+    loop {
+        let path = segment_path(dir, segment);
+        let data = match fs::read(&path) {
+            Ok(data) => data,
+            Err(err) if err.kind() == io::ErrorKind::NotFound => {
+                let newer = segments(dir)?.iter().any(|(idx, _)| *idx > segment);
+                if newer {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("wal segment {segment} missing beneath a live log"),
+                    ));
+                }
+                return Ok(None);
+            }
+            Err(err) => return Err(err),
+        };
+        let start = usize::try_from(offset).unwrap_or(usize::MAX);
+        if start > data.len() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("wal segment {segment} truncated beneath cursor offset {offset}"),
+            ));
+        }
+        if start == data.len() {
+            // Clean end of this segment. A later segment means the
+            // writer rotated here (always on a group boundary).
+            if segments(dir)?.iter().any(|(idx, _)| *idx == segment + 1) {
+                segment += 1;
+                offset = 0;
+                continue;
+            }
+            return Ok(None);
+        }
+
+        let mut pos = start;
+        let mut current: Option<(String, u32)> = None;
+        let mut rows: Vec<(u64, String)> = Vec::new();
+        while pos < data.len() {
+            let Some(nl) = data[pos..].iter().position(|&b| b == b'\n') else {
+                return Ok(None); // partial line: still being written or torn
+            };
+            let line = &data[pos..pos + nl];
+            let Some(body) = std::str::from_utf8(line).ok().and_then(read_framed) else {
+                return Ok(None); // corrupt frame: awaiting recovery
+            };
+            if let Some(rest) = body.strip_prefix("B\t") {
+                let parsed = rest
+                    .split_once('\t')
+                    .and_then(|(date, v)| v.parse::<u32>().ok().map(|v| (date.to_owned(), v)));
+                match parsed {
+                    Some(begin) if current.is_none() => current = Some(begin),
+                    _ => return Ok(None),
+                }
+            } else if let Some(rest) = body.strip_prefix("R\t") {
+                let parsed = rest.split_once('\t').and_then(|(seq, tsv)| {
+                    let ncid = tsv.split('\t').next()?.trim().to_owned();
+                    Some((seq.parse::<u64>().ok()?, ncid))
+                });
+                match (parsed, current.is_some()) {
+                    (Some(entry), true) => rows.push(entry),
+                    _ => return Ok(None),
+                }
+            } else if let Some(rest) = body.strip_prefix("C\t") {
+                let parsed = rest
+                    .split_once('\t')
+                    .and_then(|(date, n)| n.parse::<u64>().ok().map(|n| (date, n)));
+                let consistent = matches!(
+                    (&parsed, &current),
+                    (Some((date, n)), Some((cur, _)))
+                        if *date == cur.as_str() && *n == rows.len() as u64
+                );
+                if !consistent {
+                    return Ok(None);
+                }
+                let (date, version) = current.take().expect("checked above");
+                return Ok(Some(TailGroup {
+                    date,
+                    version,
+                    rows,
+                    next: TailCursor {
+                        segment,
+                        offset: (pos + nl + 1) as u64,
+                    },
+                }));
+            } else {
+                return Ok(None);
+            }
+            pos += nl + 1;
+        }
+        return Ok(None); // B (+ some R) but no C yet: group in flight
+    }
+}
+
 /// Existing WAL segments in `dir`, sorted by index.
 pub(crate) fn segments(dir: &Path) -> io::Result<Vec<(u32, PathBuf)>> {
     let mut found = Vec::new();
@@ -406,8 +558,12 @@ fn parse_policy(label: &str) -> Option<DedupPolicy> {
 
 /// The engine's commit point: which snapshots are durably ingested,
 /// under which parameters, with their exact [`ImportStats`].
+///
+/// Public read-only: log consumers (the `nc-stream` change stream)
+/// load the manifest to learn which snapshot groups are committed and
+/// therefore safe to deliver. Only the engine writes it.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub(crate) struct ShardManifest {
+pub struct ShardManifest {
     /// Shard count the logs were written under (routing depends on it).
     pub shards: usize,
     /// Dedup policy of the ingest.
@@ -422,7 +578,7 @@ pub(crate) struct ShardManifest {
 
 /// Outcome of reading the manifest off disk.
 #[derive(Debug)]
-pub(crate) enum ManifestState {
+pub enum ManifestState {
     /// No manifest: a fresh (or never-committed) state directory.
     Absent,
     /// A manifest exists but cannot be trusted; the reason explains.
@@ -433,7 +589,7 @@ pub(crate) enum ManifestState {
 
 impl ShardManifest {
     /// Dates of every completed snapshot, for WAL replay filtering.
-    pub(crate) fn completed_dates(&self) -> BTreeSet<String> {
+    pub fn completed_dates(&self) -> BTreeSet<String> {
         self.completed.iter().map(|s| s.date.clone()).collect()
     }
 
@@ -482,7 +638,7 @@ impl ShardManifest {
     }
 
     /// Read the manifest from `state_dir`, verifying every line frame.
-    pub(crate) fn load(state_dir: &Path) -> io::Result<ManifestState> {
+    pub fn load(state_dir: &Path) -> io::Result<ManifestState> {
         let path = state_dir.join(MANIFEST_FILE);
         let text = match fs::read_to_string(&path) {
             Ok(text) => text,
@@ -707,6 +863,60 @@ mod tests {
         assert_eq!(replay.snapshots.len(), 1);
         assert_eq!(replay.recovery.torn_tails, 1);
         assert_eq!(fs::metadata(&seg).unwrap().len(), keep_len);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn tail_group_walks_groups_and_stops_at_the_durable_end() {
+        let dir = tmp_dir("tail");
+        assert_eq!(tail_group(&dir, TailCursor::default()).unwrap(), None);
+
+        let mut wal = ShardWal::open(&dir, 1 << 20, Arc::new(StdVfs)).unwrap();
+        write_snapshot_records(&mut wal, "2008-11-04", &[0, 1, 2]);
+        write_snapshot_records(&mut wal, "2009-01-01", &[5, 7]);
+        drop(wal);
+
+        let first = tail_group(&dir, TailCursor::default()).unwrap().unwrap();
+        assert_eq!(first.date, "2008-11-04");
+        assert_eq!(first.version, 1);
+        assert_eq!(
+            first.rows,
+            vec![(0, "NC0".into()), (1, "NC1".into()), (2, "NC2".into())]
+        );
+        let second = tail_group(&dir, first.next).unwrap().unwrap();
+        assert_eq!(second.date, "2009-01-01");
+        assert_eq!(second.rows, vec![(5, "NC5".into()), (7, "NC7".into())]);
+        // Cursor now sits at the durable end.
+        assert_eq!(tail_group(&dir, second.next).unwrap(), None);
+        fs::remove_dir_all(dir).unwrap();
+    }
+
+    #[test]
+    fn tail_group_follows_rotation_and_refuses_none_on_torn_tails() {
+        let dir = tmp_dir("tail_rotate");
+        let mut wal = ShardWal::open(&dir, 64, Arc::new(StdVfs)).unwrap();
+        write_snapshot_records(&mut wal, "2008-11-04", &[0, 1]);
+        assert!(wal.maybe_rotate().unwrap());
+        write_snapshot_records(&mut wal, "2009-01-01", &[2]);
+        // Crash mid-group: begin + row, no commit yet.
+        wal.begin_snapshot("2009-03-01", 1).unwrap();
+        wal.append_row(9, &row("NC9")).unwrap();
+        wal.writer.flush().unwrap();
+        drop(wal);
+
+        let first = tail_group(&dir, TailCursor::default()).unwrap().unwrap();
+        assert_eq!(first.date, "2008-11-04");
+        assert_eq!(first.next.segment, 0);
+        // Cursor at the clean end of segment 0 crosses into segment 1.
+        let second = tail_group(&dir, first.next).unwrap().unwrap();
+        assert_eq!(second.date, "2009-01-01");
+        assert_eq!(second.next.segment, 1);
+        // The in-flight third group is not yet deliverable.
+        assert_eq!(tail_group(&dir, second.next).unwrap(), None);
+
+        // A segment vanishing beneath the cursor is an error, not None.
+        fs::remove_file(segment_path(&dir, 0)).unwrap();
+        assert!(tail_group(&dir, TailCursor::default()).is_err());
         fs::remove_dir_all(dir).unwrap();
     }
 

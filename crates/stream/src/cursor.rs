@@ -1,0 +1,183 @@
+//! Durable stream cursors: where a [`crate::ChangeStream`] consumer
+//! left off, persisted crash-safely.
+//!
+//! The file format reuses the CRC-32 line framing of
+//! [`nc_docstore::persist`] (the same framing the WAL itself uses):
+//!
+//! ```text
+//! S\t<delivered>            one header line
+//! T\t<shard>\t<segment>\t<offset>   one line per shard
+//! E                          explicit end marker
+//! ```
+//!
+//! Every line carries its checksum, and the `E` marker makes
+//! truncation detectable — a torn cursor file is an error, never a
+//! silently shortened position. Writes go through tmp + rename, so a
+//! crash leaves either the old cursor or the new one.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::Path;
+
+use nc_docstore::persist::{frame_line, read_framed};
+use nc_shard::TailCursor;
+
+/// A saved stream position.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StreamCursor {
+    /// Committed snapshots the consumer has fully processed.
+    pub delivered: usize,
+    /// Per-shard byte positions at that point (empty when the stream
+    /// never saw a manifest). Used as an integrity cross-check on
+    /// resume, not as the replay starting point.
+    pub shards: Vec<TailCursor>,
+}
+
+impl StreamCursor {
+    /// Serialize to the framed text format.
+    fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&frame_line(&format!("S\t{}", self.delivered)));
+        out.push('\n');
+        for (shard, cursor) in self.shards.iter().enumerate() {
+            out.push_str(&frame_line(&format!(
+                "T\t{shard}\t{}\t{}",
+                cursor.segment, cursor.offset
+            )));
+            out.push('\n');
+        }
+        out.push_str(&frame_line("E"));
+        out.push('\n');
+        out
+    }
+
+    /// Atomically persist to `path` (tmp + fsync + rename).
+    pub fn save(&self, path: &Path) -> io::Result<()> {
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = fs::File::create(&tmp)?;
+            file.write_all(self.render().as_bytes())?;
+            file.sync_all()?;
+        }
+        fs::rename(&tmp, path)
+    }
+
+    /// Load a cursor written by [`StreamCursor::save`]. Torn, corrupt
+    /// or truncated files are `InvalidData` errors.
+    pub fn load(path: &Path) -> io::Result<StreamCursor> {
+        let text = fs::read_to_string(path)?;
+        let bad = |reason: &str| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("stream cursor {}: {reason}", path.display()),
+            )
+        };
+        let mut delivered: Option<usize> = None;
+        let mut shards: Vec<TailCursor> = Vec::new();
+        let mut ended = false;
+        for line in text.lines() {
+            let body = read_framed(line).ok_or_else(|| bad("corrupt line"))?;
+            if ended {
+                return Err(bad("data after end marker"));
+            }
+            if let Some(rest) = body.strip_prefix("S\t") {
+                if delivered.is_some() {
+                    return Err(bad("duplicate header"));
+                }
+                delivered = Some(rest.parse().map_err(|_| bad("bad delivered count"))?);
+            } else if let Some(rest) = body.strip_prefix("T\t") {
+                let mut fields = rest.split('\t');
+                let shard: usize = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| bad("bad shard index"))?;
+                let segment: u32 = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| bad("bad segment"))?;
+                let offset: u64 = fields
+                    .next()
+                    .and_then(|f| f.parse().ok())
+                    .ok_or_else(|| bad("bad offset"))?;
+                if shard != shards.len() || fields.next().is_some() {
+                    return Err(bad("shard lines out of order"));
+                }
+                shards.push(TailCursor { segment, offset });
+            } else if body == "E" {
+                ended = true;
+            } else {
+                return Err(bad("unknown record"));
+            }
+        }
+        if !ended {
+            return Err(bad("missing end marker (truncated)"));
+        }
+        Ok(StreamCursor {
+            delivered: delivered.ok_or_else(|| bad("missing header"))?,
+            shards,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp_file(name: &str) -> PathBuf {
+        let mut dir = std::env::temp_dir();
+        dir.push(format!("nc_stream_cursor_{name}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir.join("cursor")
+    }
+
+    #[test]
+    fn cursor_round_trips() {
+        let path = tmp_file("roundtrip");
+        let cursor = StreamCursor {
+            delivered: 7,
+            shards: vec![
+                TailCursor {
+                    segment: 0,
+                    offset: 123,
+                },
+                TailCursor {
+                    segment: 2,
+                    offset: 0,
+                },
+            ],
+        };
+        cursor.save(&path).unwrap();
+        assert_eq!(StreamCursor::load(&path).unwrap(), cursor);
+
+        // Empty shard list (stream never saw a manifest) round-trips too.
+        let empty = StreamCursor::default();
+        empty.save(&path).unwrap();
+        assert_eq!(StreamCursor::load(&path).unwrap(), empty);
+    }
+
+    #[test]
+    fn torn_and_corrupt_cursors_are_rejected() {
+        let path = tmp_file("torn");
+        let cursor = StreamCursor {
+            delivered: 3,
+            shards: vec![TailCursor {
+                segment: 1,
+                offset: 44,
+            }],
+        };
+        cursor.save(&path).unwrap();
+        let full = fs::read_to_string(&path).unwrap();
+
+        // Drop the end marker: truncation must be detected.
+        let torn: String = full.lines().take(2).map(|l| format!("{l}\n")).collect();
+        fs::write(&path, torn).unwrap();
+        assert!(StreamCursor::load(&path).is_err());
+
+        // Flip a byte inside a framed line: checksum must catch it.
+        let corrupt = full.replacen("S\t3", "S\t4", 1);
+        fs::write(&path, corrupt).unwrap();
+        assert!(StreamCursor::load(&path).is_err());
+    }
+}

@@ -1,0 +1,366 @@
+//! `nc-stream`: change streams over the `nc-shard` write-ahead logs.
+//!
+//! The shard engine already write-ahead logs every ingested row
+//! (`B`/`R`/`C` groups with global sequence numbers) and commits
+//! snapshots through its manifest. This crate turns those logs into a
+//! *subscribable change stream*: a [`ChangeStream`] tails every
+//! shard's log from a cursor, delivers one [`ChangeBatch`] per
+//! committed snapshot — cluster-level [`ClusterChange`] events, merged
+//! across shards in global sequence order — and classifies each
+//! touched cluster as [`ChangeKind::Founded`] (first row ever) or
+//! [`ChangeKind::Revised`] (rows appended to a pre-existing cluster).
+//!
+//! Delivery is **manifest-gated**: a batch is surfaced only once the
+//! shard manifest lists its snapshot as committed. Because the engine
+//! fsyncs every shard's `C` record *before* the manifest commit, a
+//! manifest-listed snapshot whose group cannot be read back is not a
+//! race — it is desynchronization (a wiped or rewritten state
+//! directory), reported as [`StreamError::Desync`] instead of being
+//! silently skipped.
+//!
+//! Streams are **replayable**: [`ChangeStream::open`] starts from the
+//! first record ever logged, [`ChangeStream::open_at`] fast-forwards
+//! through the first `n` committed snapshots (rebuilding the
+//! founded/revised classification state from the log itself), and
+//! [`ChangeStream::save_cursor`] / [`ChangeStream::resume`] persist a
+//! crash-safe cursor so a consumer can pick up where it left off.
+//!
+//! The bridge to the serving tier is [`fold_delta`]: it folds a window
+//! of batches into an [`nc_serve::PublishDelta`], which
+//! `nc-serve`'s carve engine uses to carry warm carve-cache entries
+//! forward across publishes and `GET /watch` streams to subscribers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cursor;
+
+use std::collections::HashSet;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use nc_serve::snapshot::PublishDelta;
+use nc_shard::{shard_log_dir, tail_group, ManifestState, ShardManifest, TailCursor};
+
+pub use cursor::StreamCursor;
+
+/// How a batch touched a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChangeKind {
+    /// The cluster's first row ever appeared in this batch.
+    Founded,
+    /// Rows were appended to a cluster founded by an earlier batch.
+    Revised,
+}
+
+/// One cluster touched by a batch.
+///
+/// Classification is *log-conservative*: the WAL records every routed
+/// row, including rows the in-memory store later drops as exact
+/// duplicates, so a `Revised` event may correspond to no visible
+/// change in the materialized cluster. Consumers that must not miss a
+/// change can rely on the converse: an untouched cluster is never
+/// reported.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterChange {
+    /// Trimmed NCID (the cluster key).
+    pub ncid: String,
+    /// Founded or revised.
+    pub kind: ChangeKind,
+    /// Rows logged for this cluster in this batch.
+    pub rows: u64,
+    /// Lowest global sequence number among those rows (the batch's
+    /// changes are ordered by it).
+    pub first_seq: u64,
+}
+
+/// All cluster-level changes of one committed snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChangeBatch {
+    /// 1-based ordinal of this snapshot in the committed history (the
+    /// stream's version cursor: a consumer that has processed batch
+    /// `n` resumes at `n`).
+    pub index: usize,
+    /// Snapshot date from the `B` records.
+    pub date: String,
+    /// Import version from the `B` records.
+    pub version: u32,
+    /// Total rows logged across all shards.
+    pub rows: u64,
+    /// Touched clusters in first-touch (global sequence) order.
+    pub changes: Vec<ClusterChange>,
+}
+
+/// Errors surfaced by a change stream.
+#[derive(Debug)]
+pub enum StreamError {
+    /// The underlying filesystem failed.
+    Io(io::Error),
+    /// The logs and the manifest disagree: the state directory was
+    /// wiped, rewritten, or re-ingested beneath the stream. The cursor
+    /// is unusable; re-open from scratch.
+    Desync(String),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::Io(err) => write!(f, "change stream I/O: {err}"),
+            StreamError::Desync(reason) => write!(f, "change stream desynchronized: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl From<io::Error> for StreamError {
+    fn from(err: io::Error) -> Self {
+        StreamError::Io(err)
+    }
+}
+
+/// A tailer over one shard-engine state directory.
+///
+/// The stream holds per-shard byte cursors plus the set of cluster
+/// keys it has already seen (which drives founded-vs-revised
+/// classification). It reads the manifest on every
+/// [`ChangeStream::next_batch`] call, so it observes commits made by a
+/// live engine in the same process or another one.
+#[derive(Debug)]
+pub struct ChangeStream {
+    state_dir: PathBuf,
+    /// Per-shard positions; empty until the first manifest is seen
+    /// (a stream may be opened on a not-yet-committed directory).
+    cursors: Vec<TailCursor>,
+    /// Committed snapshots already delivered.
+    delivered: usize,
+    /// Cluster keys seen in delivered batches.
+    known: HashSet<String>,
+}
+
+impl ChangeStream {
+    /// Open a stream at the very beginning of the committed history.
+    /// The directory may be empty or not yet committed; the stream
+    /// starts delivering once a manifest appears.
+    pub fn open(state_dir: &Path) -> ChangeStream {
+        ChangeStream {
+            state_dir: state_dir.to_path_buf(),
+            cursors: Vec::new(),
+            delivered: 0,
+            known: HashSet::new(),
+        }
+    }
+
+    /// Open a stream positioned just past the first `delivered`
+    /// committed snapshots: the next batch is number `delivered + 1`.
+    ///
+    /// The founded/revised classification state is rebuilt by
+    /// replaying (and discarding) the skipped batches from the log —
+    /// the log itself is the only source that can tell which clusters
+    /// existed at that point.
+    pub fn open_at(state_dir: &Path, delivered: usize) -> Result<ChangeStream, StreamError> {
+        let mut stream = Self::open(state_dir);
+        while stream.delivered < delivered {
+            match stream.next_batch()? {
+                Some(_) => {}
+                None => {
+                    return Err(StreamError::Desync(format!(
+                        "cannot open at snapshot {delivered}: only {} committed",
+                        stream.delivered
+                    )))
+                }
+            }
+        }
+        Ok(stream)
+    }
+
+    /// Resume from a cursor previously written by
+    /// [`ChangeStream::save_cursor`]. The stream replays the log up to
+    /// the recorded position and then cross-checks the replayed
+    /// per-shard byte offsets against the saved ones — a mismatch
+    /// means the logs were rewritten since the cursor was taken, and
+    /// resuming would misclassify changes.
+    pub fn resume(state_dir: &Path, cursor_path: &Path) -> Result<ChangeStream, StreamError> {
+        let cursor = StreamCursor::load(cursor_path)?;
+        let stream = Self::open_at(state_dir, cursor.delivered)?;
+        if !cursor.shards.is_empty() && cursor.shards != stream.cursors {
+            return Err(StreamError::Desync(format!(
+                "cursor {} was taken over different logs: saved shard positions {:?}, \
+                 replayed {:?}",
+                cursor_path.display(),
+                cursor.shards,
+                stream.cursors
+            )));
+        }
+        Ok(stream)
+    }
+
+    /// Persist this stream's position to `path` (atomically:
+    /// tmp + rename, CRC-framed lines). Pair with
+    /// [`ChangeStream::resume`].
+    pub fn save_cursor(&self, path: &Path) -> io::Result<()> {
+        StreamCursor {
+            delivered: self.delivered,
+            shards: self.cursors.clone(),
+        }
+        .save(path)
+    }
+
+    /// Number of committed snapshots delivered so far; the next batch,
+    /// when one is committed, is `cursor_version() + 1`.
+    pub fn cursor_version(&self) -> usize {
+        self.delivered
+    }
+
+    /// Deliver the next committed snapshot's changes, or `Ok(None)`
+    /// when the stream has caught up with the manifest.
+    pub fn next_batch(&mut self) -> Result<Option<ChangeBatch>, StreamError> {
+        let manifest = match ShardManifest::load(&self.state_dir)? {
+            ManifestState::Absent => {
+                if self.delivered > 0 {
+                    return Err(StreamError::Desync(
+                        "manifest vanished beneath a partly-delivered stream".to_owned(),
+                    ));
+                }
+                return Ok(None);
+            }
+            ManifestState::Damaged(reason) => return Err(StreamError::Desync(reason)),
+            ManifestState::Loaded(manifest) => manifest,
+        };
+        if self.cursors.is_empty() {
+            self.cursors = vec![TailCursor::default(); manifest.shards];
+        } else if self.cursors.len() != manifest.shards {
+            return Err(StreamError::Desync(format!(
+                "stream follows {} shards but the manifest now says {}",
+                self.cursors.len(),
+                manifest.shards
+            )));
+        }
+        let Some(expected) = manifest.completed.get(self.delivered) else {
+            if self.delivered > manifest.completed.len() {
+                return Err(StreamError::Desync(format!(
+                    "stream has delivered {} snapshots but the manifest only lists {}",
+                    self.delivered,
+                    manifest.completed.len()
+                )));
+            }
+            return Ok(None);
+        };
+        let date = expected.date.clone();
+
+        // The manifest promises this snapshot on every shard (commit
+        // order: durable `C` records first, manifest second), so each
+        // shard must yield a complete group for exactly this date.
+        let mut merged: Vec<(u64, String)> = Vec::new();
+        let mut nexts = Vec::with_capacity(self.cursors.len());
+        let mut version = None;
+        for (shard, cursor) in self.cursors.iter().enumerate() {
+            let dir = shard_log_dir(&self.state_dir, shard);
+            let group = tail_group(&dir, *cursor).map_err(|err| {
+                if err.kind() == io::ErrorKind::InvalidData {
+                    StreamError::Desync(format!("shard-{shard}: {err}"))
+                } else {
+                    StreamError::Io(err)
+                }
+            })?;
+            let Some(group) = group else {
+                return Err(StreamError::Desync(format!(
+                    "manifest promises snapshot {date} but shard-{shard} has no \
+                     complete group at the cursor"
+                )));
+            };
+            if group.date != date {
+                return Err(StreamError::Desync(format!(
+                    "manifest promises snapshot {date} but shard-{shard} logged {}",
+                    group.date
+                )));
+            }
+            version = Some(version.unwrap_or(group.version).min(group.version));
+            merged.extend(group.rows.iter().cloned());
+            nexts.push(group.next);
+        }
+        merged.sort_by_key(|(seq, _)| *seq);
+
+        // Cluster-level aggregation in first-touch order.
+        let mut changes: Vec<ClusterChange> = Vec::new();
+        let mut slot: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+        for (seq, ncid) in &merged {
+            if let Some(&i) = slot.get(ncid.as_str()) {
+                changes[i].rows += 1;
+            } else {
+                let kind = if self.known.contains(ncid.as_str()) {
+                    ChangeKind::Revised
+                } else {
+                    ChangeKind::Founded
+                };
+                slot.insert(ncid.clone(), changes.len());
+                changes.push(ClusterChange {
+                    ncid: ncid.clone(),
+                    kind,
+                    rows: 1,
+                    first_seq: *seq,
+                });
+            }
+        }
+        debug_assert!(changes.windows(2).all(|w| w[0].first_seq < w[1].first_seq));
+
+        self.known.extend(changes.iter().map(|c| c.ncid.clone()));
+        self.cursors = nexts;
+        self.delivered += 1;
+        Ok(Some(ChangeBatch {
+            index: self.delivered,
+            date,
+            version: version.unwrap_or(0),
+            rows: merged.len() as u64,
+            changes,
+        }))
+    }
+
+    /// Deliver every batch committed but not yet delivered.
+    pub fn drain(&mut self) -> Result<Vec<ChangeBatch>, StreamError> {
+        let mut batches = Vec::new();
+        while let Some(batch) = self.next_batch()? {
+            batches.push(batch);
+        }
+        Ok(batches)
+    }
+}
+
+/// Fold a window of change batches into the [`PublishDelta`] for a
+/// publish of `version` spanning exactly that window.
+///
+/// A cluster founded anywhere in the window is `founded` (even if
+/// later batches also revised it — from the previous publish's point
+/// of view it did not exist). A cluster only revised in the window is
+/// `revised`. Both lists keep first-seen order and are deduplicated.
+pub fn fold_delta(batches: &[ChangeBatch], version: u32) -> PublishDelta {
+    let mut founded: Vec<String> = Vec::new();
+    let mut revised: Vec<String> = Vec::new();
+    let mut founded_set: HashSet<&str> = HashSet::new();
+    let mut revised_set: HashSet<&str> = HashSet::new();
+    for batch in batches {
+        for change in &batch.changes {
+            match change.kind {
+                ChangeKind::Founded => {
+                    if founded_set.insert(change.ncid.as_str()) {
+                        founded.push(change.ncid.clone());
+                    }
+                }
+                ChangeKind::Revised => {
+                    if !founded_set.contains(change.ncid.as_str())
+                        && revised_set.insert(change.ncid.as_str())
+                    {
+                        revised.push(change.ncid.clone());
+                    }
+                }
+            }
+        }
+    }
+    PublishDelta {
+        version,
+        date: batches.last().map(|b| b.date.clone()).unwrap_or_default(),
+        founded,
+        revised,
+    }
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Change-stream benchmark: builds the release binary, measures full vs
+# dirty-only incremental re-scoring at 0.1% / 1% / 10% churn over a
+# ~100k-record store (bit-identity asserted on every repetition) plus
+# the warm-carve hit rate delta-aware publishes preserve, and writes
+# BENCH_stream.json in the repo root. The run fails unless the
+# incremental pass wins by at least 5x at 1% churn and the delta-fed
+# carve cache serves at least one warm hit. Any extra arguments are
+# passed through (e.g. --pop 95000 --publishes 5).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p nc-bench --bin bench_stream
+exec target/release/bench_stream --min-speedup 5 --require-hits \
+    --out BENCH_stream.json "$@"

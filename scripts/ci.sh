@@ -22,6 +22,15 @@ cargo run --release -q -p nc-bench --bin bench_shard "$@" -- \
     --pop 200 --snapshots 3 --shards 3 --reps 1 \
     --out target/BENCH_shard_smoke.json > /dev/null
 
+echo "=== stream smoke ==="
+# Tiny-parameter pass through the change-stream benchmark: WAL-tailing
+# change stream, dirty-only incremental re-scoring (bit-identity
+# asserted every repetition) and delta-aware carve-cache publishes —
+# the binary exits non-zero on any drift.
+cargo run --release -q -p nc-bench --bin bench_stream "$@" -- \
+    --pop 300 --snapshots 2 --shards 2 --reps 1 --publishes 1 \
+    --out target/BENCH_stream_smoke.json > /dev/null
+
 echo "=== detect smoke ==="
 # Tiny-parameter pass through the candidate-generation benchmark:
 # indexed pipeline vs the SNM baseline on two scales — the binary

@@ -13,7 +13,9 @@ use nc_suite::core::heterogeneity::{AttributeWeights, HeterogeneityScorer, Scope
 use nc_suite::core::pipeline::{GenerationConfig, TestDataGenerator};
 use nc_suite::core::record::DedupPolicy;
 use nc_suite::serve::carve::render_lines;
-use nc_suite::serve::{Server, ServerHandle, ServeConfig, ServeSnapshot, ServeState, SnapshotRegistry};
+use nc_suite::serve::{
+    PublishDelta, Server, ServerHandle, ServeConfig, ServeSnapshot, ServeState, SnapshotRegistry,
+};
 use nc_suite::votergen::config::GeneratorConfig;
 
 fn build_store(seed: u64, population: usize, snapshots: usize) -> ClusterStore {
@@ -244,6 +246,80 @@ fn publish_swaps_current_while_old_versions_stay_pinnable() {
     let health = get(addr, "/healthz");
     assert_eq!(health.status, 200);
     assert!(health.body.starts_with("ok\nversion 2\n"));
+
+    handle.shutdown();
+}
+
+/// Reassemble a `Transfer-Encoding: chunked` body: strip the hex size
+/// lines and the zero-length terminator.
+fn dechunk(body: &str) -> String {
+    let mut out = String::new();
+    let mut rest = body;
+    loop {
+        let (size_line, tail) = rest.split_once("\r\n").expect("chunk size line");
+        let size = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+        if size == 0 {
+            break;
+        }
+        out.push_str(&tail[..size]);
+        rest = &tail[size + 2..]; // skip the chunk's trailing CRLF
+    }
+    out
+}
+
+#[test]
+fn watch_streams_deltas_as_chunked_json_lines() {
+    let store = build_store(31, 250, 6);
+    let (state, handle) = spawn_server(SnapshotRegistry::new(ServeSnapshot::capture(&store, 1)));
+    let addr = handle.addr();
+
+    // A subscriber already at the current version gets an empty window.
+    let current = get(addr, "/watch?from=1");
+    assert_eq!(current.status, 200, "{}", current.body);
+    assert_eq!(current.header("transfer-encoding"), Some("chunked"));
+    assert_eq!(current.header("x-version"), Some("1"));
+    assert_eq!(current.header("x-deltas"), Some("0"));
+    assert_eq!(dechunk(&current.body), "{\"from\":1,\"current\":1,\"deltas\":0}\n");
+
+    // Publish v2 with a recorded delta; the window now carries it.
+    state.publish(
+        ServeSnapshot::capture(&store, 2),
+        Some(PublishDelta {
+            version: 2,
+            date: "s2".to_string(),
+            founded: vec!["F1".to_string()],
+            revised: vec!["C1".to_string(), "C2".to_string()],
+        }),
+    );
+    let caught_up = get(addr, "/watch?from=1");
+    assert_eq!(caught_up.status, 200, "{}", caught_up.body);
+    assert_eq!(caught_up.header("x-version"), Some("2"));
+    assert_eq!(caught_up.header("x-deltas"), Some("1"));
+    assert_eq!(
+        dechunk(&caught_up.body),
+        "{\"from\":1,\"current\":2,\"deltas\":1}\n\
+         {\"version\":2,\"date\":\"s2\",\"founded\":[\"F1\"],\"revised\":[\"C1\",\"C2\"]}\n"
+    );
+
+    // Version 1 was published without a delta, so a subscriber from 0
+    // hits a hole in the chain and must re-fetch a full carve.
+    let gapped = get(addr, "/watch?from=0");
+    assert_eq!(gapped.status, 410, "{}", gapped.body);
+    assert_eq!(gapped.header("x-version"), Some("2"));
+
+    // Parameter validation and method guard.
+    assert_eq!(get(addr, "/watch").status, 400);
+    assert_eq!(get(addr, "/watch?from=banana").status, 400);
+    assert_eq!(get(addr, "/watch?from=1&bogus=1").status, 400);
+    assert_eq!(
+        send(addr, "POST /watch HTTP/1.1\r\nHost: t\r\n\r\n").status,
+        405
+    );
+
+    let metrics = get(addr, "/metrics");
+    assert!(metrics
+        .body
+        .contains("nc_serve_endpoint_requests_total{endpoint=\"watch\"} 6\n"));
 
     handle.shutdown();
 }
