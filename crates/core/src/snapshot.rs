@@ -10,12 +10,83 @@
 //! bit-identical to [`crate::customize::customize`] on the store
 //! itself (see `crates/core/tests/customize_determinism.rs`).
 
-use nc_votergen::schema::Row;
+use nc_similarity::{with_thread_scratch, Scratch};
+use nc_votergen::schema::{Row, SNAPSHOT_DT};
 
 use crate::cluster::ClusterStore;
 use crate::customize::{customize_clusters, CustomDataset, CustomizeParams};
 use crate::heterogeneity::{AttributeWeights, HeterogeneityScorer, Scope};
+use crate::plausibility::PlausibilityScorer;
 use crate::version::VersionManager;
+
+/// The scored, queryable facts of one cluster: everything the
+/// carve-by-query layer (nc-query) predicates over that is *derived*
+/// rather than stored. Computed from the cluster's rows plus the
+/// snapshot-scoped scorers — heterogeneity depends on the snapshot-wide
+/// entropy weights, so facts are only comparable within one snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterFacts {
+    /// The cluster's NCID.
+    pub ncid: String,
+    /// Number of records in the cluster.
+    pub size: usize,
+    /// Entropy-weighted heterogeneity ([`HeterogeneityScorer::cluster`]).
+    pub heterogeneity: f64,
+    /// Duplicate plausibility ([`PlausibilityScorer::cluster`]; minimum
+    /// pairwise score, 1.0 for singletons).
+    pub plausibility: f64,
+    /// Lexicographically smallest non-empty `snapshot_dt` of the rows
+    /// (ISO dates, so lexicographic = chronological); empty when no row
+    /// carries a snapshot date.
+    pub first_snapshot: String,
+    /// Lexicographically largest non-empty `snapshot_dt`.
+    pub last_snapshot: String,
+}
+
+impl ClusterFacts {
+    /// Compute facts for one cluster.
+    pub fn compute(
+        ncid: &str,
+        rows: &[Row],
+        heterogeneity: &HeterogeneityScorer,
+        plausibility: &PlausibilityScorer,
+    ) -> Self {
+        with_thread_scratch(|s| Self::compute_with(s, ncid, rows, heterogeneity, plausibility))
+    }
+
+    /// [`ClusterFacts::compute`] with caller-provided scratch buffers;
+    /// bit-identical results.
+    pub fn compute_with(
+        scratch: &mut Scratch,
+        ncid: &str,
+        rows: &[Row],
+        heterogeneity: &HeterogeneityScorer,
+        plausibility: &PlausibilityScorer,
+    ) -> Self {
+        let mut first = "";
+        let mut last = "";
+        for row in rows {
+            let dt = row.get(SNAPSHOT_DT).trim();
+            if dt.is_empty() {
+                continue;
+            }
+            if first.is_empty() || dt < first {
+                first = dt;
+            }
+            if dt > last {
+                last = dt;
+            }
+        }
+        ClusterFacts {
+            ncid: ncid.to_owned(),
+            size: rows.len(),
+            heterogeneity: heterogeneity.cluster_with(scratch, rows),
+            plausibility: plausibility.cluster_with(scratch, rows),
+            first_snapshot: first.to_owned(),
+            last_snapshot: last.to_owned(),
+        }
+    }
+}
 
 /// An immutable copy of a cluster store's records, pinned to a dataset
 /// version number.
@@ -132,6 +203,20 @@ impl StoreSnapshot {
     pub fn entropy_scorer(&self, scope: Scope) -> HeterogeneityScorer {
         let firsts = self.clusters.iter().filter_map(|(_, rows)| rows.first());
         HeterogeneityScorer::new(AttributeWeights::from_rows(scope, firsts))
+    }
+
+    /// Scored facts for the cluster at `index` (capture order). `None`
+    /// past the end. The caller provides the scorers so repeated calls
+    /// share the snapshot-scoped entropy weights; use
+    /// [`StoreSnapshot::entropy_scorer`] to build them.
+    pub fn cluster_facts(
+        &self,
+        index: usize,
+        heterogeneity: &HeterogeneityScorer,
+        plausibility: &PlausibilityScorer,
+    ) -> Option<ClusterFacts> {
+        let (ncid, rows) = self.clusters.get(index)?;
+        Some(ClusterFacts::compute(ncid, rows, heterogeneity, plausibility))
     }
 
     /// Run the customization recipe against this snapshot (borrowed —

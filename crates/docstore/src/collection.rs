@@ -3,6 +3,7 @@
 use std::collections::HashMap;
 
 use crate::index::{Index, IndexKind};
+use crate::plan::{describe_conjunct, AccessPlan, ConjunctAccess, ConjunctDecision, ScanReason};
 use crate::query::Filter;
 use crate::value::{Document, Value};
 
@@ -192,6 +193,102 @@ impl Collection {
         Some(out)
     }
 
+    /// Plan the access path for `filter`: the candidate posting list the
+    /// private index-selection fast path would use (`None` = full scan),
+    /// plus one [`ConjunctDecision`] per leaf conjunct explaining
+    /// whether — and why not — an index serves it.
+    ///
+    /// `find`/`find_ids` share the same candidate computation, so a
+    /// plan's `candidates` are exactly the documents a query would
+    /// touch before the residual `matches` pass.
+    pub fn plan(&self, filter: &Filter) -> AccessPlan {
+        let mut decisions = Vec::new();
+        self.collect_decisions(filter, &mut decisions);
+        AccessPlan {
+            candidates: self.index_candidates(filter),
+            decisions,
+        }
+    }
+
+    /// Walk `And` conjuncts (the only shape index selection descends)
+    /// and record a decision for every leaf.
+    fn collect_decisions(&self, filter: &Filter, out: &mut Vec<ConjunctDecision>) {
+        match filter {
+            Filter::And(fs) => {
+                for f in fs {
+                    self.collect_decisions(f, out);
+                }
+            }
+            Filter::True => {}
+            leaf => out.push(self.decide(leaf)),
+        }
+    }
+
+    fn decide(&self, leaf: &Filter) -> ConjunctDecision {
+        let conjunct = describe_conjunct(leaf);
+        let (path, access) = match leaf {
+            Filter::Eq(p, v) => (
+                Some(p.clone()),
+                match self.indexes.get(p) {
+                    Some(ix) => ConjunctAccess::IndexedEq {
+                        postings: ix.lookup_eq(v).len(),
+                    },
+                    None => ConjunctAccess::Scanned(ScanReason::NoIndex),
+                },
+            ),
+            Filter::Gt(p, v) | Filter::Gte(p, v) => (
+                Some(p.clone()),
+                match self.indexes.get(p) {
+                    Some(ix) if ix.kind() == IndexKind::Ordered => ConjunctAccess::IndexedRange {
+                        postings: ix.lookup_range(Some(v), None).map_or(0, |ids| ids.len()),
+                    },
+                    Some(_) => ConjunctAccess::Scanned(ScanReason::RangeOnHashIndex),
+                    None => ConjunctAccess::Scanned(ScanReason::NoIndex),
+                },
+            ),
+            Filter::Lt(p, v) | Filter::Lte(p, v) => (
+                Some(p.clone()),
+                match self.indexes.get(p) {
+                    Some(ix) if ix.kind() == IndexKind::Ordered => ConjunctAccess::IndexedRange {
+                        postings: ix.lookup_range(None, Some(v)).map_or(0, |ids| ids.len()),
+                    },
+                    Some(_) => ConjunctAccess::Scanned(ScanReason::RangeOnHashIndex),
+                    None => ConjunctAccess::Scanned(ScanReason::NoIndex),
+                },
+            ),
+            Filter::Ne(p, _) => (
+                Some(p.clone()),
+                ConjunctAccess::Scanned(ScanReason::UnsupportedPredicate("ne")),
+            ),
+            Filter::In(p, _) => (
+                Some(p.clone()),
+                ConjunctAccess::Scanned(ScanReason::UnsupportedPredicate("in")),
+            ),
+            Filter::Exists(p) => (
+                Some(p.clone()),
+                ConjunctAccess::Scanned(ScanReason::UnsupportedPredicate("exists")),
+            ),
+            Filter::Contains(p, _) => (
+                Some(p.clone()),
+                ConjunctAccess::Scanned(ScanReason::UnsupportedPredicate("contains")),
+            ),
+            Filter::Or(_) => (
+                None,
+                ConjunctAccess::Scanned(ScanReason::UnsupportedPredicate("or")),
+            ),
+            Filter::Not(_) => (
+                None,
+                ConjunctAccess::Scanned(ScanReason::UnsupportedPredicate("not")),
+            ),
+            Filter::True | Filter::And(_) => unreachable!("handled by collect_decisions"),
+        };
+        ConjunctDecision {
+            conjunct,
+            path,
+            access,
+        }
+    }
+
     /// Find all documents matching `filter`, ordered by `_id`.
     pub fn find(&self, filter: &Filter) -> Vec<&Document> {
         match self.index_candidates(filter) {
@@ -317,6 +414,11 @@ impl<'a> CollectionView<'a> {
     /// The paths that currently have indexes.
     pub fn indexed_paths(&self) -> Vec<&'a str> {
         self.inner.indexed_paths()
+    }
+
+    /// Plan the access path for `filter` (see [`Collection::plan`]).
+    pub fn plan(&self, filter: &Filter) -> AccessPlan {
+        self.inner.plan(filter)
     }
 
     /// Iterate over `(id, document)` pairs in ascending id order.

@@ -44,6 +44,7 @@ pub mod faults;
 pub mod index;
 pub mod persist;
 pub mod pipeline;
+pub mod plan;
 pub mod query;
 pub mod store;
 pub mod value;
@@ -55,6 +56,7 @@ pub mod prelude {
     pub use crate::index::IndexKind;
     pub use crate::persist::{FooterStatus, Salvage, SalvageReport};
     pub use crate::pipeline::{Accumulator, Pipeline, Stage};
+    pub use crate::plan::{AccessPlan, ConjunctAccess, ConjunctDecision, ScanReason};
     pub use crate::query::Filter;
     pub use crate::store::DocStore;
     pub use crate::value::{Document, Value};

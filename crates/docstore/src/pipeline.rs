@@ -63,6 +63,17 @@ pub enum Stage {
     Count,
 }
 
+impl Stage {
+    /// Apply this stage to an explicit document stream. This is the
+    /// same transform [`Pipeline::run_docs`] applies per stage; external
+    /// executors (e.g. the carve-query planner) use it to interleave
+    /// stages the docstore pipeline does not model, such as sampling,
+    /// while keeping stage semantics identical by construction.
+    pub fn apply(&self, docs: Vec<Document>) -> Vec<Document> {
+        apply_stage(self, docs)
+    }
+}
+
 /// An executable sequence of stages.
 #[derive(Debug, Clone, Default)]
 pub struct Pipeline {
@@ -73,6 +84,11 @@ impl Pipeline {
     /// Create an empty pipeline.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Create a pipeline from an explicit stage list.
+    pub fn from_stages(stages: Vec<Stage>) -> Self {
+        Pipeline { stages }
     }
 
     /// Append a [`Stage::Match`].

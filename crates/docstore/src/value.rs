@@ -152,6 +152,47 @@ impl Value {
         matches!(self, Value::Null)
     }
 
+    /// Render as JSON into `out`. Field order is the document's own
+    /// (sorted) order, so the rendering is canonical: equal documents
+    /// render byte-identically. Non-finite floats render as `null`.
+    pub fn render_json(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => {
+                use fmt::Write as _;
+                let _ = write!(out, "{i}");
+            }
+            Value::Float(f) => {
+                if f.is_finite() {
+                    use fmt::Write as _;
+                    let _ = write!(out, "{f}");
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => render_json_str(s, out),
+            Value::Array(a) => {
+                out.push('[');
+                for (i, v) in a.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render_json(out);
+                }
+                out.push(']');
+            }
+            Value::Doc(d) => d.render_json(out),
+        }
+    }
+
+    /// [`Value::render_json`] into a fresh string.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.render_json(&mut s);
+        s
+    }
+
     /// A stable hash of the value, consistent with [`Value::query_eq`]
     /// (equal values hash equally; ints hash as their float image when
     /// integral so that `Int(3)` and `Float(3.0)` collide as required).
@@ -207,6 +248,26 @@ impl Value {
         go(self, &mut h);
         h
     }
+}
+
+/// Render `s` as a JSON string literal (quotes, escapes) into `out`.
+fn render_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
 }
 
 impl<'de> serde::Deserialize<'de> for Value {
@@ -516,6 +577,28 @@ impl Document {
             }
             Some(_) => false,
         }
+    }
+
+    /// Render as a JSON object into `out`. Fields appear in the
+    /// document's sorted field order, making the rendering canonical.
+    pub fn render_json(&self, out: &mut String) {
+        out.push('{');
+        for (i, (k, v)) in self.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            render_json_str(k, out);
+            out.push(':');
+            v.render_json(out);
+        }
+        out.push('}');
+    }
+
+    /// [`Document::render_json`] into a fresh string.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        self.render_json(&mut s);
+        s
     }
 
     /// Keep only the named top-level fields (projection).

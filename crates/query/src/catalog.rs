@@ -1,0 +1,481 @@
+//! The per-snapshot cluster catalog: one queryable [`Document`] per
+//! cluster, with secondary indexes over the scored fields.
+//!
+//! The catalog is what query pipelines actually run against. Each
+//! cluster of a [`StoreSnapshot`] contributes one flat document of
+//! *derived* facts — size, heterogeneity, plausibility, snapshot date
+//! range, per-error-type difference counts — inserted in capture order,
+//! so a catalog `_id` doubles as the cluster's position in
+//! [`StoreSnapshot::clusters`]. Indexes over the selective fields give
+//! the planner posting lists; the unindexed `errors.*` counts
+//! deliberately exercise the residual-scan path.
+//!
+//! Heterogeneity depends on the snapshot-wide entropy weights, so a
+//! catalog is valid only for the snapshot it was built from — the serve
+//! layer caches one per published [`ServeSnapshot`] and rebuilds on
+//! publish.
+
+use nc_core::heterogeneity::HeterogeneityScorer;
+use nc_core::plausibility::PlausibilityScorer;
+use nc_core::snapshot::{ClusterFacts, StoreSnapshot};
+use nc_docstore::collection::Collection;
+use nc_docstore::index::IndexKind;
+use nc_docstore::query::Filter;
+use nc_docstore::value::Document;
+use nc_similarity::damerau;
+use nc_similarity::soundex::soundex;
+use nc_similarity::with_thread_scratch;
+use nc_votergen::schema::{Row, AGE, NCID, NUM_ATTRS, SNAPSHOT_DT};
+
+/// Value type of a catalog field, for operand validation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldKind {
+    /// String-valued field.
+    Str,
+    /// Integer-valued field.
+    Int,
+    /// Float-valued field.
+    Float,
+}
+
+/// The error-count buckets derived per cluster, in render order. Each
+/// mirrors one error class of the votergen injection engine (see
+/// `nc-votergen::errors`); `other` collects differences no single-value
+/// class explains (value confusions, scattered values, heavy edits).
+pub const ERROR_KINDS: &[&str] = &[
+    "typo",
+    "ocr",
+    "phonetic",
+    "abbrev",
+    "whitespace",
+    "case",
+    "outlier",
+    "missing",
+    "other",
+];
+
+/// Queryable catalog fields and their kinds. Validation rejects any
+/// dotted path outside this set, so typos in query documents fail
+/// loudly instead of matching nothing.
+pub const SCHEMA: &[(&str, FieldKind)] = &[
+    ("ncid", FieldKind::Str),
+    ("size", FieldKind::Int),
+    ("het", FieldKind::Float),
+    ("plaus", FieldKind::Float),
+    ("snapshot.first", FieldKind::Str),
+    ("snapshot.last", FieldKind::Str),
+    ("errors.typo", FieldKind::Int),
+    ("errors.ocr", FieldKind::Int),
+    ("errors.phonetic", FieldKind::Int),
+    ("errors.abbrev", FieldKind::Int),
+    ("errors.whitespace", FieldKind::Int),
+    ("errors.case", FieldKind::Int),
+    ("errors.outlier", FieldKind::Int),
+    ("errors.missing", FieldKind::Int),
+    ("errors.other", FieldKind::Int),
+    ("errors.total", FieldKind::Int),
+];
+
+/// Look up a catalog field's kind.
+pub fn field_kind(path: &str) -> Option<FieldKind> {
+    SCHEMA
+        .iter()
+        .find(|(p, _)| *p == path)
+        .map(|(_, k)| *k)
+}
+
+/// The indexed catalog paths (everything selective; `errors.*` counts
+/// stay scan-only on purpose).
+const INDEXES: &[(&str, IndexKind)] = &[
+    ("ncid", IndexKind::Hash),
+    ("size", IndexKind::Ordered),
+    ("het", IndexKind::Ordered),
+    ("plaus", IndexKind::Ordered),
+    ("snapshot.first", IndexKind::Ordered),
+    ("snapshot.last", IndexKind::Ordered),
+];
+
+/// One queryable document per cluster of a snapshot, with indexes.
+#[derive(Debug)]
+pub struct ClusterCatalog {
+    collection: Collection,
+    version: u32,
+}
+
+impl ClusterCatalog {
+    /// Build the catalog for `snapshot`. The heterogeneity scorer must
+    /// be the snapshot's own entropy scorer
+    /// ([`StoreSnapshot::entropy_scorer`]); plausibility needs no
+    /// snapshot state and is built internally.
+    pub fn build(snapshot: &StoreSnapshot, heterogeneity: &HeterogeneityScorer) -> Self {
+        let plausibility = PlausibilityScorer::new();
+        let mut collection = Collection::new("clusters");
+        // Index before inserting: Collection maintains indexes on every
+        // insert, which is cheaper than a create_index rebuild pass over
+        // an already-full collection.
+        for (path, kind) in INDEXES {
+            collection.create_index(*path, *kind);
+        }
+        with_thread_scratch(|scratch| {
+            for (ncid, rows) in snapshot.clusters() {
+                let facts =
+                    ClusterFacts::compute_with(scratch, ncid, rows, heterogeneity, &plausibility);
+                collection.insert(Self::doc_from_facts(&facts, rows));
+            }
+        });
+        ClusterCatalog {
+            collection,
+            version: snapshot.version(),
+        }
+    }
+
+    /// The catalog document for one cluster, independent of any built
+    /// catalog. The serve layer uses this at publish time to test
+    /// whether a founded or revised cluster matches a cached carve's
+    /// predicate footprint under the *new* snapshot's scorer.
+    pub fn cluster_doc(
+        ncid: &str,
+        rows: &[Row],
+        heterogeneity: &HeterogeneityScorer,
+        plausibility: &PlausibilityScorer,
+    ) -> Document {
+        let facts = ClusterFacts::compute(ncid, rows, heterogeneity, plausibility);
+        Self::doc_from_facts(&facts, rows)
+    }
+
+    fn doc_from_facts(facts: &ClusterFacts, rows: &[Row]) -> Document {
+        let mut doc = Document::new();
+        doc.set("ncid", facts.ncid.as_str());
+        doc.set("size", facts.size as i64);
+        doc.set("het", facts.heterogeneity);
+        doc.set("plaus", facts.plausibility);
+        let mut snap = Document::new();
+        snap.set("first", facts.first_snapshot.as_str());
+        snap.set("last", facts.last_snapshot.as_str());
+        doc.set("snapshot", snap);
+        doc.set("errors", error_counts(rows));
+        doc
+    }
+
+    /// The snapshot version this catalog was built from.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Number of cluster documents.
+    pub fn len(&self) -> usize {
+        self.collection.len()
+    }
+
+    /// Whether the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.collection.is_empty()
+    }
+
+    /// The underlying collection (documents in capture order by `_id`).
+    pub fn collection(&self) -> &Collection {
+        &self.collection
+    }
+
+    /// Whether the cluster with `ncid` matches `filter`. `None` when the
+    /// catalog has no such cluster. Served by the hash index on `ncid`.
+    pub fn cluster_matches(&self, ncid: &str, filter: &Filter) -> Option<bool> {
+        self.collection
+            .find_one(&Filter::eq("ncid", ncid))
+            .map(|doc| filter.matches(doc))
+    }
+}
+
+/// Classify the attribute-level differences between every record of a
+/// cluster and its founding (first) record, bucketed by the votergen
+/// error taxonomy. Differences on `ncid`/`snapshot_dt` are skipped —
+/// those legitimately vary across re-registrations.
+fn error_counts(rows: &[Row]) -> Document {
+    let mut counts = [0i64; ERROR_KINDS.len()];
+    if let Some((first, rest)) = rows.split_first() {
+        for row in rest {
+            for attr in 0..NUM_ATTRS {
+                if attr == NCID || attr == SNAPSHOT_DT {
+                    continue;
+                }
+                let a = first.get(attr);
+                let b = row.get(attr);
+                if a == b {
+                    continue;
+                }
+                let kind = classify_difference(attr, a, b);
+                let idx = ERROR_KINDS
+                    .iter()
+                    .position(|k| *k == kind)
+                    .expect("classifier returns a known kind");
+                counts[idx] += 1;
+            }
+        }
+    }
+    let mut doc = Document::new();
+    let mut total = 0i64;
+    for (kind, n) in ERROR_KINDS.iter().zip(counts) {
+        doc.set(*kind, n);
+        total += n;
+    }
+    doc.set("total", total);
+    doc
+}
+
+/// Decide which error class best explains `a` (founding value) vs `b`
+/// (later value) differing. Heuristic mirror of the injection engine:
+/// the checks run from the most structurally specific class down to
+/// edit-distance fallbacks, so e.g. a soundex-preserving rewrite counts
+/// as `phonetic` even though its edit distance would also pass `typo`.
+fn classify_difference(attr: usize, a: &str, b: &str) -> &'static str {
+    if attr == AGE && is_outlier_age(a, b) {
+        return "outlier";
+    }
+    let (ta, tb) = (a.trim(), b.trim());
+    if ta.is_empty() || tb.is_empty() {
+        return "missing";
+    }
+    if ta == tb {
+        return "whitespace";
+    }
+    if ta.eq_ignore_ascii_case(tb) {
+        return "case";
+    }
+    let (ua, ub) = (ta.to_ascii_uppercase(), tb.to_ascii_uppercase());
+    if is_abbreviation(&ua, &ub) || is_abbreviation(&ub, &ua) {
+        return "abbrev";
+    }
+    if is_ocr_confusion(&ua, &ub) {
+        return "ocr";
+    }
+    if let (Some(sa), Some(sb)) = (soundex(&ua), soundex(&ub)) {
+        if sa == sb {
+            return "phonetic";
+        }
+    }
+    if damerau::distance(&ua, &ub) <= 2 {
+        return "typo";
+    }
+    "other"
+}
+
+/// One of the two ages falls outside the plausible human range while
+/// the other does not — the signature of `make_outlier_age` (glued
+/// ages like `5069`, sentinels like `0`/`999`).
+fn is_outlier_age(a: &str, b: &str) -> bool {
+    fn plausible(s: &str) -> Option<bool> {
+        s.trim().parse::<i64>().ok().map(|v| (1..=110).contains(&v))
+    }
+    matches!(
+        (plausible(a), plausible(b)),
+        (Some(true), Some(false) | None) | (Some(false) | None, Some(true))
+    )
+}
+
+/// `short` is a single-letter abbreviation of `long` (optionally with a
+/// trailing period), the shape `abbreviate` produces.
+fn is_abbreviation(short: &str, long: &str) -> bool {
+    let stem = short.strip_suffix('.').unwrap_or(short);
+    let mut chars = stem.chars();
+    match (chars.next(), chars.next()) {
+        (Some(c), None) => long.len() > 1 && long.starts_with(c),
+        _ => false,
+    }
+}
+
+/// Visually confusable (letter, digit) pairs — kept in sync with the
+/// injection engine's `OCR_PAIRS`.
+const OCR_PAIRS: &[(char, char)] = &[
+    ('O', '0'),
+    ('I', '1'),
+    ('L', '1'),
+    ('S', '5'),
+    ('B', '8'),
+    ('Z', '2'),
+    ('G', '6'),
+    ('T', '7'),
+];
+
+/// Same length, and every differing position swaps a letter for its
+/// confusable digit (either direction) — the shape `ocr_corrupt`
+/// produces.
+fn is_ocr_confusion(a: &str, b: &str) -> bool {
+    if a.chars().count() != b.chars().count() {
+        return false;
+    }
+    let mut any = false;
+    for (ca, cb) in a.chars().zip(b.chars()) {
+        if ca == cb {
+            continue;
+        }
+        let confusable = OCR_PAIRS
+            .iter()
+            .any(|&(l, d)| (ca == l && cb == d) || (ca == d && cb == l));
+        if !confusable {
+            return false;
+        }
+        any = true;
+    }
+    any
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nc_core::heterogeneity::Scope;
+    use nc_votergen::schema::{FIRST_NAME, LAST_NAME, MIDL_NAME, SEX_CODE};
+
+    fn row(ncid: &str, first: &str, last: &str, snap: &str, age: &str) -> Row {
+        let mut r = Row::empty();
+        r.set(NCID, ncid);
+        r.set(FIRST_NAME, first);
+        r.set(MIDL_NAME, "ANN");
+        r.set(LAST_NAME, last);
+        r.set(SEX_CODE, "F");
+        r.set(AGE, age);
+        r.set(SNAPSHOT_DT, snap);
+        r
+    }
+
+    fn snapshot() -> StoreSnapshot {
+        StoreSnapshot::from_clusters(
+            1,
+            vec![
+                (
+                    "A1".into(),
+                    vec![
+                        row("A1", "MARY", "SMITH", "2008-01-01", "40"),
+                        row("A1", "MARY", "SMYTH", "2010-05-06", "42"),
+                    ],
+                ),
+                ("B2".into(), vec![row("B2", "CARL", "OXENDINE", "2009-03-04", "55")]),
+                (
+                    "C3".into(),
+                    vec![
+                        row("C3", "PAT", "JONES", "2008-01-01", "30"),
+                        row("C3", "P.", "JONES", "2009-03-04", "31"),
+                        row("C3", "PAT", "J0NE5", "2010-05-06", "32"),
+                    ],
+                ),
+            ],
+        )
+    }
+
+    #[test]
+    fn build_produces_one_doc_per_cluster_in_capture_order() {
+        let snap = snapshot();
+        let scorer = snap.entropy_scorer(Scope::Person);
+        let cat = ClusterCatalog::build(&snap, &scorer);
+        assert_eq!(cat.len(), 3);
+        assert_eq!(cat.version(), 1);
+        let ids: Vec<(u64, String)> = cat
+            .collection()
+            .iter_ordered()
+            .map(|(id, d)| (id, d.get_str("ncid").unwrap().to_owned()))
+            .collect();
+        assert_eq!(
+            ids,
+            vec![(0, "A1".into()), (1, "B2".into()), (2, "C3".into())]
+        );
+    }
+
+    #[test]
+    fn docs_carry_scored_fields_and_date_ranges() {
+        let snap = snapshot();
+        let scorer = snap.entropy_scorer(Scope::Person);
+        let cat = ClusterCatalog::build(&snap, &scorer);
+        let a1 = cat.collection().find_one(&Filter::eq("ncid", "A1")).unwrap();
+        assert_eq!(a1.get_i64("size"), Some(2));
+        assert!(a1.get_f64("het").unwrap() > 0.0);
+        assert!(a1.get_f64("plaus").unwrap() > 0.5);
+        assert_eq!(a1.get_str("snapshot.first"), Some("2008-01-01"));
+        assert_eq!(a1.get_str("snapshot.last"), Some("2010-05-06"));
+        let b2 = cat.collection().find_one(&Filter::eq("ncid", "B2")).unwrap();
+        assert_eq!(b2.get_i64("size"), Some(1));
+        assert_eq!(b2.get_f64("plaus"), Some(1.0));
+        assert_eq!(b2.get_i64("errors.total"), Some(0));
+    }
+
+    #[test]
+    fn error_classification_buckets() {
+        let snap = snapshot();
+        let scorer = snap.entropy_scorer(Scope::Person);
+        let cat = ClusterCatalog::build(&snap, &scorer);
+        // A1: SMITH→SMYTH keeps the soundex code (phonetic), ages differ
+        // legitimately (typo bucket at distance ≤ 2 — not outlier).
+        let a1 = cat.collection().find_one(&Filter::eq("ncid", "A1")).unwrap();
+        assert_eq!(a1.get_i64("errors.phonetic"), Some(1));
+        // C3: "P." abbreviates PAT; J0NE5 is an OCR confusion of JONES.
+        let c3 = cat.collection().find_one(&Filter::eq("ncid", "C3")).unwrap();
+        assert_eq!(c3.get_i64("errors.abbrev"), Some(1));
+        assert_eq!(c3.get_i64("errors.ocr"), Some(1));
+        assert!(c3.get_i64("errors.total").unwrap() >= 2);
+    }
+
+    #[test]
+    fn classifier_unit_cases() {
+        assert_eq!(classify_difference(FIRST_NAME, "MARY", " MARY "), "whitespace");
+        assert_eq!(classify_difference(FIRST_NAME, "MARY", "mary"), "case");
+        assert_eq!(classify_difference(FIRST_NAME, "MARY", ""), "missing");
+        assert_eq!(classify_difference(FIRST_NAME, "MARY", "M"), "abbrev");
+        assert_eq!(classify_difference(FIRST_NAME, "MARY", "M."), "abbrev");
+        assert_eq!(classify_difference(FIRST_NAME, "MARY", "MARYX"), "typo");
+        assert_eq!(classify_difference(LAST_NAME, "OXENDINE", "0XEND1NE"), "ocr");
+        assert_eq!(classify_difference(AGE, "40", "5069"), "outlier");
+        assert_eq!(classify_difference(AGE, "40", "999"), "outlier");
+        assert_eq!(
+            classify_difference(FIRST_NAME, "MARY", "ELIZABETH"),
+            "other"
+        );
+    }
+
+    #[test]
+    fn selective_fields_are_indexed() {
+        let snap = snapshot();
+        let scorer = snap.entropy_scorer(Scope::Person);
+        let cat = ClusterCatalog::build(&snap, &scorer);
+        let paths = cat.collection().indexed_paths();
+        for (p, _) in INDEXES {
+            assert!(paths.contains(p), "missing index on {p}");
+        }
+        // errors.* stays scan-only.
+        assert!(!paths.iter().any(|p| p.starts_with("errors")));
+        let plan = cat.collection().plan(&Filter::between("size", 2_i64, 3_i64));
+        assert!(!plan.is_full_scan());
+    }
+
+    #[test]
+    fn cluster_matches_uses_ncid_index() {
+        let snap = snapshot();
+        let scorer = snap.entropy_scorer(Scope::Person);
+        let cat = ClusterCatalog::build(&snap, &scorer);
+        assert_eq!(
+            cat.cluster_matches("A1", &Filter::gte("size", 2_i64)),
+            Some(true)
+        );
+        assert_eq!(
+            cat.cluster_matches("B2", &Filter::gte("size", 2_i64)),
+            Some(false)
+        );
+        assert_eq!(cat.cluster_matches("ZZ", &Filter::True), None);
+    }
+
+    #[test]
+    fn schema_covers_all_rendered_fields() {
+        let snap = snapshot();
+        let scorer = snap.entropy_scorer(Scope::Person);
+        let cat = ClusterCatalog::build(&snap, &scorer);
+        let doc = cat.collection().get(0).unwrap();
+        for (path, kind) in SCHEMA {
+            let v = doc.get_path(path).unwrap_or_else(|| panic!("{path} absent"));
+            let ok = match kind {
+                FieldKind::Str => v.as_str().is_some(),
+                FieldKind::Int => v.as_i64().is_some(),
+                FieldKind::Float => v.as_f64().is_some(),
+            };
+            assert!(ok, "{path} has wrong kind");
+        }
+        assert_eq!(field_kind("het"), Some(FieldKind::Float));
+        assert_eq!(field_kind("nope"), None);
+    }
+}

@@ -1,0 +1,288 @@
+//! Equivalence properties for the query planner and executor.
+//!
+//! The planner is only allowed to change *how rows are sourced* — never
+//! what comes out. These properties pin that down over random catalogs
+//! and random pipelines:
+//!
+//! * indexed execution is byte-identical to a forced full scan;
+//! * planned execution is byte-identical to the naive reference
+//!   (`Pipeline::run_docs` over every cluster doc);
+//! * the same `(seed, query, version)` replays the same sampled carve
+//!   from a freshly rebuilt catalog — including when the snapshot was
+//!   published by a sharded store instead of the sequential one.
+
+use nc_core::heterogeneity::Scope;
+use nc_core::snapshot::StoreSnapshot;
+use nc_query::{execute, execute_naive, CarveQuery, ClusterCatalog, ExecOptions};
+use nc_votergen::schema::{Row, FIRST_NAME, LAST_NAME, NCID, SNAPSHOT_DT};
+use proptest::prelude::*;
+
+const FIRSTS: [&str; 4] = ["ANNA", "BRUNO", "CLARA", "DILIP"];
+const LASTS: [&str; 4] = ["SMITH", "SMYTH", "NGUYEN", "OKAFOR"];
+const DATES: [&str; 3] = ["2019-03-02", "2020-01-01", "2021-07-15"];
+
+fn row(ncid: &str, first: &str, last: &str, snap: &str) -> Row {
+    let mut r = Row::empty();
+    r.set(NCID, ncid);
+    r.set(FIRST_NAME, first);
+    r.set(LAST_NAME, last);
+    r.set(SNAPSHOT_DT, snap);
+    r
+}
+
+/// One cluster's shape, drawn by proptest: how many extra records it
+/// holds beyond the founding one, and which name/date variants seed it.
+#[derive(Debug, Clone)]
+struct ClusterSpec {
+    extra: usize,
+    name: usize,
+    date: usize,
+}
+
+fn clusters_from(specs: &[ClusterSpec]) -> Vec<(String, Vec<Row>)> {
+    specs
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let ncid = format!("C{i:04}");
+            let mut rows = vec![row(
+                &ncid,
+                FIRSTS[s.name % FIRSTS.len()],
+                LASTS[s.name % LASTS.len()],
+                DATES[s.date % DATES.len()],
+            )];
+            for k in 0..s.extra {
+                rows.push(row(
+                    &ncid,
+                    FIRSTS[(s.name + k + 1) % FIRSTS.len()],
+                    LASTS[(s.name * 2 + k) % LASTS.len()],
+                    DATES[(s.date + k + 1) % DATES.len()],
+                ));
+            }
+            (ncid, rows)
+        })
+        .collect()
+}
+
+fn catalog_from(specs: &[ClusterSpec]) -> ClusterCatalog {
+    let snapshot = StoreSnapshot::from_clusters(1, clusters_from(specs));
+    let het = snapshot.entropy_scorer(Scope::Person);
+    ClusterCatalog::build(&snapshot, &het)
+}
+
+fn cluster_specs() -> impl Strategy<Value = Vec<ClusterSpec>> {
+    proptest::collection::vec(
+        (0usize..4, 0usize..4, 0usize..3)
+            .prop_map(|(extra, name, date)| ClusterSpec { extra, name, date }),
+        1..40,
+    )
+}
+
+/// `proptest::option::of` — the offline stub doesn't ship the `option`
+/// module, so emulate it with a two-way choice.
+fn maybe<S: Strategy<Value = String> + 'static>(s: S) -> impl Strategy<Value = Option<String>> {
+    prop_oneof![Just(None), s.prop_map(Some)]
+}
+
+fn op() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("eq"),
+        Just("ne"),
+        Just("gt"),
+        Just("gte"),
+        Just("lt"),
+        Just("lte"),
+    ]
+}
+
+/// One conjunct per field, so the generated match object never has
+/// duplicate JSON keys. `size`/`plaus`/`snapshot.first` ride ordered
+/// indexes, `ncid` a hash index, and `errors.total` is deliberately
+/// unindexed — so random pipelines cover indexed, hash-miss (range on
+/// hash) and scan access paths alike.
+fn match_stage() -> impl Strategy<Value = String> {
+    let size = (op(), 0u64..6).prop_map(|(op, v)| format!(r#""size": {{"{op}": {v}}}"#));
+    let plaus =
+        (op(), -20i32..60).prop_map(|(op, v)| format!(r#""plaus": {{"{op}": {:?}}}"#, v as f64 / 8.0));
+    let ncid = (op(), 0usize..40).prop_map(|(op, i)| format!(r#""ncid": {{"{op}": "C{i:04}"}}"#));
+    let date =
+        (op(), 0usize..3).prop_map(|(op, d)| format!(r#""snapshot.first": {{"{op}": "{}"}}"#, DATES[d]));
+    let errors = (op(), 0u64..4).prop_map(|(op, v)| format!(r#""errors.total": {{"{op}": {v}}}"#));
+    (
+        maybe(size),
+        maybe(plaus),
+        maybe(ncid),
+        maybe(date),
+        maybe(errors),
+    )
+        .prop_map(|(a, b, c, d, e)| {
+            let parts: Vec<String> = [a, b, c, d, e].into_iter().flatten().collect();
+            if parts.is_empty() {
+                String::new()
+            } else {
+                format!(r#"{{"match": {{{}}}}}"#, parts.join(", "))
+            }
+        })
+}
+
+fn tail_stage() -> impl Strategy<Value = String> {
+    let sample = (1usize..8, any::<u32>())
+        .prop_map(|(n, seed)| format!(r#"{{"sample": {{"size": {n}, "seed": {seed}}}}}"#));
+    let stratified = (1usize..4, any::<u32>()).prop_map(|(n, seed)| {
+        format!(r#"{{"sample": {{"size": {n}, "seed": {seed}, "by": "size"}}}}"#)
+    });
+    let sort = (
+        prop_oneof![Just("size"), Just("het"), Just("plaus"), Just("ncid")],
+        any::<bool>(),
+    )
+        .prop_map(|(by, desc)| format!(r#"{{"sort": {{"by": "{by}", "descending": {desc}}}}}"#));
+    let skip = (0usize..6).prop_map(|n| format!(r#"{{"skip": {n}}}"#));
+    let limit = (1usize..10).prop_map(|n| format!(r#"{{"limit": {n}}}"#));
+    prop_oneof![sample, stratified, sort, skip, limit]
+}
+
+fn terminal() -> impl Strategy<Value = Option<String>> {
+    prop_oneof![
+        Just(None),
+        Just(None),
+        Just(Some(r#"{"count": true}"#.to_string())),
+        Just(Some(r#"{"project": ["ncid", "size", "het"]}"#.to_string())),
+        Just(Some(
+            r#"{"group": {"by": "size", "agg": {"n": "count", "max_plaus": {"max": "plaus"}}}}"#
+                .to_string()
+        )),
+    ]
+}
+
+fn pipeline() -> impl Strategy<Value = String> {
+    (
+        match_stage(),
+        proptest::collection::vec(tail_stage(), 0..3),
+        terminal(),
+    )
+        .prop_map(|(m, tails, term)| {
+            let mut stages: Vec<String> = Vec::new();
+            if !m.is_empty() {
+                stages.push(m);
+            }
+            stages.extend(tails);
+            if let Some(t) = term {
+                stages.push(t);
+            }
+            format!(r#"{{"pipeline": [{}]}}"#, stages.join(", "))
+        })
+}
+
+fn parse(body: &str) -> CarveQuery {
+    CarveQuery::parse(body.as_bytes())
+        .unwrap_or_else(|e| panic!("generated query must parse: {body}: {}", e.render_json()))
+}
+
+fn rendered(docs: &[nc_docstore::value::Document]) -> Vec<String> {
+    docs.iter().map(|d| d.to_json()).collect()
+}
+
+proptest! {
+    /// The indexed plan and a forced full scan produce byte-identical
+    /// results — same matched set, same capture positions, same
+    /// rendered documents.
+    #[test]
+    fn indexed_plan_matches_forced_scan(specs in cluster_specs(), body in pipeline()) {
+        let cat = catalog_from(&specs);
+        let query = parse(&body);
+        let fast = execute(&cat, &query, ExecOptions::default());
+        let slow = execute(&cat, &query, ExecOptions { force_scan: true });
+        prop_assert!(slow.explain.full_scan);
+        prop_assert_eq!(&fast.matched, &slow.matched, "query: {}", body);
+        prop_assert_eq!(&fast.positions, &slow.positions, "query: {}", body);
+        prop_assert_eq!(rendered(&fast.docs), rendered(&slow.docs), "query: {}", body);
+    }
+
+    /// Planned execution equals the naive reference: every cluster doc
+    /// pushed through `Pipeline::run_docs` one stage at a time.
+    #[test]
+    fn planned_execution_equals_naive(specs in cluster_specs(), body in pipeline()) {
+        let cat = catalog_from(&specs);
+        let query = parse(&body);
+        let planned = execute(&cat, &query, ExecOptions::default());
+        let naive = execute_naive(&cat, &query);
+        prop_assert_eq!(rendered(&planned.docs), rendered(&naive), "query: {}", body);
+    }
+
+    /// Rebuilding the catalog from scratch and replaying the same query
+    /// (same seed embedded in the body) reproduces the identical carve.
+    #[test]
+    fn replay_from_rebuilt_catalog_is_bit_identical(
+        specs in cluster_specs(),
+        body in pipeline(),
+    ) {
+        let first = execute(&catalog_from(&specs), &parse(&body), ExecOptions::default());
+        let second = execute(&catalog_from(&specs), &parse(&body), ExecOptions::default());
+        prop_assert_eq!(&first.matched, &second.matched);
+        prop_assert_eq!(&first.positions, &second.positions);
+        prop_assert_eq!(rendered(&first.docs), rendered(&second.docs));
+    }
+}
+
+/// A sampled query carve is reproducible across a *sharded* publish:
+/// the sharded store's merged snapshot presents clusters in global
+/// founding order, so the catalog, the matched set, the sample and the
+/// rendered documents are all byte-identical to the sequential store's
+/// at the same version — under any shard count.
+#[test]
+fn sampled_carve_reproduces_across_sharded_publish() {
+    use nc_core::cluster::ClusterStore;
+    use nc_core::import::import_snapshot;
+    use nc_core::record::DedupPolicy;
+    use nc_shard::ShardedStore;
+    use nc_votergen::config::GeneratorConfig;
+    use nc_votergen::registry::Registry;
+    use nc_votergen::snapshot::standard_calendar;
+
+    let mut reg = Registry::new(GeneratorConfig {
+        seed: 42,
+        initial_population: 400,
+        ..Default::default()
+    });
+    let snaps: Vec<_> = standard_calendar()
+        .iter()
+        .take(4)
+        .map(|info| reg.generate_snapshot(info))
+        .collect();
+
+    let mut store = ClusterStore::new();
+    for (i, s) in snaps.iter().enumerate() {
+        import_snapshot(&mut store, s, DedupPolicy::Trimmed, i as u32 + 1);
+    }
+    let sequential = StoreSnapshot::capture(&store, 5);
+    let het = sequential.entropy_scorer(Scope::Person);
+    let reference = ClusterCatalog::build(&sequential, &het);
+
+    let query = parse(
+        r#"{"pipeline": [
+            {"match": {"size": {"gte": 2}}},
+            {"sample": {"size": 25, "seed": 99}}
+        ]}"#,
+    );
+    let want = execute(&reference, &query, ExecOptions::default());
+    assert!(!want.docs.is_empty(), "fixture must carve something");
+    assert!(!want.explain.full_scan, "size rides an ordered index");
+
+    for shard_count in [1, 3, 7] {
+        let mut sharded = ShardedStore::new(shard_count);
+        for (i, s) in snaps.iter().enumerate() {
+            sharded.ingest_snapshot(s, DedupPolicy::Trimmed, i as u32 + 1);
+        }
+        let snapshot = sharded.publish(5);
+        let het = snapshot.entropy_scorer(Scope::Person);
+        let catalog = ClusterCatalog::build(&snapshot, &het);
+        let got = execute(&catalog, &query, ExecOptions::default());
+        assert_eq!(got.matched, want.matched, "{shard_count} shards");
+        assert_eq!(got.positions, want.positions, "{shard_count} shards");
+        assert_eq!(
+            rendered(&got.docs),
+            rendered(&want.docs),
+            "{shard_count} shards"
+        );
+    }
+}

@@ -10,15 +10,23 @@
 //! clusters; pagination slices the cached result, so paging through a
 //! large carve costs one carve total.
 
+use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 
 use nc_core::customize::{CustomDataset, CustomizeParams};
 use nc_core::md5::{md5, Digest};
+use nc_core::plausibility::PlausibilityScorer;
+use nc_core::snapshot::StoreSnapshot;
+use nc_docstore::value::Document;
+use nc_query::{
+    execute, plan_query, CarveQuery, ClusterCatalog, ExecOptions, Explain, QueryFootprint,
+    QueryOutcome,
+};
 use nc_votergen::schema::{Row, SCHEMA};
 
 use crate::cache::{CacheStats, LruCache};
-use crate::snapshot::{PublishDelta, SnapshotRegistry};
+use crate::snapshot::{PublishDelta, ServeSnapshot, SnapshotRegistry};
 
 /// A request to carve one page of a customized dataset.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,6 +120,26 @@ pub struct CarveResult {
     pub duplicate_pairs: u64,
     /// One JSON object per labeled record, in dataset order.
     pub lines: Vec<String>,
+    /// Set for carve-by-query results: the recorded query footprint the
+    /// publish-time carry-forward check runs against. `None` for knob
+    /// carves.
+    pub query: Option<QueryCarve>,
+}
+
+/// What a cached query carve remembers about the query that produced
+/// it, so a publish can decide soundly whether the entry survives.
+#[derive(Debug)]
+pub struct QueryCarve {
+    /// The canonical query text (re-keys the entry under a new
+    /// version's fingerprint on carry-forward).
+    pub canonical: String,
+    /// The predicate footprint: the conjunction of every `match` stage
+    /// plus whether any stage reads the scorer-dependent `het` field.
+    pub footprint: QueryFootprint,
+    /// Whether the query pinned an explicit version. Pinned entries are
+    /// never carried forward — the same request body keeps resolving to
+    /// the pinned version, so a re-keyed entry could never be hit.
+    pub pinned: bool,
 }
 
 impl CarveResult {
@@ -128,6 +156,58 @@ impl CarveResult {
             records: lines.len(),
             duplicate_pairs: dataset.duplicate_pairs(),
             lines,
+            query: None,
+        }
+    }
+
+    /// Render an executed query carve into its response form. Cluster
+    /// output becomes the same labeled JSON-lines format as knob carves
+    /// (cluster index in output order, NCID, non-empty attributes);
+    /// document output (project/group/count pipelines) becomes one
+    /// canonical JSON object per line.
+    pub fn render_query(
+        version: u32,
+        canonical: String,
+        footprint: QueryFootprint,
+        pinned: bool,
+        outcome: &QueryOutcome,
+        snapshot: &StoreSnapshot,
+    ) -> Self {
+        let all = snapshot.clusters();
+        let (lines, clusters, duplicate_pairs) = match &outcome.positions {
+            Some(positions) => {
+                let mut lines = Vec::new();
+                let mut pairs = 0u64;
+                for (out_idx, &pos) in positions.iter().enumerate() {
+                    let (ncid, rows) = &all[pos];
+                    let n = rows.len() as u64;
+                    pairs += n * n.saturating_sub(1) / 2;
+                    for record in rows {
+                        lines.push(render_record(out_idx, ncid, record));
+                    }
+                }
+                (lines, positions.len(), pairs)
+            }
+            None => {
+                let lines: Vec<String> = outcome.docs.iter().map(Document::to_json).collect();
+                (lines, 0, 0)
+            }
+        };
+        CarveResult {
+            version,
+            // Knob parameters do not apply to a query carve; the cache
+            // key comes from `query_fingerprint`, never from here.
+            params: CustomizeParams::nc1(0, 0, 0),
+            sampled: outcome.matched.clone(),
+            clusters,
+            records: lines.len(),
+            duplicate_pairs,
+            lines,
+            query: Some(QueryCarve {
+                canonical,
+                footprint,
+                pinned,
+            }),
         }
     }
 
@@ -161,6 +241,16 @@ pub struct DeltaStats {
     pub carried_forward: u64,
 }
 
+/// Planner access-decision counters for the query path, exported via
+/// `/metrics` (`nc_query_conjuncts_*_total`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Leading-match conjuncts answered from an index posting list.
+    pub conjuncts_indexed: u64,
+    /// Leading-match conjuncts that fell back to the residual scan.
+    pub conjuncts_scanned: u64,
+}
+
 /// The carve engine: snapshot resolution + fingerprinted cache + carve.
 #[derive(Debug)]
 pub struct CarveEngine {
@@ -168,6 +258,8 @@ pub struct CarveEngine {
     cache: LruCache<CarveResult>,
     invalidated: std::sync::atomic::AtomicU64,
     carried_forward: std::sync::atomic::AtomicU64,
+    conjuncts_indexed: std::sync::atomic::AtomicU64,
+    conjuncts_scanned: std::sync::atomic::AtomicU64,
 }
 
 impl CarveEngine {
@@ -179,6 +271,8 @@ impl CarveEngine {
             cache: LruCache::new(cache_capacity),
             invalidated: std::sync::atomic::AtomicU64::new(0),
             carried_forward: std::sync::atomic::AtomicU64::new(0),
+            conjuncts_indexed: std::sync::atomic::AtomicU64::new(0),
+            conjuncts_scanned: std::sync::atomic::AtomicU64::new(0),
         }
     }
 
@@ -199,6 +293,26 @@ impl CarveEngine {
             invalidated: self.invalidated.load(Ordering::Relaxed),
             carried_forward: self.carried_forward.load(Ordering::Relaxed),
         }
+    }
+
+    /// Planner access-decision counters for `/metrics`: how many
+    /// leading-match conjuncts were answered from posting lists vs left
+    /// for the residual scan, summed over every planned query (cold
+    /// `POST /carve` and `POST /carve/explain`).
+    pub fn query_stats(&self) -> QueryStats {
+        use std::sync::atomic::Ordering;
+        QueryStats {
+            conjuncts_indexed: self.conjuncts_indexed.load(Ordering::Relaxed),
+            conjuncts_scanned: self.conjuncts_scanned.load(Ordering::Relaxed),
+        }
+    }
+
+    fn note_plan(&self, explain: &Explain) {
+        use std::sync::atomic::Ordering;
+        self.conjuncts_indexed
+            .fetch_add(explain.indexed_conjuncts() as u64, Ordering::Relaxed);
+        self.conjuncts_scanned
+            .fetch_add(explain.scanned_conjuncts() as u64, Ordering::Relaxed);
     }
 
     /// Publish a snapshot through the registry and reconcile the carve
@@ -236,20 +350,53 @@ impl CarveEngine {
         let new_version = outcome.snapshot.version();
 
         if let Some(delta) = delta {
-            let transition_ok = delta.version == new_version
-                && outcome.previous_version != new_version
-                && delta.founded.is_empty();
+            let transition_ok =
+                delta.version == new_version && outcome.previous_version != new_version;
             if transition_ok {
+                let knob_ok = delta.founded.is_empty();
+                // Catalog docs for the delta's dirty clusters, scored
+                // under the *new* snapshot; computed at most once per
+                // publish, and only when a query carve needs them.
+                let mut dirty_docs: Option<Vec<Document>> = None;
                 for (tag, result) in self.cache.entries() {
                     if tag != u64::from(outcome.previous_version) {
                         continue;
                     }
-                    let untouched = delta
+                    let revised_hits_sampled = delta
                         .revised
                         .iter()
-                        .all(|ncid| result.sampled.binary_search(ncid).is_err());
-                    if untouched {
-                        let key = fingerprint(new_version, &result.params);
+                        .any(|ncid| result.sampled.binary_search(ncid).is_ok());
+                    let carry = match &result.query {
+                        // Knob carves are sound only when nothing was
+                        // founded (founding changes the sampling
+                        // permutation and the entropy weights) and no
+                        // sampled cluster was revised.
+                        None => knob_ok && !revised_hits_sampled,
+                        // Query carves survive a founding publish too,
+                        // provided (a) the query never reads `het`
+                        // (whose entropy weights shift when a cluster
+                        // is founded), (b) no cluster of the recorded
+                        // matched set was revised, and (c) no dirty
+                        // cluster matches the recorded predicate
+                        // footprint under the new snapshot's scores —
+                        // i.e. nothing could join the matched set.
+                        Some(qc) => {
+                            !qc.pinned
+                                && (!qc.footprint.scorer_dependent || delta.founded.is_empty())
+                                && !revised_hits_sampled
+                                && !dirty_docs
+                                    .get_or_insert_with(|| {
+                                        dirty_cluster_docs(&outcome.snapshot, &delta)
+                                    })
+                                    .iter()
+                                    .any(|doc| qc.footprint.matches(doc))
+                        }
+                    };
+                    if carry {
+                        let key = match &result.query {
+                            None => fingerprint(new_version, &result.params),
+                            Some(qc) => query_fingerprint(new_version, &qc.canonical),
+                        };
                         self.cache.insert_tagged(key, u64::from(new_version), result);
                         self.carried_forward.fetch_add(1, Ordering::Relaxed);
                     }
@@ -298,6 +445,81 @@ impl CarveEngine {
             result,
         })
     }
+
+    /// Execute a carve-by-query request: resolve the snapshot, consult
+    /// the cache under the query fingerprint, plan + execute on a miss.
+    /// The cached entry records the query's predicate footprint and
+    /// matched NCID set so [`CarveEngine::publish`] can carry it
+    /// forward across deltas that provably cannot affect it.
+    pub fn carve_query(&self, query: &CarveQuery) -> Result<CarveOutcome, CarveError> {
+        let snapshot = self
+            .registry
+            .pinned(query.version)
+            .ok_or(CarveError::UnknownVersion(query.version.unwrap_or(0)))?;
+        let version = snapshot.version();
+        let canonical = query.canonical();
+
+        let key = query_fingerprint(version, &canonical);
+        if let Some(result) = self.cache.get(&key) {
+            return Ok(CarveOutcome {
+                version,
+                status: CacheStatus::Hit,
+                result,
+            });
+        }
+
+        let outcome = execute(snapshot.catalog(), query, ExecOptions { force_scan: false });
+        self.note_plan(&outcome.explain);
+        let result = Arc::new(CarveResult::render_query(
+            version,
+            canonical,
+            query.footprint(),
+            query.version.is_some(),
+            &outcome,
+            snapshot.store(),
+        ));
+        self.cache
+            .insert_tagged(key, u64::from(version), Arc::clone(&result));
+        Ok(CarveOutcome {
+            version,
+            status: CacheStatus::Miss,
+            result,
+        })
+    }
+
+    /// Plan a query without executing it (`POST /carve/explain`). Never
+    /// cached — the report is cheap and callers want the plan for the
+    /// catalog as it stands now.
+    pub fn explain_query(&self, query: &CarveQuery) -> Result<Explain, CarveError> {
+        let snapshot = self
+            .registry
+            .pinned(query.version)
+            .ok_or(CarveError::UnknownVersion(query.version.unwrap_or(0)))?;
+        let explain = plan_query(snapshot.catalog(), query, ExecOptions { force_scan: false });
+        self.note_plan(&explain);
+        Ok(explain)
+    }
+}
+
+/// Catalog documents for every cluster named by `delta`, scored under
+/// `snapshot` (the newly published version). One pass over the
+/// snapshot's clusters; cost proportional to the store plus the delta,
+/// not to the cache.
+fn dirty_cluster_docs(snapshot: &ServeSnapshot, delta: &PublishDelta) -> Vec<Document> {
+    let dirty: HashSet<&str> = delta.dirty_clusters().collect();
+    if dirty.is_empty() {
+        return Vec::new();
+    }
+    let plausibility = PlausibilityScorer::new();
+    snapshot
+        .store()
+        .clusters()
+        .iter()
+        .filter(|(ncid, _)| dirty.contains(ncid.as_str()))
+        .map(|(ncid, rows)| {
+            ClusterCatalog::cluster_doc(ncid, rows, snapshot.scorer(), &plausibility)
+        })
+        .collect()
 }
 
 /// Reject parameters that would panic or wedge the carve path.
@@ -332,6 +554,14 @@ pub fn fingerprint(version: u32, params: &CustomizeParams) -> Digest {
         params.seed,
     );
     md5(canonical.as_bytes())
+}
+
+/// Canonical fingerprint of `(version, query)`. The canonical query
+/// text is order- and whitespace-insensitive (object keys are sorted
+/// before rendering), so two JSON bodies that denote the same pipeline
+/// share a cache entry.
+pub fn query_fingerprint(version: u32, canonical: &str) -> Digest {
+    md5(format!("nc-carve-q1|version={version}|{canonical}").as_bytes())
 }
 
 /// Render a carved dataset as JSON lines: one object per record,
@@ -749,6 +979,7 @@ mod tests {
             records: 5,
             duplicate_pairs: 10,
             lines: (0..5).map(|i| format!("line{i}")).collect(),
+            query: None,
         };
         assert_eq!(result.page(0, 2), ["line0", "line1"]);
         assert_eq!(result.page(1, 2), ["line2", "line3"]);
@@ -806,6 +1037,154 @@ mod tests {
         assert!(
             parse_carve_request(&pairs(&[("h_low", "0.5"), ("h_high", "0.1")]), &DEFAULTS)
                 .is_err()
+        );
+    }
+
+    fn query(body: &str) -> CarveQuery {
+        CarveQuery::parse(body.as_bytes()).expect("test query parses")
+    }
+
+    #[test]
+    fn query_carve_miss_then_hit_replays_bit_identically() {
+        let engine = engine(8);
+        let q = query(r#"{"pipeline": [{"match": {"size": {"gte": 2}}}]}"#);
+        let first = engine.carve_query(&q).unwrap();
+        assert_eq!(first.status, CacheStatus::Miss);
+        assert!(!first.result.lines.is_empty());
+        // Even clusters have two records; the matched set is recorded.
+        assert_eq!(
+            first.result.sampled,
+            vec!["C0", "C2", "C4", "C6"]
+        );
+        assert_eq!(first.result.clusters, 4);
+        // Each 2-record cluster contributes one duplicate pair.
+        assert_eq!(first.result.duplicate_pairs, 4);
+
+        let second = engine.carve_query(&q).unwrap();
+        assert_eq!(second.status, CacheStatus::Hit);
+        assert!(Arc::ptr_eq(&first.result, &second.result));
+
+        // The same pipeline written with different key order and
+        // whitespace lands on the same fingerprint.
+        let reordered = query(r#"{ "pipeline":[ {"match":{"size":{"gte":2}}} ] }"#);
+        assert_eq!(engine.carve_query(&reordered).unwrap().status, CacheStatus::Hit);
+    }
+
+    #[test]
+    fn query_carve_survives_disjoint_publish() {
+        let engine = engine(8);
+        let q = query(r#"{"pipeline": [{"match": {"ncid": {"eq": "C3"}}}]}"#);
+        let first = engine.carve_query(&q).unwrap();
+        assert_eq!(first.status, CacheStatus::Miss);
+
+        // Revises C1 only; C1 is not in the matched set and its new
+        // catalog doc does not match `ncid == C3`.
+        engine.publish(ServeSnapshot::capture(&revised_store(), 2), Some(revise_delta()));
+        assert_eq!(engine.delta_stats().carried_forward, 1);
+
+        let after = engine.carve_query(&q).unwrap();
+        assert_eq!(after.status, CacheStatus::Hit, "carried forward across the delta");
+        assert_eq!(after.version, 2);
+        assert_eq!(after.result.lines, first.result.lines, "bit-identical replay");
+    }
+
+    #[test]
+    fn query_carve_invalidated_when_dirty_cluster_matches_footprint() {
+        let engine = engine(8);
+        // C1 has one record at v1, so it is outside the matched set —
+        // but the revision grows it to size 2, which matches.
+        let q = query(r#"{"pipeline": [{"match": {"size": {"gte": 2}}}]}"#);
+        assert_eq!(engine.carve_query(&q).unwrap().status, CacheStatus::Miss);
+
+        engine.publish(ServeSnapshot::capture(&revised_store(), 2), Some(revise_delta()));
+        assert_eq!(engine.delta_stats().carried_forward, 0);
+        let after = engine.carve_query(&q).unwrap();
+        assert_eq!(after.status, CacheStatus::Miss, "C1 joined the matched set");
+        assert!(after
+            .result
+            .sampled
+            .binary_search(&"C1".to_string())
+            .is_ok());
+    }
+
+    #[test]
+    fn scorer_dependent_query_blocked_by_founding_only() {
+        let engine = engine(8);
+        // Matches nothing, but reads `het` — entropy weights change
+        // whenever a cluster is founded.
+        let q = query(r#"{"pipeline": [{"match": {"het": {"lt": -1.0}}}]}"#);
+        assert_eq!(engine.carve_query(&q).unwrap().status, CacheStatus::Miss);
+
+        // A revise-only delta leaves the weights alone: carried forward.
+        engine.publish(ServeSnapshot::capture(&revised_store(), 2), Some(revise_delta()));
+        assert_eq!(engine.carve_query(&q).unwrap().status, CacheStatus::Hit);
+
+        // A founding delta shifts them: invalidated.
+        let mut store3 = revised_store();
+        let mut r = Row::empty();
+        r.set(NCID, "C99");
+        r.set(FIRST_NAME, "NEW");
+        r.set(LAST_NAME, "CLUSTER");
+        store3.import_row(r, DedupPolicy::Trimmed, "s4", 3);
+        let delta = PublishDelta {
+            version: 3,
+            date: "s4".into(),
+            founded: vec!["C99".into()],
+            revised: Vec::new(),
+        };
+        engine.publish(ServeSnapshot::capture(&store3, 3), Some(delta));
+        assert_eq!(engine.carve_query(&q).unwrap().status, CacheStatus::Miss);
+    }
+
+    #[test]
+    fn pinned_query_stays_at_its_version_across_publishes() {
+        let engine = engine(8);
+        let q = query(r#"{"version": 1, "pipeline": [{"match": {"ncid": {"eq": "C3"}}}]}"#);
+        assert_eq!(engine.carve_query(&q).unwrap().status, CacheStatus::Miss);
+        engine.publish(ServeSnapshot::capture(&revised_store(), 2), Some(revise_delta()));
+        let after = engine.carve_query(&q).unwrap();
+        assert_eq!(after.status, CacheStatus::Hit, "version-1 entry still serves");
+        assert_eq!(after.version, 1);
+    }
+
+    #[test]
+    fn query_carve_docs_output_renders_json_objects() {
+        let engine = engine(8);
+        let q = query(
+            r#"{"pipeline": [
+                {"match": {"size": {"gte": 2}}},
+                {"group": {"by": "size", "agg": {"n": "count"}}}
+            ]}"#,
+        );
+        let out = engine.carve_query(&q).unwrap();
+        assert_eq!(out.result.clusters, 0, "document output carries no clusters");
+        assert_eq!(out.result.lines, vec![r#"{"_key":2,"n":4}"#.to_string()]);
+    }
+
+    #[test]
+    fn explain_and_carve_feed_the_conjunct_counters() {
+        let engine = engine(8);
+        // `size` rides its ordered index; `errors.total` is unindexed.
+        let q = query(
+            r#"{"pipeline": [{"match": {"size": {"gte": 2}, "errors.total": {"gte": 0}}}]}"#,
+        );
+        let explain = engine.explain_query(&q).unwrap();
+        assert!(!explain.full_scan, "indexed conjunct prevents the full scan");
+        assert_eq!(explain.indexed_conjuncts(), 1);
+        assert_eq!(explain.scanned_conjuncts(), 1);
+        let stats = engine.query_stats();
+        assert_eq!(stats.conjuncts_indexed, 1);
+        assert_eq!(stats.conjuncts_scanned, 1);
+
+        engine.carve_query(&q).unwrap();
+        let stats = engine.query_stats();
+        assert_eq!(stats.conjuncts_indexed, 2);
+        assert_eq!(stats.conjuncts_scanned, 2);
+
+        let unknown = query(r#"{"version": 9, "pipeline": [{"limit": 1}]}"#);
+        assert_eq!(
+            engine.explain_query(&unknown).unwrap_err(),
+            CarveError::UnknownVersion(9)
         );
     }
 

@@ -11,8 +11,9 @@ use std::io::{self, BufRead, BufReader, Read, Write};
 
 /// Largest accepted request head (request line + headers).
 const MAX_HEAD_BYTES: usize = 16 * 1024;
-/// Largest accepted request body.
-const MAX_BODY_BYTES: usize = 1024 * 1024;
+/// Default cap on the request body; [`read_request_limited`] lets the
+/// server lower or raise it per deployment (`ServeConfig::max_body_bytes`).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
 
 /// A parsed HTTP request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -71,8 +72,18 @@ impl From<io::Error> for ParseError {
     }
 }
 
-/// Read and parse one request from a blocking stream.
+/// Read and parse one request from a blocking stream, with the default
+/// body cap ([`MAX_BODY_BYTES`]).
 pub fn read_request<S: Read>(stream: S) -> Result<Request, ParseError> {
+    read_request_limited(stream, MAX_BODY_BYTES)
+}
+
+/// Read and parse one request, rejecting bodies over `max_body_bytes`
+/// with [`ParseError::TooLarge`] (mapped to `413`).
+pub fn read_request_limited<S: Read>(
+    stream: S,
+    max_body_bytes: usize,
+) -> Result<Request, ParseError> {
     let mut reader = BufReader::new(stream);
 
     let mut consumed = 0usize;
@@ -124,7 +135,7 @@ pub fn read_request<S: Read>(stream: S) -> Result<Request, ParseError> {
         })
         .transpose()?
         .unwrap_or(0);
-    if content_length > MAX_BODY_BYTES {
+    if content_length > max_body_bytes {
         return Err(ParseError::TooLarge);
     }
 
@@ -423,6 +434,18 @@ mod tests {
             read_request(raw.as_bytes()),
             Err(ParseError::TooLarge)
         ));
+    }
+
+    #[test]
+    fn body_cap_is_configurable() {
+        let raw = b"POST /carve HTTP/1.1\r\nContent-Length: 10\r\n\r\n{\"a\": 42 }";
+        assert!(read_request_limited(&raw[..], 10).is_ok());
+        assert!(matches!(
+            read_request_limited(&raw[..], 9),
+            Err(ParseError::TooLarge)
+        ));
+        // The default entry point keeps the 1 MiB cap.
+        assert!(read_request(&raw[..]).is_ok());
     }
 
     #[test]

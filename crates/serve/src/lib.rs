@@ -25,9 +25,13 @@
 //!   `.verify` stub harness keeps working). `GET /healthz`,
 //!   `GET /metrics` (text counters and per-endpoint latency
 //!   histograms), `POST /carve` and `GET /datasets/{nc1|nc2|nc3}`
-//!   return paginated labeled records as JSON lines. Shutdown is
-//!   graceful: the acceptor stops, queued and in-flight requests are
-//!   drained, then the workers exit.
+//!   return paginated labeled records as JSON lines. A JSON body on
+//!   `POST /carve` switches to *carve-by-query*: the document is
+//!   compiled by [`nc_query`] into an index-aware plan over the
+//!   snapshot's cluster catalog, and `POST /carve/explain` reports that
+//!   plan (indexed vs scanned conjuncts, estimated rows) without
+//!   executing it. Shutdown is graceful: the acceptor stops, queued
+//!   and in-flight requests are drained, then the workers exit.
 //! * **Change deltas** — a publish can carry a
 //!   [`snapshot::PublishDelta`] naming the clusters founded and
 //!   revised since the previous version. The carve engine uses it to
@@ -62,6 +66,7 @@ pub mod snapshot;
 
 pub use carve::{
     CacheStatus, CarveEngine, CarveError, CarveOutcome, CarveRequest, CarveResult, DeltaStats,
+    QueryCarve, QueryStats,
 };
 pub use retry::{RetryExhausted, RetryPolicy};
 pub use server::{Server, ServerHandle, ServeConfig, ServeState};

@@ -9,7 +9,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::cache::CacheStats;
-use crate::carve::DeltaStats;
+use crate::carve::{DeltaStats, QueryStats};
 
 /// Upper bounds (µs) of the latency histogram buckets; an implicit
 /// `+Inf` bucket follows. Spans sub-millisecond cache hits through
@@ -26,6 +26,8 @@ pub enum Endpoint {
     Metrics,
     /// `POST /carve`
     Carve,
+    /// `POST /carve/explain`
+    Explain,
     /// `GET /datasets/{preset}`
     Datasets,
     /// `GET /watch`
@@ -35,10 +37,11 @@ pub enum Endpoint {
 }
 
 impl Endpoint {
-    const ALL: [Endpoint; 6] = [
+    const ALL: [Endpoint; 7] = [
         Endpoint::Healthz,
         Endpoint::Metrics,
         Endpoint::Carve,
+        Endpoint::Explain,
         Endpoint::Datasets,
         Endpoint::Watch,
         Endpoint::Other,
@@ -49,9 +52,10 @@ impl Endpoint {
             Endpoint::Healthz => 0,
             Endpoint::Metrics => 1,
             Endpoint::Carve => 2,
-            Endpoint::Datasets => 3,
-            Endpoint::Watch => 4,
-            Endpoint::Other => 5,
+            Endpoint::Explain => 3,
+            Endpoint::Datasets => 4,
+            Endpoint::Watch => 5,
+            Endpoint::Other => 6,
         }
     }
 
@@ -61,6 +65,7 @@ impl Endpoint {
             Endpoint::Healthz => "healthz",
             Endpoint::Metrics => "metrics",
             Endpoint::Carve => "carve",
+            Endpoint::Explain => "explain",
             Endpoint::Datasets => "datasets",
             Endpoint::Watch => "watch",
             Endpoint::Other => "other",
@@ -176,6 +181,7 @@ impl Metrics {
         &self,
         cache: &CacheStats,
         delta: &DeltaStats,
+        query: &QueryStats,
         current_version: u32,
         versions: usize,
     ) -> String {
@@ -216,6 +222,14 @@ impl Metrics {
         out.push_str(&format!(
             "nc_serve_cache_carried_forward_total {}\n",
             delta.carried_forward
+        ));
+        out.push_str(&format!(
+            "nc_query_conjuncts_indexed_total {}\n",
+            query.conjuncts_indexed
+        ));
+        out.push_str(&format!(
+            "nc_query_conjuncts_scanned_total {}\n",
+            query.conjuncts_scanned
         ));
 
         for endpoint in Endpoint::ALL {
@@ -276,7 +290,13 @@ mod tests {
         m.socket_cfg_failure_inc();
         assert_eq!(m.worker_panics(), 1);
         assert_eq!(m.socket_cfg_failures(), 2);
-        let text = m.render(&CacheStats::default(), &DeltaStats::default(), 3, 2);
+        let text = m.render(
+            &CacheStats::default(),
+            &DeltaStats::default(),
+            &QueryStats::default(),
+            3,
+            2,
+        );
         assert!(text.contains("nc_serve_requests_total 2\n"));
         assert!(text.contains("nc_serve_in_flight 0\n"));
         assert!(text.contains("nc_serve_queue_saturated_total 1\n"));
@@ -299,7 +319,13 @@ mod tests {
             m.begin();
             m.record(Endpoint::Datasets, 200, micros);
         }
-        let text = m.render(&CacheStats::default(), &DeltaStats::default(), 1, 1);
+        let text = m.render(
+            &CacheStats::default(),
+            &DeltaStats::default(),
+            &QueryStats::default(),
+            1,
+            1,
+        );
         assert!(text.contains("{endpoint=\"datasets\",le=\"250\"} 2\n"));
         assert!(text.contains("{endpoint=\"datasets\",le=\"4000\"} 3\n"));
         assert!(text.contains("{endpoint=\"datasets\",le=\"65000\"} 4\n"));
@@ -320,7 +346,7 @@ mod tests {
             invalidated: 4,
             carried_forward: 6,
         };
-        let text = m.render(&cache, &delta, 1, 1);
+        let text = m.render(&cache, &delta, &QueryStats::default(), 1, 1);
         assert!(text.contains("nc_serve_cache_hits_total 5\n"));
         assert!(text.contains("nc_serve_cache_misses_total 2\n"));
         assert!(text.contains("nc_serve_cache_evictions_total 1\n"));
@@ -336,7 +362,13 @@ mod tests {
         m.begin();
         m.record(Endpoint::Watch, 200, 100);
         assert_eq!(m.endpoint_requests(Endpoint::Watch), 1);
-        let text = m.render(&CacheStats::default(), &DeltaStats::default(), 1, 1);
+        let text = m.render(
+            &CacheStats::default(),
+            &DeltaStats::default(),
+            &QueryStats::default(),
+            1,
+            1,
+        );
         assert!(text.contains("nc_serve_endpoint_requests_total{endpoint=\"watch\"} 1\n"));
     }
 }

@@ -31,10 +31,12 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::TrySendError;
 use nc_core::scoring::ScoringConfig;
 
+use nc_query::{CarveQuery, QueryError, QueryErrorKind};
+
 use crate::carve::{
     json_escape_into, parse_carve_request, CarveError, CarveEngine, CarveOutcome, RequestDefaults,
 };
-use crate::http::{parse_form, read_request, Request, Response};
+use crate::http::{parse_form, read_request_limited, ParseError, Request, Response};
 use crate::metrics::{Endpoint, Metrics};
 use crate::snapshot::{PublishDelta, ServeSnapshot, SnapshotRegistry};
 
@@ -55,6 +57,9 @@ pub struct ServeConfig {
     pub queue_depth: usize,
     /// Carve results kept in the LRU cache (0 disables caching).
     pub cache_capacity: usize,
+    /// Largest accepted request body in bytes; larger bodies are
+    /// answered with `413` before the handler runs.
+    pub max_body_bytes: usize,
     /// Defaults for requests that omit parameters.
     pub defaults: RequestDefaults,
     /// Expose `GET /debug/panic`, a route that panics inside the
@@ -70,6 +75,7 @@ impl Default for ServeConfig {
             workers: 0,
             queue_depth: 64,
             cache_capacity: 32,
+            max_body_bytes: crate::http::MAX_BODY_BYTES,
             defaults: RequestDefaults {
                 sample: 1000,
                 output: 100,
@@ -309,7 +315,7 @@ fn handle_connection(stream: TcpStream, state: &ServeState) {
     state.metrics.begin();
     let started = Instant::now();
 
-    let (endpoint, response) = match read_request(&stream) {
+    let (endpoint, response) = match read_request_limited(&stream, state.config.max_body_bytes) {
         Ok(request) => {
             match panic::catch_unwind(AssertUnwindSafe(|| route(&request, state))) {
                 Ok(routed) => routed,
@@ -322,15 +328,28 @@ fn handle_connection(stream: TcpStream, state: &ServeState) {
                 }
             }
         }
-        Err(err) => (
-            Endpoint::Other,
-            Response::text(err.status(), "bad request: cannot parse\n"),
-        ),
+        Err(err) => (Endpoint::Other, parse_error_response(&err, state)),
     };
 
     let _ = response.write_to(&stream);
     let micros = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
     state.metrics.record(endpoint, response.status(), micros);
+}
+
+/// Map a request-parse failure to its response. Body-cap violations
+/// (`413`) get a structured JSON body so carve-by-query clients can
+/// handle them like any other typed query error.
+fn parse_error_response(err: &ParseError, state: &ServeState) -> Response {
+    if matches!(err, ParseError::TooLarge) {
+        let body = format!(
+            "{{\"error\":{{\"kind\":\"too-large\",\"message\":\"request exceeds the configured limits (body cap {} bytes)\"}}}}",
+            state.config.max_body_bytes
+        );
+        return Response::new(413)
+            .header("Content-Type", "application/json; charset=utf-8")
+            .body(body.into_bytes());
+    }
+    Response::text(err.status(), "bad request: cannot parse\n")
 }
 
 /// Dispatch a parsed request to its handler.
@@ -342,12 +361,14 @@ fn route(request: &Request, state: &ServeState) -> (Endpoint, Response) {
         ("GET", "/healthz") => (Endpoint::Healthz, healthz(state)),
         ("GET", "/metrics") => (Endpoint::Metrics, metrics_page(state)),
         ("POST", "/carve") => (Endpoint::Carve, carve_from_body(request, state)),
+        ("POST", "/carve/explain") => (Endpoint::Explain, explain_from_body(request, state)),
         ("GET", "/watch") => (Endpoint::Watch, watch(request, state)),
         ("GET", path) if path.starts_with("/datasets/") => (
             Endpoint::Datasets,
             dataset_preset(&path["/datasets/".len()..], request, state),
         ),
-        (_, "/healthz") | (_, "/metrics") | (_, "/carve") | (_, "/watch") => (
+        (_, "/healthz") | (_, "/metrics") | (_, "/carve") | (_, "/carve/explain")
+        | (_, "/watch") => (
             Endpoint::Other,
             Response::text(405, "method not allowed\n"),
         ),
@@ -375,9 +396,15 @@ fn healthz(state: &ServeState) -> Response {
 fn metrics_page(state: &ServeState) -> Response {
     let cache = state.engine.cache_stats();
     let delta = state.engine.delta_stats();
+    let query = state.engine.query_stats();
     let current = state.registry.current().version();
     let versions = state.registry.versions().len();
-    Response::text(200, state.metrics.render(&cache, &delta, current, versions))
+    Response::text(
+        200,
+        state
+            .metrics
+            .render(&cache, &delta, &query, current, versions),
+    )
 }
 
 /// `GET /watch?from=<version>` — the delta feed. Streams, as chunked
@@ -459,15 +486,102 @@ fn delta_json_line(delta: &PublishDelta) -> String {
     line
 }
 
-/// `POST /carve` — parameters in an `application/x-www-form-urlencoded`
-/// body (query-string parameters are accepted too and applied first).
+/// Whether a `POST /carve` body is a JSON query document rather than
+/// form data: declared via `Content-Type`, or opening with `{` (form
+/// bodies never do — `{` would be percent-encoded).
+fn is_json_body(request: &Request) -> bool {
+    if request
+        .header("content-type")
+        .is_some_and(|ct| ct.to_ascii_lowercase().contains("json"))
+    {
+        return true;
+    }
+    request
+        .body
+        .iter()
+        .find(|b| !b.is_ascii_whitespace())
+        .is_some_and(|&b| b == b'{')
+}
+
+/// `POST /carve` — either an `application/x-www-form-urlencoded` body
+/// of knob parameters (query-string parameters are accepted too and
+/// applied first), or an `application/json` query document compiled
+/// and executed by `nc-query`.
 fn carve_from_body(request: &Request, state: &ServeState) -> Response {
+    if is_json_body(request) {
+        return query_carve(request, state);
+    }
     let mut pairs = parse_form(&request.query);
     match std::str::from_utf8(&request.body) {
         Ok(body) => pairs.extend(parse_form(body)),
         Err(_) => return Response::text(400, "body must be UTF-8 form data\n"),
     }
     carve_response(&pairs, state)
+}
+
+/// The carve-by-query path of `POST /carve`: parse + validate the JSON
+/// query document, run it through the planning carve engine, and
+/// answer with the carve's JSON lines (whole result, no paging — a
+/// query pipeline expresses its own `limit`).
+fn query_carve(request: &Request, state: &ServeState) -> Response {
+    let query = match CarveQuery::parse(&request.body) {
+        Ok(query) => query,
+        Err(err) => return query_error(&err),
+    };
+    let outcome = match state.engine.carve_query(&query) {
+        Ok(outcome) => outcome,
+        Err(CarveError::UnknownVersion(v)) => return query_error(&QueryError::unknown_version(v)),
+        Err(err) => return carve_error(err),
+    };
+    let CarveOutcome {
+        version,
+        status,
+        result,
+    } = outcome;
+
+    let mut body = String::with_capacity(result.lines.iter().map(|l| l.len() + 1).sum());
+    for line in &result.lines {
+        body.push_str(line);
+        body.push('\n');
+    }
+    Response::json_lines(200, body.into_bytes())
+        .header("X-Version", version.to_string())
+        .header("X-Cache", status.as_str())
+        .header("X-Total-Records", result.records.to_string())
+        .header("X-Total-Clusters", result.clusters.to_string())
+        .header("X-Duplicate-Pairs", result.duplicate_pairs.to_string())
+        .header("X-Matched-Clusters", result.sampled.len().to_string())
+}
+
+/// `POST /carve/explain` — plan the JSON query document without
+/// executing it and report the access plan (indexed vs scanned
+/// conjuncts, estimated rows, stage list). Never cached.
+fn explain_from_body(request: &Request, state: &ServeState) -> Response {
+    let query = match CarveQuery::parse(&request.body) {
+        Ok(query) => query,
+        Err(err) => return query_error(&err),
+    };
+    match state.engine.explain_query(&query) {
+        Ok(explain) => Response::new(200)
+            .header("Content-Type", "application/json; charset=utf-8")
+            .header("X-Version", explain.version.to_string())
+            .body(explain.render_json().into_bytes()),
+        Err(CarveError::UnknownVersion(v)) => query_error(&QueryError::unknown_version(v)),
+        Err(err) => carve_error(err),
+    }
+}
+
+/// A typed query error as an `application/json` response body carrying
+/// the error kind plus its byte offset (JSON errors) or stage index and
+/// field path (structure/validation errors).
+fn query_error(err: &QueryError) -> Response {
+    let status = match err.kind {
+        QueryErrorKind::UnknownVersion => 404,
+        _ => 400,
+    };
+    Response::new(status)
+        .header("Content-Type", "application/json; charset=utf-8")
+        .body(err.render_json().into_bytes())
 }
 
 /// `GET /datasets/{preset}` — the preset comes from the path, the

@@ -11,18 +11,22 @@
 //! invalidates an in-flight carve.
 
 use std::collections::BTreeMap;
-use std::sync::{Arc, PoisonError, RwLock};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
 
 use nc_core::cluster::ClusterStore;
 use nc_core::customize::{CustomDataset, CustomizeParams};
 use nc_core::heterogeneity::{HeterogeneityScorer, Scope};
 use nc_core::snapshot::StoreSnapshot;
+use nc_query::ClusterCatalog;
 
 /// An immutable snapshot ready to serve carve requests.
 #[derive(Debug)]
 pub struct ServeSnapshot {
     store: StoreSnapshot,
     scorer: HeterogeneityScorer,
+    /// The query catalog, built lazily on the first carve-by-query and
+    /// shared by every subsequent query against this version.
+    catalog: OnceLock<Arc<ClusterCatalog>>,
 }
 
 impl ServeSnapshot {
@@ -30,7 +34,11 @@ impl ServeSnapshot {
     /// (deterministic for a given snapshot).
     pub fn new(store: StoreSnapshot) -> Self {
         let scorer = store.entropy_scorer(Scope::Person);
-        ServeSnapshot { store, scorer }
+        ServeSnapshot {
+            store,
+            scorer,
+            catalog: OnceLock::new(),
+        }
     }
 
     /// Capture the current contents of a store under `version` and wrap
@@ -62,6 +70,15 @@ impl ServeSnapshot {
     /// The snapshot's entropy-weighted scorer.
     pub fn scorer(&self) -> &HeterogeneityScorer {
         &self.scorer
+    }
+
+    /// The cluster catalog query pipelines run against, built on first
+    /// use (one scoring pass over the snapshot) and cached for the
+    /// snapshot's lifetime. Valid only for this snapshot — the catalog's
+    /// heterogeneity values depend on this version's entropy weights.
+    pub fn catalog(&self) -> &Arc<ClusterCatalog> {
+        self.catalog
+            .get_or_init(|| Arc::new(ClusterCatalog::build(&self.store, &self.scorer)))
     }
 
     /// Carve a customized dataset out of this snapshot. Pure function

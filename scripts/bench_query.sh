@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Carve-by-query benchmark: builds the release binary, plans and
+# executes a selective indexed query over a ≥100k-record store both
+# ways (indexed vs forced scan), measures warm-cache query-carve
+# latency, and writes BENCH_query.json in the repo root. The binary
+# asserts the plan never full-scans, both paths are byte-identical and
+# the indexed path clears the --min-speedup gate. Any extra arguments
+# are passed through (e.g. --pop 50000 --min-speedup 4).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p nc-bench --bin bench_query
+exec target/release/bench_query --out BENCH_query.json "$@"

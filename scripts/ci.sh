@@ -49,6 +49,15 @@ cargo run --release -q -p nc-bench --bin bench_faults "$@" -- \
     --pop 100 --shards 2 --stride 5 --chaos-runs 12 \
     --out target/BENCH_faults_smoke.json > /dev/null
 
+echo "=== query smoke ==="
+# Tiny-parameter pass through the carve-by-query benchmark: the binary
+# asserts the selective query plans onto the size index (never a full
+# scan), indexed and forced-scan executions are byte-identical, and
+# warm-cache replays of the sampled carve match bit for bit.
+cargo run --release -q -p nc-bench --bin bench_query "$@" -- \
+    --pop 400 --snapshots 3 --reps 2 --min-records 1 --min-speedup 1 \
+    --out target/BENCH_query_smoke.json > /dev/null
+
 echo "=== serve smoke ==="
 # End-to-end smoke of the carving service on an ephemeral port:
 # /healthz, a carved page (cold + cached), and a clean shutdown —

@@ -106,6 +106,226 @@ fn post_form(addr: SocketAddr, target: &str, form: &str) -> Reply {
     )
 }
 
+fn post_json(addr: SocketAddr, target: &str, body: &str) -> Reply {
+    send(
+        addr,
+        &format!(
+            "POST {target} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\n\
+             Content-Length: {}\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn carve_by_query_plans_executes_and_caches() {
+    let store = build_store(32, 300, 8);
+    let (_state, handle) = spawn_server(SnapshotRegistry::new(ServeSnapshot::capture(&store, 1)));
+    let addr = handle.addr();
+
+    let q = r#"{"pipeline": [
+        {"match": {"size": {"gte": 2}, "plaus": {"lt": 1.0}}},
+        {"sample": {"size": 10, "seed": 7}}
+    ]}"#;
+
+    // The plan never falls back to a full scan: both conjuncts ride
+    // ordered indexes.
+    let explain = post_json(addr, "/carve/explain", q);
+    assert_eq!(explain.status, 200, "{}", explain.body);
+    assert_eq!(
+        explain.header("content-type"),
+        Some("application/json; charset=utf-8")
+    );
+    assert!(explain.body.contains("\"full_scan\":false"), "{}", explain.body);
+    assert!(explain.body.contains("\"indexed-range\""), "{}", explain.body);
+    assert!(explain.body.contains("\"indexed_conjuncts\":2"), "{}", explain.body);
+
+    // Cold execution, then a byte-identical warm replay.
+    let cold = post_json(addr, "/carve", q);
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+    assert_eq!(cold.header("x-version"), Some("1"));
+    assert!(!cold.body.is_empty(), "selective query should carve records");
+    let records: usize = cold.header("x-total-records").unwrap().parse().unwrap();
+    assert_eq!(cold.body.lines().count(), records);
+
+    let warm = post_json(addr, "/carve", q);
+    assert_eq!(warm.header("x-cache"), Some("hit"));
+    assert_eq!(warm.body, cold.body, "replay must be bit-identical");
+
+    // A reformatted body (different key order, different whitespace)
+    // canonicalizes onto the same cache entry.
+    let reformatted = r#"{"pipeline":[{"match":{"plaus":{"lt":1.0},"size":{"gte":2}}},{"sample":{"seed":7,"size":10}}]}"#;
+    let same = post_json(addr, "/carve", reformatted);
+    assert_eq!(same.header("x-cache"), Some("hit"));
+    assert_eq!(same.body, cold.body);
+
+    // The planner counters are exported.
+    let metrics = get(addr, "/metrics");
+    let indexed: u64 = metrics
+        .body
+        .lines()
+        .find_map(|l| l.strip_prefix("nc_query_conjuncts_indexed_total "))
+        .expect("query counter exported")
+        .parse()
+        .unwrap();
+    assert!(indexed >= 2, "{indexed}");
+
+    // Document pipelines come back as canonical JSON objects.
+    let count = post_json(addr, "/carve", r#"{"pipeline": [{"count": true}]}"#);
+    assert_eq!(count.status, 200, "{}", count.body);
+    assert_eq!(
+        count.body.trim(),
+        format!("{{\"count\":{}}}", store.cluster_ids().len())
+    );
+
+    // Method guard on the explain route.
+    assert_eq!(get(addr, "/carve/explain").status, 405);
+
+    handle.shutdown();
+}
+
+#[test]
+fn query_errors_are_typed_json_with_positions() {
+    let store = build_store(33, 200, 5);
+    let (_state, handle) = spawn_server(SnapshotRegistry::new(ServeSnapshot::capture(&store, 1)));
+    let addr = handle.addr();
+
+    // Malformed JSON: the 400 body carries the byte offset.
+    let bad_json = post_json(addr, "/carve", r#"{"pipeline": [}"#);
+    assert_eq!(bad_json.status, 400, "{}", bad_json.body);
+    assert_eq!(
+        bad_json.header("content-type"),
+        Some("application/json; charset=utf-8")
+    );
+    assert!(bad_json.body.contains("\"kind\":\"json\""), "{}", bad_json.body);
+    assert!(bad_json.body.contains("\"offset\":14"), "{}", bad_json.body);
+
+    // Structurally invalid: the body names the offending stage index.
+    let bad_stage = post_json(
+        addr,
+        "/carve",
+        r#"{"pipeline": [{"limit": 3}, {"frobnicate": {}}]}"#,
+    );
+    assert_eq!(bad_stage.status, 400);
+    assert!(bad_stage.body.contains("\"kind\":\"structure\""), "{}", bad_stage.body);
+    assert!(bad_stage.body.contains("\"stage\":1"), "{}", bad_stage.body);
+
+    // Validation failure: stage index plus the dotted field path.
+    let bad_field = post_json(
+        addr,
+        "/carve",
+        r#"{"pipeline": [{"match": {"sizes": {"gte": 2}}}]}"#,
+    );
+    assert_eq!(bad_field.status, 400);
+    assert!(bad_field.body.contains("\"kind\":\"validation\""), "{}", bad_field.body);
+    assert!(bad_field.body.contains("\"path\":\"sizes\""), "{}", bad_field.body);
+
+    // Unknown pinned version: 404 with the same typed shape.
+    let unknown = post_json(addr, "/carve", r#"{"version": 9, "pipeline": [{"count": true}]}"#);
+    assert_eq!(unknown.status, 404);
+    assert!(unknown.body.contains("\"kind\":\"unknown-version\""), "{}", unknown.body);
+    let unknown = post_json(addr, "/carve/explain", r#"{"version": 9, "pipeline": []}"#);
+    assert_eq!(unknown.status, 404);
+
+    // The form-encoded knob path still works beside the JSON path.
+    let form = post_form(addr, "/carve", "preset=nc1&sample=50&output=10");
+    assert_eq!(form.status, 200, "{}", form.body);
+
+    handle.shutdown();
+}
+
+#[test]
+fn body_cap_is_configurable_and_answers_413_json() {
+    let store = build_store(34, 200, 5);
+    let config = ServeConfig {
+        max_body_bytes: 96,
+        ..ServeConfig::default()
+    };
+    let state = Arc::new(ServeState::new(
+        Arc::new(SnapshotRegistry::new(ServeSnapshot::capture(&store, 1))),
+        config,
+    ));
+    let handle = Server::spawn(Arc::clone(&state)).expect("bind ephemeral port");
+    let addr = handle.addr();
+
+    let small = r#"{"pipeline": [{"count": true}]}"#;
+    assert!(small.len() <= 96);
+    assert_eq!(post_json(addr, "/carve", small).status, 200);
+
+    let big = format!(
+        r#"{{"pipeline": [{{"match": {{"ncid": {{"eq": "{}"}}}}}}]}}"#,
+        "X".repeat(96)
+    );
+    let rejected = post_json(addr, "/carve", &big);
+    assert_eq!(rejected.status, 413, "{}", rejected.body);
+    assert_eq!(
+        rejected.header("content-type"),
+        Some("application/json; charset=utf-8")
+    );
+    assert!(rejected.body.contains("\"kind\":\"too-large\""), "{}", rejected.body);
+    assert!(rejected.body.contains("96"), "{}", rejected.body);
+
+    // The connection-level rejection leaves the service healthy.
+    assert_eq!(get(addr, "/healthz").status, 200);
+
+    handle.shutdown();
+}
+
+#[test]
+fn query_carve_survives_non_intersecting_publish() {
+    let store = build_store(35, 300, 8);
+    let (state, handle) = spawn_server(SnapshotRegistry::new(ServeSnapshot::capture(&store, 1)));
+    let addr = handle.addr();
+
+    // Pick a real cluster and pin the query to it by ncid.
+    let snapshot = state.registry().current();
+    let target = snapshot.store().clusters()[0].0.clone();
+    let other = snapshot.store().clusters()[1].0.clone();
+    let q = format!(
+        r#"{{"pipeline": [{{"match": {{"ncid": {{"eq": "{target}"}}}}}}]}}"#
+    );
+
+    let cold = post_json(addr, "/carve", &q);
+    assert_eq!(cold.status, 200, "{}", cold.body);
+    assert_eq!(cold.header("x-cache"), Some("miss"));
+    assert_eq!(cold.header("x-matched-clusters"), Some("1"));
+
+    // Publish v2 with a delta that revises a *different* cluster: the
+    // cached query carve provably cannot change and is carried forward.
+    state.publish(
+        ServeSnapshot::capture(&store, 2),
+        Some(PublishDelta {
+            version: 2,
+            date: "s9".to_string(),
+            founded: Vec::new(),
+            revised: vec![other],
+        }),
+    );
+
+    let after = post_json(addr, "/carve", &q);
+    assert_eq!(after.status, 200, "{}", after.body);
+    assert_eq!(after.header("x-cache"), Some("hit"), "carried forward");
+    assert_eq!(after.header("x-version"), Some("2"));
+    assert_eq!(after.body, cold.body, "bit-identical across the publish");
+
+    // A delta revising the matched cluster itself invalidates the entry.
+    state.publish(
+        ServeSnapshot::capture(&store, 3),
+        Some(PublishDelta {
+            version: 3,
+            date: "s10".to_string(),
+            founded: Vec::new(),
+            revised: vec![target],
+        }),
+    );
+    let recomputed = post_json(addr, "/carve", &q);
+    assert_eq!(recomputed.header("x-cache"), Some("miss"));
+    assert_eq!(recomputed.body, cold.body, "same store contents, same carve");
+
+    handle.shutdown();
+}
+
 #[test]
 fn concurrent_carves_match_direct_customize_bit_for_bit() {
     let store = build_store(21, 400, 10);
