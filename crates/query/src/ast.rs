@@ -430,19 +430,45 @@ impl CarveQuery {
     }
 
     /// The predicate footprint for cache carry-forward.
+    ///
+    /// Only `match` stages that see the catalog shape — those before the
+    /// first `project`/`group`/`count` — translate to predicates over
+    /// catalog docs. A match over a transformed stream (accumulator
+    /// outputs, `_key`, `count`) references paths that are always absent
+    /// from catalog docs, so conjoining it would make the footprint
+    /// match *nothing* and the carve would silently survive every
+    /// publish. When such a stage exists the filter degrades to `None`
+    /// (matches everything): the matched set becomes the full snapshot
+    /// and any dirty cluster conservatively invalidates the entry.
     pub fn footprint(&self) -> QueryFootprint {
-        let mut matches: Vec<Filter> = self
+        let boundary = self
             .stages
             .iter()
-            .filter_map(|s| match s {
-                QueryStage::Match(f) => Some(f.clone()),
-                _ => None,
+            .position(|s| {
+                matches!(
+                    s,
+                    QueryStage::Project(_) | QueryStage::Group { .. } | QueryStage::Count
+                )
             })
-            .collect();
-        let filter = match matches.len() {
-            0 => None,
-            1 => Some(matches.remove(0)),
-            _ => Some(Filter::And(matches)),
+            .unwrap_or(self.stages.len());
+        let late_match = self.stages[boundary..]
+            .iter()
+            .any(|s| matches!(s, QueryStage::Match(_)));
+        let filter = if late_match {
+            None
+        } else {
+            let mut matches: Vec<Filter> = self.stages[..boundary]
+                .iter()
+                .filter_map(|s| match s {
+                    QueryStage::Match(f) => Some(f.clone()),
+                    _ => None,
+                })
+                .collect();
+            match matches.len() {
+                0 => None,
+                1 => Some(matches.remove(0)),
+                _ => Some(Filter::And(matches)),
+            }
         };
         let scorer_dependent = self.referenced_paths().iter().any(|p| p == "het");
         QueryFootprint {
@@ -1097,6 +1123,48 @@ mod tests {
         let mut d = Document::new();
         d.set("size", 1_i64);
         assert!(fp.matches(&d), "no filter matches everything");
+    }
+
+    #[test]
+    fn footprint_degrades_to_match_everything_after_transform_match() {
+        // The match on `n` sees the group's output shape, not catalog
+        // docs — conjoining it would match nothing and the carve would
+        // never be invalidated. The footprint must match everything.
+        let q = CarveQuery::parse(
+            br#"{"pipeline": [
+                {"group": {"by": "size", "agg": {"n": "count"}}},
+                {"match": {"n": {"gte": 5}}}
+            ]}"#,
+        )
+        .unwrap();
+        let fp = q.footprint();
+        assert_eq!(fp.filter, None);
+        let mut d = Document::new();
+        d.set("size", 1_i64);
+        assert!(fp.matches(&d), "conservative footprint matches any doc");
+
+        // A catalog-shape match before the transform still degrades:
+        // the late match can widen membership beyond the early filter.
+        let q = CarveQuery::parse(
+            br#"{"pipeline": [
+                {"match": {"size": {"gte": 2}}},
+                {"project": ["size", "het"]},
+                {"match": {"het": {"gte": 0.0}}}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(q.footprint().filter, None);
+
+        // With no match after the transform, the leading match still
+        // forms the footprint as before.
+        let q = CarveQuery::parse(
+            br#"{"pipeline": [
+                {"match": {"size": {"gte": 2}}},
+                {"group": {"by": "size", "agg": {"n": "count"}}}
+            ]}"#,
+        )
+        .unwrap();
+        assert_eq!(q.footprint().filter, Some(Filter::gte("size", 2_i64)));
     }
 
     #[test]

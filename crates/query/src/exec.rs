@@ -258,6 +258,18 @@ pub fn execute(catalog: &ClusterCatalog, query: &CarveQuery, opts: ExecOptions) 
         explain.actual_rows = Some(docs.len());
     }
 
+    // When the only match stage is the leading one, the footprint filter
+    // is exactly that filter and `docs` already holds every admitted
+    // cluster — record the matched set now instead of re-running the
+    // index intersection + residual filter after the pipeline.
+    let single_leading_match = had_leading_match
+        && !rest.iter().any(|s| matches!(s, QueryStage::Match(_)));
+    let matched_early: Option<Vec<String>> = single_leading_match.then(|| {
+        docs.iter()
+            .filter_map(|d| d.get("ncid").and_then(Value::as_str).map(str::to_owned))
+            .collect()
+    });
+
     let trace_offset = if had_leading_match { 1 } else { 0 };
     for (i, stage) in rest.iter().enumerate() {
         docs = match stage {
@@ -273,20 +285,24 @@ pub fn execute(catalog: &ClusterCatalog, query: &CarveQuery, opts: ExecOptions) 
     }
 
     // The matched set for the cache footprint: every cluster the
-    // combined match predicate admits (not just the sampled survivors).
+    // recorded footprint admits (not just the sampled survivors). A
+    // `None` filter (no match stage, or a match over a transformed
+    // stream) records the full snapshot.
     let footprint = query.footprint();
-    let matched: Vec<String> = match &footprint.filter {
-        Some(f) => coll
-            .find(f)
-            .into_iter()
-            .filter_map(|d| d.get("ncid").and_then(Value::as_str).map(str::to_owned))
-            .collect(),
-        None => coll
-            .iter_ordered()
-            .filter_map(|(_, d)| d.get("ncid").and_then(Value::as_str).map(str::to_owned))
-            .collect(),
+    let mut matched: Vec<String> = match matched_early {
+        Some(m) => m,
+        None => match &footprint.filter {
+            Some(f) => coll
+                .find(f)
+                .into_iter()
+                .filter_map(|d| d.get("ncid").and_then(Value::as_str).map(str::to_owned))
+                .collect(),
+            None => coll
+                .iter_ordered()
+                .filter_map(|(_, d)| d.get("ncid").and_then(Value::as_str).map(str::to_owned))
+                .collect(),
+        },
     };
-    let mut matched = matched;
     matched.sort_unstable();
 
     let positions = match explain.output {

@@ -269,6 +269,11 @@ impl<'a> Parser<'a> {
             self.pos = start;
             return Err(self.err("invalid number"));
         }
+        // RFC 8259: no leading zeros ("0123", "-007" are not JSON).
+        if self.input[digits_start] == b'0' && self.pos - digits_start > 1 {
+            self.pos = start;
+            return Err(self.err("invalid number (leading zero)"));
+        }
         let mut is_float = false;
         if self.peek() == Some(b'.') {
             is_float = true;
@@ -387,6 +392,18 @@ mod tests {
             s.push('[');
         }
         assert!(parse(s.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn rejects_leading_zeros() {
+        assert!(parse(b"0123").is_err());
+        assert!(parse(b"-007").is_err());
+        assert!(parse(br#"{"a": 01}"#).is_err());
+        // A lone zero (and zero-led fractions/exponents) are fine.
+        assert_eq!(parse(b"0").unwrap(), Value::Int(0));
+        assert_eq!(parse(b"-0").unwrap(), Value::Int(0));
+        assert_eq!(parse(b"0.5").unwrap(), Value::Float(0.5));
+        assert_eq!(parse(b"0e2").unwrap(), Value::Float(0.0));
     }
 
     #[test]

@@ -1137,6 +1137,36 @@ mod tests {
     }
 
     #[test]
+    fn transform_match_query_invalidated_on_any_revision() {
+        let engine = engine(8);
+        // The match runs over the group's output (`n` is an accumulator
+        // field, absent from catalog docs); the footprint must degrade
+        // to match-everything so any revision invalidates the entry —
+        // revising C1 changes the size-2 group count from 4 to 5.
+        let q = query(
+            r#"{"pipeline": [
+                {"group": {"by": "size", "agg": {"n": "count"}}},
+                {"match": {"n": {"gte": 5}}}
+            ]}"#,
+        );
+        let first = engine.carve_query(&q).unwrap();
+        assert_eq!(first.status, CacheStatus::Miss);
+        assert!(first.result.lines.is_empty(), "no group reaches 5 at v1");
+        // The recorded matched set is the full snapshot, not empty.
+        assert_eq!(first.result.sampled.len(), 8);
+
+        engine.publish(ServeSnapshot::capture(&revised_store(), 2), Some(revise_delta()));
+        assert_eq!(engine.delta_stats().carried_forward, 0);
+        let after = engine.carve_query(&q).unwrap();
+        assert_eq!(after.status, CacheStatus::Miss, "stale entry must not survive");
+        assert_eq!(
+            after.result.lines,
+            vec![r#"{"_key":2,"n":5}"#.to_string()],
+            "fresh carve sees the revised counts"
+        );
+    }
+
+    #[test]
     fn pinned_query_stays_at_its_version_across_publishes() {
         let engine = engine(8);
         let q = query(r#"{"version": 1, "pipeline": [{"match": {"ncid": {"eq": "C3"}}}]}"#);
