@@ -186,6 +186,7 @@ fn carve_requests(sample: usize, output: usize, seed: u64) -> Vec<CarveRequest> 
                 params,
                 page: 0,
                 page_size: usize::MAX,
+                encoding: None,
             });
         }
     }

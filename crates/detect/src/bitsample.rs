@@ -1,0 +1,294 @@
+//! Encoded-space candidate generation: bit-sampling buckets over CLK
+//! prefixes.
+//!
+//! Privacy-preserving linkage (nc-pprl) replaces every record with a
+//! fixed-width Bloom-filter encoding; no plaintext key is available
+//! to block on. This module blocks in the encoded space instead: for
+//! each of `bands` independent passes, sample `band_bits` bit
+//! positions from the first `prefix_bits` of every record-level CLK
+//! and bucket records by the sampled bit pattern. Two records agree
+//! on a band exactly when their CLKs agree at every sampled position,
+//! so similar encodings (small Hamming distance) collide in at least
+//! one band with high probability while dissimilar ones rarely do —
+//! the classic bit-sampling LSH family, whose collision probability
+//! per band is `(1 − d/w)^band_bits` for Hamming distance `d` over
+//! `w` sampled-from bits.
+//!
+//! Pairs stream into the existing [`CandidateSink`] API, so the same
+//! collectors, counters and quality sinks the plaintext index uses
+//! work unchanged. Emission order is a pure function of the input
+//! order and the configuration (buckets are sorted before emission),
+//! making runs byte-reproducible. The blocker works on any
+//! `AsRef<[u64]>` bitset — it does not depend on nc-pprl; the pprl
+//! fidelity suite and `bench_pprl` close the loop end to end.
+
+use crate::dataset::Pair;
+use crate::sink::CandidateSink;
+
+/// One SplitMix64 step (local copy; the workspace convention for
+/// small deterministic derivations).
+#[inline]
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Bit-sampling blocking over fixed-width encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitSampleBlocker {
+    /// Independent sampling passes. More bands → higher recall,
+    /// more candidates.
+    pub bands: usize,
+    /// Bit positions sampled per band. More bits → more selective
+    /// buckets (fewer candidates, lower recall).
+    pub band_bits: usize,
+    /// Sample positions only from the first `prefix_bits` of each
+    /// encoding (`0` = the full width). Restricting to a prefix lets
+    /// deployments publish truncated CLK prefixes for blocking while
+    /// keeping full encodings for scoring.
+    pub prefix_bits: usize,
+    /// Seed for the position sampling.
+    pub seed: u64,
+    /// Buckets larger than this are skipped (the stop-term analogue:
+    /// a bucket keyed by an all-zero sample pattern would otherwise
+    /// go quadratic on sparse encodings). `0` = unbounded.
+    pub max_bucket: usize,
+}
+
+impl Default for BitSampleBlocker {
+    fn default() -> Self {
+        BitSampleBlocker {
+            bands: 24,
+            band_bits: 14,
+            prefix_bits: 0,
+            seed: 0x9c_1b_55,
+            max_bucket: 4096,
+        }
+    }
+}
+
+impl BitSampleBlocker {
+    /// The sampled bit positions of one band over encodings of
+    /// `width_bits`. Positions are drawn without replacement from
+    /// `0..min(prefix_bits, width_bits)` (all of the width when
+    /// `prefix_bits` is 0) via seeded Fisher–Yates-style rejection,
+    /// so every band is a deterministic function of
+    /// `(seed, band, width)`.
+    fn band_positions(&self, band: usize, width_bits: usize) -> Vec<u32> {
+        let window = if self.prefix_bits == 0 {
+            width_bits
+        } else {
+            self.prefix_bits.min(width_bits)
+        };
+        let take = self.band_bits.min(window);
+        let mut state = splitmix64(self.seed ^ (band as u64).wrapping_mul(0x9E37_79B9));
+        let mut positions = Vec::with_capacity(take);
+        while positions.len() < take {
+            state = splitmix64(state);
+            let candidate = (state % window as u64) as u32;
+            if !positions.contains(&candidate) {
+                positions.push(candidate);
+            }
+        }
+        positions
+    }
+
+    /// Stream every candidate pair of `encodings` into `sink`.
+    /// Encodings must share one width; records are addressed by their
+    /// index in the slice. Pairs rediscovered by multiple bands are
+    /// emitted once per band — pair sinks deduplicate.
+    ///
+    /// # Panics
+    /// When the encodings differ in width.
+    pub fn stream_into<B: AsRef<[u64]>>(&self, encodings: &[B], sink: &mut dyn CandidateSink) {
+        let Some(first) = encodings.first() else {
+            return;
+        };
+        let width_words = first.as_ref().len();
+        let width_bits = width_words * 64;
+        if width_bits == 0 {
+            return;
+        }
+        let cap = if self.max_bucket == 0 {
+            usize::MAX
+        } else {
+            self.max_bucket
+        };
+
+        // (signature, id) pairs, reused across bands.
+        let mut keyed: Vec<(u64, u32)> = Vec::with_capacity(encodings.len());
+        for band in 0..self.bands {
+            let positions = self.band_positions(band, width_bits);
+            keyed.clear();
+            for (id, enc) in encodings.iter().enumerate() {
+                let words = enc.as_ref();
+                assert_eq!(words.len(), width_words, "encoding width mismatch");
+                let mut sig = 0u64;
+                for (bit, &pos) in positions.iter().enumerate() {
+                    let set = words[pos as usize / 64] >> (pos % 64) & 1;
+                    sig |= set << (bit as u64 % 64);
+                }
+                keyed.push((sig, id as u32));
+            }
+            // Sort groups equal signatures together; ids stay ascending
+            // within a group because the sort is stable on the second
+            // component (ids were pushed in order and sort_unstable on
+            // the tuple orders by id within equal signatures).
+            keyed.sort_unstable();
+            let mut start = 0;
+            while start < keyed.len() {
+                let sig = keyed[start].0;
+                let mut end = start + 1;
+                while end < keyed.len() && keyed[end].0 == sig {
+                    end += 1;
+                }
+                let bucket = &keyed[start..end];
+                if bucket.len() > 1 && bucket.len() <= cap {
+                    for (i, &(_, a)) in bucket.iter().enumerate() {
+                        for &(_, b) in &bucket[i + 1..] {
+                            sink.push(Pair::new(a as usize, b as usize));
+                        }
+                    }
+                }
+                start = end;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::PairCollector;
+
+    /// A toy encoding: `words[0]` carries the pattern directly.
+    fn enc(pattern: u64) -> Vec<u64> {
+        vec![pattern, 0]
+    }
+
+    fn candidates(blocker: &BitSampleBlocker, encodings: &[Vec<u64>]) -> Vec<Pair> {
+        let mut collector = PairCollector::new();
+        blocker.stream_into(encodings, &mut collector);
+        collector.finish()
+    }
+
+    #[test]
+    fn identical_encodings_always_pair() {
+        let blocker = BitSampleBlocker {
+            bands: 4,
+            band_bits: 8,
+            ..Default::default()
+        };
+        let data = vec![enc(0xDEAD_BEEF), enc(0xDEAD_BEEF), enc(0x1234_5678)];
+        let pairs = candidates(&blocker, &data);
+        assert!(pairs.contains(&Pair(0, 1)), "identical CLKs share every band");
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        let blocker = BitSampleBlocker::default();
+        let data: Vec<Vec<u64>> = (0..64u64)
+            .map(|i| enc(splitmix64(i) & splitmix64(i / 2)))
+            .collect();
+        assert_eq!(candidates(&blocker, &data), candidates(&blocker, &data));
+    }
+
+    #[test]
+    fn seed_changes_the_sampled_positions() {
+        let a = BitSampleBlocker::default();
+        let b = BitSampleBlocker {
+            seed: 99,
+            ..Default::default()
+        };
+        assert_ne!(a.band_positions(0, 128), b.band_positions(0, 128));
+        // Positions are distinct within a band.
+        let positions = a.band_positions(0, 128);
+        let mut dedup = positions.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), positions.len());
+    }
+
+    #[test]
+    fn prefix_restricts_sampling_window() {
+        let blocker = BitSampleBlocker {
+            prefix_bits: 64,
+            ..Default::default()
+        };
+        for band in 0..blocker.bands {
+            assert!(blocker
+                .band_positions(band, 1024)
+                .iter()
+                .all(|&p| p < 64));
+        }
+    }
+
+    #[test]
+    fn oversized_buckets_are_skipped() {
+        // All-identical encodings form one bucket of 5 in every band;
+        // a cap of 4 suppresses it entirely.
+        let blocker = BitSampleBlocker {
+            bands: 3,
+            band_bits: 6,
+            max_bucket: 4,
+            ..Default::default()
+        };
+        let data = vec![enc(7); 5];
+        assert!(candidates(&blocker, &data).is_empty());
+        let unbounded = BitSampleBlocker {
+            max_bucket: 0,
+            ..blocker
+        };
+        assert_eq!(candidates(&unbounded, &data).len(), 10);
+    }
+
+    #[test]
+    fn empty_input_is_a_no_op() {
+        let blocker = BitSampleBlocker::default();
+        let data: Vec<Vec<u64>> = Vec::new();
+        assert!(candidates(&blocker, &data).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let blocker = BitSampleBlocker {
+            bands: 1,
+            ..Default::default()
+        };
+        let data = vec![vec![1u64], vec![1u64, 2u64]];
+        let mut collector = PairCollector::new();
+        blocker.stream_into(&data, &mut collector);
+    }
+
+    #[test]
+    fn near_encodings_pair_more_than_far_ones() {
+        // 200 random encodings plus one near-duplicate of record 0
+        // (4 bits flipped out of 128). The near pair must collide in
+        // some band; a far pair (independent random words) should
+        // collide in none for these parameters.
+        let mut data: Vec<Vec<u64>> = (0..200u64)
+            .map(|i| vec![splitmix64(i * 2 + 1), splitmix64(i * 3 + 7)])
+            .collect();
+        let mut near = data[0].clone();
+        near[0] ^= 0b1011;
+        near[1] ^= 1 << 63;
+        data.push(near);
+        let blocker = BitSampleBlocker {
+            bands: 24,
+            band_bits: 10,
+            ..Default::default()
+        };
+        let pairs = candidates(&blocker, &data);
+        assert!(
+            pairs.contains(&Pair(0, 200)),
+            "near-duplicate not recovered ({} candidates)",
+            pairs.len()
+        );
+        // Selectivity: far fewer candidates than the full cross product.
+        let all = 201 * 200 / 2;
+        assert!(pairs.len() * 10 < all, "{} of {all} pairs emitted", pairs.len());
+    }
+}

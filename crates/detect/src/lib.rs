@@ -25,11 +25,15 @@
 //!   and exact-cluster P/R/F1);
 //! * [`qgram_blocking`] — typo-robust q-gram blocking, an alternative
 //!   the blocking ablation compares against;
+//! * [`bitsample`] — encoded-space blocking: bit-sampling LSH buckets
+//!   over fixed-width bitset encodings (e.g. nc-pprl CLKs), streaming
+//!   through the same [`sink`] API as the plaintext blockers;
 //! * [`eval`] — precision / recall / F1 and full threshold sweeps.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitsample;
 pub mod blocking;
 pub mod classify;
 pub mod cluster_eval;

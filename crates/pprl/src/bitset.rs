@@ -1,0 +1,161 @@
+//! Fixed-width bitsets stored as `u64` words.
+//!
+//! A [`Bitset`] is the wire and compute representation of one CLK
+//! Bloom-filter encoding: `bits / 64` machine words, bit `i` living in
+//! word `i / 64` at position `i % 64`. The similarity kernels in
+//! [`crate::kernels`] operate directly on the word slices, so scoring
+//! never touches a per-bit representation.
+
+use std::fmt::Write as _;
+
+/// A fixed-width bitset. Width is always a multiple of 64.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Bitset {
+    words: Vec<u64>,
+}
+
+impl Bitset {
+    /// An all-zero bitset of `bits` width.
+    ///
+    /// # Panics
+    /// When `bits` is zero or not a multiple of 64.
+    pub fn zero(bits: u32) -> Self {
+        assert!(bits > 0 && bits.is_multiple_of(64), "width must be a positive multiple of 64");
+        Bitset {
+            words: vec![0u64; bits as usize / 64],
+        }
+    }
+
+    /// Clear every bit, keeping the width (buffer-reuse entry point).
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Width in bits.
+    pub fn bits(&self) -> u32 {
+        (self.words.len() * 64) as u32
+    }
+
+    /// Set bit `idx` (callers reduce modulo the width beforehand).
+    #[inline]
+    pub fn set(&mut self, idx: u32) {
+        debug_assert!((idx as usize) < self.words.len() * 64);
+        self.words[idx as usize / 64] |= 1u64 << (idx % 64);
+    }
+
+    /// Whether bit `idx` is set.
+    #[inline]
+    pub fn get(&self, idx: u32) -> bool {
+        self.words[idx as usize / 64] >> (idx % 64) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn ones(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// The backing words, low bits first.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// OR another bitset of the same width into this one.
+    ///
+    /// # Panics
+    /// When the widths differ.
+    pub fn union_with(&mut self, other: &Bitset) {
+        assert_eq!(self.words.len(), other.words.len(), "width mismatch");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Append the canonical lowercase-hex rendering (16 digits per
+    /// word, word 0 first) to `out`.
+    pub fn hex_into(&self, out: &mut String) {
+        out.reserve(self.words.len() * 16);
+        for word in &self.words {
+            let _ = write!(out, "{word:016x}");
+        }
+    }
+
+    /// The canonical hex rendering as a fresh string.
+    pub fn to_hex(&self) -> String {
+        let mut out = String::new();
+        self.hex_into(&mut out);
+        out
+    }
+
+    /// Parse the canonical hex rendering produced by [`Bitset::to_hex`].
+    pub fn from_hex(hex: &str) -> Result<Self, String> {
+        if hex.is_empty() || !hex.len().is_multiple_of(16) {
+            return Err(format!(
+                "bitset hex must be a positive multiple of 16 digits, got {}",
+                hex.len()
+            ));
+        }
+        let mut words = Vec::with_capacity(hex.len() / 16);
+        for i in (0..hex.len()).step_by(16) {
+            let digits = hex
+                .get(i..i + 16)
+                .ok_or_else(|| "bitset hex must be ASCII".to_string())?;
+            let word = u64::from_str_radix(digits, 16)
+                .map_err(|e| format!("bad bitset hex word at {i}: {e}"))?;
+            words.push(word);
+        }
+        Ok(Bitset { words })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_ones() {
+        let mut b = Bitset::zero(128);
+        assert_eq!(b.bits(), 128);
+        assert_eq!(b.ones(), 0);
+        b.set(0);
+        b.set(63);
+        b.set(64);
+        b.set(127);
+        assert_eq!(b.ones(), 4);
+        assert!(b.get(63) && b.get(64));
+        assert!(!b.get(1));
+        b.clear();
+        assert_eq!(b.ones(), 0);
+        assert_eq!(b.bits(), 128);
+    }
+
+    #[test]
+    fn union_ors_words() {
+        let mut a = Bitset::zero(64);
+        let mut b = Bitset::zero(64);
+        a.set(1);
+        b.set(2);
+        a.union_with(&b);
+        assert!(a.get(1) && a.get(2));
+        assert_eq!(a.ones(), 2);
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let mut b = Bitset::zero(192);
+        for idx in [0, 5, 64, 100, 191] {
+            b.set(idx);
+        }
+        let hex = b.to_hex();
+        assert_eq!(hex.len(), 48);
+        assert_eq!(Bitset::from_hex(&hex).unwrap(), b);
+        assert!(Bitset::from_hex("xyz").is_err());
+        assert!(Bitset::from_hex("").is_err());
+        assert!(Bitset::from_hex(&hex[..8]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 64")]
+    fn odd_width_panics() {
+        let _ = Bitset::zero(100);
+    }
+}

@@ -1,0 +1,101 @@
+//! Keyed hashing for linkage encodings.
+//!
+//! Every hash an encoder computes descends from one `u64` linkage key
+//! through an HMAC-style keyed [SplitMix64] chain: the key is mixed in
+//! both before and after the data is absorbed, so neither prefix nor
+//! suffix extension can relate digests across keys, and a fixed
+//! `(key, label)` pair always derives the same salt on every thread,
+//! process and platform (the chain is pure integer arithmetic — no
+//! pointer, endianness or `HashMap`-order dependence).
+//!
+//! This is **not** a cryptographic MAC. SplitMix64 is an invertible
+//! mixing function, not a PRF with a security proof; the construction
+//! buys *unlinkability by obscurity of the key* for benchmark datasets,
+//! which is exactly the threat model of the encodings themselves (see
+//! DESIGN.md §15). Anyone needing real privacy guarantees must swap in
+//! a keyed cryptographic hash behind the same derivation interface.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+
+/// One SplitMix64 mixing step.
+#[inline]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Domain-separation constant folded into every chain so pprl digests
+/// can never collide with other SplitMix64 users in the workspace.
+const DOMAIN: u64 = 0x6E63_2D70_7072_6C31; // "nc-pprl1"
+
+/// Absorb a byte string into a running chain state: full little-endian
+/// `u64` words, then the tail bytes, then the length (so `"AB","C"`
+/// and `"A","BC"` chains differ).
+#[inline]
+fn absorb(mut state: u64, bytes: &[u8]) -> u64 {
+    let mut chunks = bytes.chunks_exact(8);
+    for chunk in &mut chunks {
+        let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        state = splitmix64(state ^ word);
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut word = [0u8; 8];
+        word[..rest.len()].copy_from_slice(rest);
+        state = splitmix64(state ^ u64::from_le_bytes(word));
+    }
+    splitmix64(state ^ (bytes.len() as u64))
+}
+
+/// Derive a salt from `key` and a sequence of labels (field name,
+/// role, parameter rendering …). HMAC-style: the key enters the chain
+/// first and is re-mixed after the labels, so a derived salt reveals
+/// nothing usable about sibling salts without the key.
+pub fn derive_salt(key: u64, labels: &[&[u8]]) -> u64 {
+    let mut state = splitmix64(DOMAIN ^ key);
+    for label in labels {
+        state = absorb(state, label);
+    }
+    splitmix64(state ^ key.rotate_left(32))
+}
+
+/// Hash a value under a derived salt (the per-gram / per-value hash).
+#[inline]
+pub fn keyed_hash(salt: u64, bytes: &[u8]) -> u64 {
+    splitmix64(absorb(splitmix64(DOMAIN ^ salt), bytes) ^ salt.rotate_left(17))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derivation_is_deterministic_and_label_sensitive() {
+        let a = derive_salt(42, &[b"last_name", b"h1"]);
+        assert_eq!(a, derive_salt(42, &[b"last_name", b"h1"]));
+        assert_ne!(a, derive_salt(42, &[b"last_name", b"h2"]));
+        assert_ne!(a, derive_salt(42, &[b"first_name", b"h1"]));
+        assert_ne!(a, derive_salt(43, &[b"last_name", b"h1"]));
+    }
+
+    #[test]
+    fn label_boundaries_matter() {
+        assert_ne!(
+            derive_salt(7, &[b"AB", b"C"]),
+            derive_salt(7, &[b"A", b"BC"])
+        );
+        assert_ne!(derive_salt(7, &[b"AB"]), derive_salt(7, &[b"AB", b""]));
+    }
+
+    #[test]
+    fn keyed_hash_varies_with_salt_and_input() {
+        let h = keyed_hash(1, b"SM");
+        assert_eq!(h, keyed_hash(1, b"SM"));
+        assert_ne!(h, keyed_hash(2, b"SM"));
+        assert_ne!(h, keyed_hash(1, b"SN"));
+        // Length is absorbed: a prefix is not a truncation fixed point.
+        assert_ne!(keyed_hash(1, b""), keyed_hash(1, b"\0"));
+    }
+}

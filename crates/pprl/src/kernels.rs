@@ -1,0 +1,147 @@
+//! Encoded-space similarity kernels: Dice, Jaccard and Hamming over
+//! `u64`-word bitsets.
+//!
+//! These are the PPRL counterparts of the plaintext kernels in
+//! `nc-similarity`: scores in `[0, 1]` with `1` meaning identical,
+//! computed entirely from popcounts over the packed words. Unlike the
+//! string kernels they need no working memory at all — the
+//! `nc-similarity` `Scratch` convention ("the allocation-free entry
+//! point is the hot path") is satisfied trivially, so there is no
+//! `*_with` variant: the plain functions *are* the allocation-free
+//! form, and a scoring loop over millions of pairs performs zero heap
+//! traffic.
+//!
+//! All pairwise kernels panic on width mismatch — comparing encodings
+//! of different widths is always a configuration bug, never a data
+//! condition.
+
+use crate::bitset::Bitset;
+
+/// Popcount of the intersection (`a AND b`).
+#[inline]
+pub fn and_count(a: &[u64], b: &[u64]) -> u32 {
+    assert_eq!(a.len(), b.len(), "bitset width mismatch");
+    a.iter().zip(b).map(|(x, y)| (x & y).count_ones()).sum()
+}
+
+/// Popcount of the union (`a OR b`).
+#[inline]
+pub fn or_count(a: &[u64], b: &[u64]) -> u32 {
+    assert_eq!(a.len(), b.len(), "bitset width mismatch");
+    a.iter().zip(b).map(|(x, y)| (x | y).count_ones()).sum()
+}
+
+/// Popcount of the symmetric difference (`a XOR b`) — the Hamming
+/// distance in bits.
+#[inline]
+pub fn xor_count(a: &[u64], b: &[u64]) -> u32 {
+    assert_eq!(a.len(), b.len(), "bitset width mismatch");
+    a.iter().zip(b).map(|(x, y)| (x ^ y).count_ones()).sum()
+}
+
+/// Dice coefficient `2·|a∧b| / (|a| + |b|)`. Two empty encodings are
+/// identical by convention (`1.0`) — both values hashed to nothing.
+#[inline]
+pub fn dice(a: &[u64], b: &[u64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "bitset width mismatch");
+    let total = a.iter().map(|w| w.count_ones()).sum::<u32>()
+        + b.iter().map(|w| w.count_ones()).sum::<u32>();
+    if total == 0 {
+        return 1.0;
+    }
+    f64::from(2 * and_count(a, b)) / f64::from(total)
+}
+
+/// Jaccard coefficient `|a∧b| / |a∨b|`. Two empty encodings are `1.0`.
+#[inline]
+pub fn jaccard(a: &[u64], b: &[u64]) -> f64 {
+    let union = or_count(a, b);
+    if union == 0 {
+        return 1.0;
+    }
+    f64::from(and_count(a, b)) / f64::from(union)
+}
+
+/// Hamming similarity `1 − xor/width`: the fraction of bit positions
+/// that agree. Unlike Dice/Jaccard this counts agreeing zeros, so it
+/// is the kernel of choice for near-duplicate *filtering* rather than
+/// graded similarity.
+#[inline]
+pub fn hamming_sim(a: &[u64], b: &[u64]) -> f64 {
+    if a.is_empty() {
+        assert!(b.is_empty(), "bitset width mismatch");
+        return 1.0;
+    }
+    1.0 - f64::from(xor_count(a, b)) / ((a.len() * 64) as f64)
+}
+
+/// [`dice`] over [`Bitset`]s (width-checked by the slice kernel).
+#[inline]
+pub fn dice_bitset(a: &Bitset, b: &Bitset) -> f64 {
+    dice(a.words(), b.words())
+}
+
+/// [`jaccard`] over [`Bitset`]s.
+#[inline]
+pub fn jaccard_bitset(a: &Bitset, b: &Bitset) -> f64 {
+    jaccard(a.words(), b.words())
+}
+
+/// [`hamming_sim`] over [`Bitset`]s.
+#[inline]
+pub fn hamming_bitset(a: &Bitset, b: &Bitset) -> f64 {
+    hamming_sim(a.words(), b.words())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bs(bits: u32, set: &[u32]) -> Bitset {
+        let mut b = Bitset::zero(bits);
+        for &i in set {
+            b.set(i);
+        }
+        b
+    }
+
+    #[test]
+    fn identical_bitsets_score_one() {
+        let a = bs(128, &[1, 64, 100]);
+        assert_eq!(dice_bitset(&a, &a), 1.0);
+        assert_eq!(jaccard_bitset(&a, &a), 1.0);
+        assert_eq!(hamming_bitset(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn empty_bitsets_are_identical_by_convention() {
+        let a = Bitset::zero(64);
+        assert_eq!(dice_bitset(&a, &a), 1.0);
+        assert_eq!(jaccard_bitset(&a, &a), 1.0);
+    }
+
+    #[test]
+    fn disjoint_bitsets_score_zero() {
+        let a = bs(128, &[0, 1]);
+        let b = bs(128, &[2, 3]);
+        assert_eq!(dice_bitset(&a, &b), 0.0);
+        assert_eq!(jaccard_bitset(&a, &b), 0.0);
+        assert_eq!(hamming_bitset(&a, &b), 1.0 - 4.0 / 128.0);
+    }
+
+    #[test]
+    fn partial_overlap_matches_hand_computation() {
+        // |a| = 3, |b| = 2, |a∧b| = 1, |a∨b| = 4, xor = 3.
+        let a = bs(64, &[0, 1, 2]);
+        let b = bs(64, &[2, 63]);
+        assert_eq!(dice_bitset(&a, &b), 2.0 / 5.0);
+        assert_eq!(jaccard_bitset(&a, &b), 1.0 / 4.0);
+        assert_eq!(hamming_bitset(&a, &b), 1.0 - 3.0 / 64.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let _ = dice_bitset(&Bitset::zero(64), &Bitset::zero(128));
+    }
+}

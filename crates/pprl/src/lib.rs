@@ -1,0 +1,44 @@
+//! `nc-pprl`: privacy-preserving record-linkage encodings.
+//!
+//! A major class of real duplicate-detection deployments — national
+//! healthcare and registry settings — cannot compare plaintext records
+//! at all: each data holder encodes its records under a shared secret
+//! key and linkage runs entirely in the encoded space. This crate
+//! turns any carved voter dataset into that regime's benchmark
+//! artifact:
+//!
+//! * [`hashing`] — the HMAC-style keyed SplitMix64 salt chain every
+//!   encoder hash descends from: reproducible for a fixed
+//!   `(key, params)`, unlinkable across keys.
+//! * [`bitset`] — fixed-width `u64`-word bitsets, the wire and compute
+//!   representation of CLK encodings (canonical hex rendering).
+//! * [`encode`] — field-level encoders: per-field **CLK Bloom
+//!   filters** (q-grams of the normalized value hashed by `k` keyed
+//!   hash functions under the double-hashing scheme) for the
+//!   error-prone fields, **keyed exact-hash tokens** for match-only
+//!   fields, a composite record-level CLK for blocking, and the
+//!   labeled JSON-line rendering served by `POST /carve`.
+//! * [`kernels`] — allocation-free encoded-space similarity: Dice,
+//!   Jaccard and Hamming over the packed words via popcount, so
+//!   scoring and detection never decode anything.
+//!
+//! The threat model is deliberately modest: CLKs leak gram-frequency
+//! information and this crate's mixing function is not a cryptographic
+//! PRF — the encodings make *benchmark datasets* for
+//! privacy-preserving linkage research, not a privacy product.
+//! DESIGN.md §15 spells out the parameters, the leakage and the serve
+//! integration (encoded carves, cache fingerprints, invalidation).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod encode;
+pub mod hashing;
+pub mod kernels;
+
+pub use bitset::Bitset;
+pub use encode::{
+    render_encoded_record, EncodeScratch, EncodedField, EncodedRecord, EncodingParams, FieldKind,
+    FieldPlan, RecordEncoder, ENCODING_VERSION,
+};

@@ -3,19 +3,22 @@
 //!
 //! A [`CarveRequest`] names a snapshot version (or "current"), the
 //! customization parameters — explicit heterogeneity bounds or one of
-//! the paper's `nc1`/`nc2`/`nc3` presets — and a page window over the
-//! resulting labeled records. Because carving is a pure function of
-//! `(version, params)`, the engine fingerprints that pair with
-//! [`nc_core::md5`] and consults a bounded LRU cache before scanning
-//! clusters; pagination slices the cached result, so paging through a
-//! large carve costs one carve total.
+//! the paper's `nc1`/`nc2`/`nc3` presets — an optional privacy
+//! encoding (`encode=clk` renders CLK-encoded records via `nc-pprl`
+//! instead of plaintext), and a page window over the resulting labeled
+//! records. Because carving is a pure function of
+//! `(version, params, encoding)`, the engine fingerprints that triple
+//! via [`crate::fingerprint`] and consults a bounded LRU cache before
+//! scanning clusters; pagination slices the cached result, so paging
+//! through a large carve costs one carve total. Plaintext and encoded
+//! carves of the same dataset never share a cache entry — the encoding
+//! (key and geometry) is part of the fingerprint.
 
 use std::collections::HashSet;
 use std::fmt;
 use std::sync::Arc;
 
 use nc_core::customize::{CustomDataset, CustomizeParams};
-use nc_core::md5::{md5, Digest};
 use nc_core::plausibility::PlausibilityScorer;
 use nc_core::snapshot::StoreSnapshot;
 use nc_docstore::value::Document;
@@ -23,9 +26,11 @@ use nc_query::{
     execute, plan_query, CarveQuery, ClusterCatalog, ExecOptions, Explain, QueryFootprint,
     QueryOutcome,
 };
+use nc_pprl::{render_encoded_record, EncodeScratch, EncodingParams, RecordEncoder};
 use nc_votergen::schema::{Row, SCHEMA};
 
 use crate::cache::{CacheStats, LruCache};
+use crate::fingerprint::{knob_fingerprint, query_fingerprint};
 use crate::snapshot::{PublishDelta, ServeSnapshot, SnapshotRegistry};
 
 /// A request to carve one page of a customized dataset.
@@ -35,6 +40,9 @@ pub struct CarveRequest {
     pub version: Option<u32>,
     /// Customization parameters (bounds, sample/output sizes, seed).
     pub params: CustomizeParams,
+    /// Privacy encoding: `Some` renders CLK-encoded records instead of
+    /// plaintext, keyed separately in the cache.
+    pub encoding: Option<EncodingParams>,
     /// Zero-based page index over the labeled records.
     pub page: usize,
     /// Records per page.
@@ -107,6 +115,12 @@ pub struct CarveResult {
     /// The parameters the carve was computed with (needed to re-key a
     /// carried-forward entry under a new version's fingerprint).
     pub params: CustomizeParams,
+    /// The privacy encoding the lines were rendered under (`None` =
+    /// plaintext). Part of the cache key, so a carried-forward entry
+    /// must re-key with it — encoded lines are a pure function of
+    /// `(dataset, encoding)`, which keeps the carry-forward soundness
+    /// argument unchanged.
+    pub encoding: Option<EncodingParams>,
     /// NCIDs of every cluster the carve *sampled* (pre-ranking),
     /// sorted ascending for binary search. A publish delta whose
     /// revised set is disjoint from this makes the entry bit-identical
@@ -143,14 +157,24 @@ pub struct QueryCarve {
 }
 
 impl CarveResult {
-    /// Render a carved dataset into its response form.
-    pub fn render(version: u32, params: &CustomizeParams, dataset: &CustomDataset) -> Self {
-        let lines = render_lines(dataset);
+    /// Render a carved dataset into its response form: plaintext JSON
+    /// lines, or CLK-encoded lines when an encoding is given.
+    pub fn render(
+        version: u32,
+        params: &CustomizeParams,
+        encoding: Option<&EncodingParams>,
+        dataset: &CustomDataset,
+    ) -> Self {
+        let lines = match encoding {
+            None => render_lines(dataset),
+            Some(enc) => render_encoded_lines(dataset, enc),
+        };
         let mut sampled = dataset.sampled.clone();
         sampled.sort_unstable();
         CarveResult {
             version,
             params: params.clone(),
+            encoding: encoding.copied(),
             sampled,
             clusters: dataset.clusters.len(),
             records: lines.len(),
@@ -165,30 +189,56 @@ impl CarveResult {
     /// (cluster index in output order, NCID, non-empty attributes);
     /// document output (project/group/count pipelines) becomes one
     /// canonical JSON object per line.
+    ///
+    /// # Panics
+    /// When an encoding is given for a document-output pipeline — the
+    /// engine rejects that combination with `InvalidParams` before
+    /// rendering (projected documents would expose plaintext).
     pub fn render_query(
         version: u32,
         canonical: String,
         footprint: QueryFootprint,
         pinned: bool,
+        encoding: Option<&EncodingParams>,
         outcome: &QueryOutcome,
         snapshot: &StoreSnapshot,
     ) -> Self {
         let all = snapshot.clusters();
         let (lines, clusters, duplicate_pairs) = match &outcome.positions {
             Some(positions) => {
+                let encoder = encoding.map(|enc| RecordEncoder::new(*enc));
+                let mut scratch = EncodeScratch::new();
                 let mut lines = Vec::new();
                 let mut pairs = 0u64;
                 for (out_idx, &pos) in positions.iter().enumerate() {
                     let (ncid, rows) = &all[pos];
                     let n = rows.len() as u64;
                     pairs += n * n.saturating_sub(1) / 2;
-                    for record in rows {
-                        lines.push(render_record(out_idx, ncid, record));
+                    match &encoder {
+                        None => {
+                            for record in rows {
+                                lines.push(render_record(out_idx, ncid, record));
+                            }
+                        }
+                        Some(encoder) => {
+                            // Gold linkage comes from the cluster label,
+                            // not from whatever the NCID column holds.
+                            let token = encoder.ncid_token(ncid);
+                            for record in rows {
+                                let mut encoded = encoder.encode_row(record, &mut scratch);
+                                encoded.ncid_token = token;
+                                lines.push(render_encoded_record(out_idx, &encoded));
+                            }
+                        }
                     }
                 }
                 (lines, positions.len(), pairs)
             }
             None => {
+                assert!(
+                    encoding.is_none(),
+                    "document-output pipelines cannot be encoded"
+                );
                 let lines: Vec<String> = outcome.docs.iter().map(Document::to_json).collect();
                 (lines, 0, 0)
             }
@@ -198,6 +248,7 @@ impl CarveResult {
             // Knob parameters do not apply to a query carve; the cache
             // key comes from `query_fingerprint`, never from here.
             params: CustomizeParams::nc1(0, 0, 0),
+            encoding: encoding.copied(),
             sampled: outcome.matched.clone(),
             clusters,
             records: lines.len(),
@@ -393,9 +444,12 @@ impl CarveEngine {
                         }
                     };
                     if carry {
+                        let encoding = result.encoding.as_ref();
                         let key = match &result.query {
-                            None => fingerprint(new_version, &result.params),
-                            Some(qc) => query_fingerprint(new_version, &qc.canonical),
+                            None => knob_fingerprint(new_version, &result.params, encoding),
+                            Some(qc) => {
+                                query_fingerprint(new_version, &qc.canonical, encoding)
+                            }
                         };
                         self.cache.insert_tagged(key, u64::from(new_version), result);
                         self.carried_forward.fetch_add(1, Ordering::Relaxed);
@@ -420,13 +474,16 @@ impl CarveEngine {
     /// [`CarveResult::page`] — the cache stores whole carves.
     pub fn carve(&self, request: &CarveRequest) -> Result<CarveOutcome, CarveError> {
         validate_params(&request.params)?;
+        if let Some(enc) = &request.encoding {
+            enc.validate().map_err(CarveError::InvalidParams)?;
+        }
         let snapshot = self
             .registry
             .pinned(request.version)
             .ok_or(CarveError::UnknownVersion(request.version.unwrap_or(0)))?;
         let version = snapshot.version();
 
-        let key = fingerprint(version, &request.params);
+        let key = knob_fingerprint(version, &request.params, request.encoding.as_ref());
         if let Some(result) = self.cache.get(&key) {
             return Ok(CarveOutcome {
                 version,
@@ -436,7 +493,12 @@ impl CarveEngine {
         }
 
         let dataset = snapshot.carve(&request.params);
-        let result = Arc::new(CarveResult::render(version, &request.params, &dataset));
+        let result = Arc::new(CarveResult::render(
+            version,
+            &request.params,
+            request.encoding.as_ref(),
+            &dataset,
+        ));
         self.cache
             .insert_tagged(key, u64::from(version), Arc::clone(&result));
         Ok(CarveOutcome {
@@ -452,6 +514,22 @@ impl CarveEngine {
     /// matched NCID set so [`CarveEngine::publish`] can carry it
     /// forward across deltas that provably cannot affect it.
     pub fn carve_query(&self, query: &CarveQuery) -> Result<CarveOutcome, CarveError> {
+        self.carve_query_encoded(query, None)
+    }
+
+    /// [`CarveEngine::carve_query`] with an optional privacy encoding.
+    /// Encoded query carves are keyed separately from plaintext ones
+    /// and require a cluster-output pipeline: document output
+    /// (project/group/count) is a plaintext projection, so requesting
+    /// it encoded is `InvalidParams` and nothing is cached.
+    pub fn carve_query_encoded(
+        &self,
+        query: &CarveQuery,
+        encoding: Option<&EncodingParams>,
+    ) -> Result<CarveOutcome, CarveError> {
+        if let Some(enc) = encoding {
+            enc.validate().map_err(CarveError::InvalidParams)?;
+        }
         let snapshot = self
             .registry
             .pinned(query.version)
@@ -459,7 +537,7 @@ impl CarveEngine {
         let version = snapshot.version();
         let canonical = query.canonical();
 
-        let key = query_fingerprint(version, &canonical);
+        let key = query_fingerprint(version, &canonical, encoding);
         if let Some(result) = self.cache.get(&key) {
             return Ok(CarveOutcome {
                 version,
@@ -470,11 +548,19 @@ impl CarveEngine {
 
         let outcome = execute(snapshot.catalog(), query, ExecOptions { force_scan: false });
         self.note_plan(&outcome.explain);
+        if encoding.is_some() && outcome.positions.is_none() {
+            return Err(CarveError::InvalidParams(
+                "encoded carves require a cluster-output pipeline \
+                 (document output would expose plaintext)"
+                    .into(),
+            ));
+        }
         let result = Arc::new(CarveResult::render_query(
             version,
             canonical,
             query.footprint(),
             query.version.is_some(),
+            encoding,
             &outcome,
             snapshot.store(),
         ));
@@ -538,32 +624,6 @@ fn validate_params(params: &CustomizeParams) -> Result<(), CarveError> {
     Ok(())
 }
 
-/// Canonical fingerprint of `(version, params)`.
-///
-/// Floats are rendered via `to_bits`, so two parameter sets collide iff
-/// they are bit-identical — exactly the condition under which carving
-/// returns the same dataset.
-pub fn fingerprint(version: u32, params: &CustomizeParams) -> Digest {
-    let canonical = format!(
-        "nc-carve-v1|version={}|h_low={:016x}|h_high={:016x}|sample={}|output={}|seed={}",
-        version,
-        params.h_low.to_bits(),
-        params.h_high.to_bits(),
-        params.sample_clusters,
-        params.output_clusters,
-        params.seed,
-    );
-    md5(canonical.as_bytes())
-}
-
-/// Canonical fingerprint of `(version, query)`. The canonical query
-/// text is order- and whitespace-insensitive (object keys are sorted
-/// before rendering), so two JSON bodies that denote the same pipeline
-/// share a cache entry.
-pub fn query_fingerprint(version: u32, canonical: &str) -> Digest {
-    md5(format!("nc-carve-q1|version={version}|{canonical}").as_bytes())
-}
-
 /// Render a carved dataset as JSON lines: one object per record,
 /// labeled with its gold-standard cluster index and NCID, with the
 /// non-empty attributes in schema order. All emission is hand-rolled —
@@ -573,6 +633,28 @@ pub fn render_lines(dataset: &CustomDataset) -> Vec<String> {
     for (cluster, cluster_data) in dataset.clusters.iter().enumerate() {
         for record in &cluster_data.records {
             lines.push(render_record(cluster, &cluster_data.ncid, record));
+        }
+    }
+    lines
+}
+
+/// Render a carved dataset as CLK-encoded JSON lines: one object per
+/// record with the gold cluster index, the keyed NCID token, the
+/// record-level CLK and the per-field encodings — no plaintext
+/// attribute ever appears. The caller validates the parameters first
+/// (the encoder panics on invalid geometry).
+pub fn render_encoded_lines(dataset: &CustomDataset, params: &EncodingParams) -> Vec<String> {
+    let encoder = RecordEncoder::new(*params);
+    let mut scratch = EncodeScratch::new();
+    let mut lines = Vec::with_capacity(dataset.record_count());
+    for (cluster, cluster_data) in dataset.clusters.iter().enumerate() {
+        // Gold linkage comes from the cluster label, not from whatever
+        // the NCID column holds.
+        let token = encoder.ncid_token(&cluster_data.ncid);
+        for record in &cluster_data.records {
+            let mut encoded = encoder.encode_row(record, &mut scratch);
+            encoded.ncid_token = token;
+            lines.push(render_encoded_record(cluster, &encoded));
         }
     }
     lines
@@ -628,7 +710,9 @@ pub(crate) fn json_escape_into(out: &mut String, s: &str) {
 /// * `h_low`, `h_high` — explicit bounds (override the preset's);
 /// * `sample`, `output`, `seed` — sampling knobs;
 /// * `version` — pin a published snapshot version;
-/// * `page`, `page_size` — page window.
+/// * `page`, `page_size` — page window;
+/// * `encode`, `encode_key`, `encode_bits`, `encode_hashes`,
+///   `encode_q` — privacy encoding (see [`parse_encoding_params`]).
 ///
 /// Unknown keys are rejected so that typos fail loudly instead of
 /// silently carving the default dataset.
@@ -636,6 +720,13 @@ pub fn parse_carve_request(
     pairs: &[(String, String)],
     defaults: &RequestDefaults,
 ) -> Result<CarveRequest, CarveError> {
+    let (encode_pairs, knob_pairs): (Vec<_>, Vec<_>) = pairs
+        .iter()
+        .cloned()
+        .partition(|(key, _)| key == "encode" || key.starts_with("encode_"));
+    let encoding = parse_encoding_params(&encode_pairs)?;
+    let pairs = &knob_pairs;
+
     let mut params = CustomizeParams::nc1(defaults.sample, defaults.output, defaults.seed);
     // Presets must apply before explicit bounds regardless of key order.
     for (key, value) in pairs {
@@ -647,6 +738,7 @@ pub fn parse_carve_request(
     let mut request = CarveRequest {
         version: None,
         params,
+        encoding,
         page: 0,
         page_size: defaults.page_size,
     };
@@ -678,6 +770,66 @@ pub fn parse_carve_request(
     }
     validate_params(&request.params)?;
     Ok(request)
+}
+
+/// Parse the privacy-encoding keys shared by knob carves (form body or
+/// query string) and query carves (query string only):
+///
+/// * `encode=clk` — request CLK-encoded output with the default
+///   parameters;
+/// * `encode_key` — the linkage key (decimal u64);
+/// * `encode_bits`, `encode_hashes`, `encode_q` — CLK geometry.
+///
+/// The `encode_*` knobs require `encode=clk` (in any key order), and
+/// the assembled parameters are validated before use. Any other key is
+/// rejected — callers pass only the pairs they have not already
+/// consumed.
+pub fn parse_encoding_params(
+    pairs: &[(String, String)],
+) -> Result<Option<EncodingParams>, CarveError> {
+    let mut encoding: Option<EncodingParams> = None;
+    // `encode` must apply before the knobs regardless of key order.
+    for (key, value) in pairs {
+        if key == "encode" {
+            match value.as_str() {
+                "clk" => encoding = Some(EncodingParams::default()),
+                other => {
+                    return Err(CarveError::InvalidParams(format!(
+                        "unknown encoding `{other}` (expected `clk`)"
+                    )))
+                }
+            }
+        }
+    }
+    for (key, value) in pairs {
+        match key.as_str() {
+            "encode" => {}
+            "encode_key" => require_encode(&mut encoding, key)?.key = parse_num(key, value)?,
+            "encode_bits" => require_encode(&mut encoding, key)?.bits = parse_num(key, value)?,
+            "encode_hashes" => {
+                require_encode(&mut encoding, key)?.hashes = parse_num(key, value)?
+            }
+            "encode_q" => require_encode(&mut encoding, key)?.q = parse_num(key, value)?,
+            other => {
+                return Err(CarveError::InvalidParams(format!(
+                    "unknown parameter `{other}`"
+                )))
+            }
+        }
+    }
+    if let Some(enc) = &encoding {
+        enc.validate().map_err(CarveError::InvalidParams)?;
+    }
+    Ok(encoding)
+}
+
+fn require_encode<'a>(
+    encoding: &'a mut Option<EncodingParams>,
+    key: &str,
+) -> Result<&'a mut EncodingParams, CarveError> {
+    encoding
+        .as_mut()
+        .ok_or_else(|| CarveError::InvalidParams(format!("`{key}` requires `encode=clk`")))
 }
 
 /// Parameters for a named preset with the default sampling knobs.
@@ -771,6 +923,7 @@ mod tests {
                 output_clusters: 8,
                 seed,
             },
+            encoding: None,
             page: 0,
             page_size: 100,
         }
@@ -942,10 +1095,19 @@ mod tests {
     fn fingerprint_distinguishes_bit_level_params() {
         let base = request(1).params;
         let mut other = base.clone();
-        assert_eq!(fingerprint(1, &base), fingerprint(1, &other));
+        assert_eq!(
+            knob_fingerprint(1, &base, None),
+            knob_fingerprint(1, &other, None)
+        );
         other.h_high -= f64::EPSILON;
-        assert_ne!(fingerprint(1, &base), fingerprint(1, &other));
-        assert_ne!(fingerprint(1, &base), fingerprint(2, &base));
+        assert_ne!(
+            knob_fingerprint(1, &base, None),
+            knob_fingerprint(1, &other, None)
+        );
+        assert_ne!(
+            knob_fingerprint(1, &base, None),
+            knob_fingerprint(2, &base, None)
+        );
     }
 
     #[test]
@@ -974,6 +1136,7 @@ mod tests {
         let result = CarveResult {
             version: 1,
             params: request(1).params,
+            encoding: None,
             sampled: Vec::new(),
             clusters: 1,
             records: 5,
@@ -1222,7 +1385,172 @@ mod tests {
     fn defaults_produce_nc1_with_default_knobs() {
         let req = parse_carve_request(&[], &DEFAULTS).unwrap();
         assert_eq!(req.params, CustomizeParams::nc1(100, 50, 42));
+        assert_eq!(req.encoding, None);
         assert_eq!(req.page, 0);
         assert_eq!(req.page_size, 25);
+    }
+
+    #[test]
+    fn parse_encoding_knobs_in_any_order() {
+        let req = parse_carve_request(
+            &pairs(&[
+                ("encode_bits", "512"),
+                ("encode", "clk"),
+                ("encode_key", "7"),
+                ("seed", "9"),
+            ]),
+            &DEFAULTS,
+        )
+        .unwrap();
+        let enc = req.encoding.unwrap();
+        assert_eq!(enc.key, 7);
+        assert_eq!(enc.bits, 512);
+        assert_eq!(enc.hashes, EncodingParams::default().hashes);
+        assert_eq!(req.params.seed, 9);
+    }
+
+    #[test]
+    fn parse_rejects_bad_encoding_input() {
+        // Knobs without `encode=clk` fail loudly.
+        assert!(parse_carve_request(&pairs(&[("encode_key", "7")]), &DEFAULTS).is_err());
+        // Unknown encoding name.
+        assert!(parse_carve_request(&pairs(&[("encode", "rot13")]), &DEFAULTS).is_err());
+        // Invalid geometry is rejected at parse time.
+        assert!(parse_carve_request(
+            &pairs(&[("encode", "clk"), ("encode_bits", "100")]),
+            &DEFAULTS
+        )
+        .is_err());
+        // Typo'd encode_* key.
+        assert!(parse_carve_request(
+            &pairs(&[("encode", "clk"), ("encode_qq", "2")]),
+            &DEFAULTS
+        )
+        .is_err());
+    }
+
+    fn encoded_request(seed: u64, key: u64) -> CarveRequest {
+        let mut req = request(seed);
+        req.encoding = Some(EncodingParams {
+            key,
+            ..Default::default()
+        });
+        req
+    }
+
+    #[test]
+    fn encoded_and_plaintext_carves_never_share_a_cache_entry() {
+        let engine = engine(8);
+        let plain = engine.carve(&request(7)).unwrap();
+        assert_eq!(plain.status, CacheStatus::Miss);
+        // Same (version, params): the encoding must still miss.
+        let encoded = engine.carve(&encoded_request(7, 0)).unwrap();
+        assert_eq!(encoded.status, CacheStatus::Miss);
+        assert!(!Arc::ptr_eq(&plain.result, &encoded.result));
+        // A different key is yet another entry.
+        assert_eq!(
+            engine.carve(&encoded_request(7, 99)).unwrap().status,
+            CacheStatus::Miss
+        );
+        // Each replays from its own entry.
+        assert_eq!(engine.carve(&request(7)).unwrap().status, CacheStatus::Hit);
+        assert_eq!(
+            engine.carve(&encoded_request(7, 0)).unwrap().status,
+            CacheStatus::Hit
+        );
+    }
+
+    #[test]
+    fn encoded_lines_carry_labels_but_no_plaintext() {
+        let engine = engine(8);
+        let out = engine.carve(&encoded_request(3, 5)).unwrap();
+        assert_eq!(out.result.records, out.result.lines.len());
+        assert!(!out.result.lines.is_empty());
+        for line in &out.result.lines {
+            assert!(line.starts_with("{\"cluster\":"));
+            assert!(line.contains("\"record_clk\":\""));
+            // Store values (names, NCIDs) must never appear.
+            assert!(!line.contains("SMITH") && !line.contains("PAT"));
+            assert!(!line.contains("\"ncid\":"));
+        }
+        // Records of one cluster share their NCID token; bit-identical
+        // replay on the cache hit.
+        let replay = engine.carve(&encoded_request(3, 5)).unwrap();
+        assert_eq!(replay.result.lines, out.result.lines);
+    }
+
+    #[test]
+    fn encoded_carves_carry_forward_under_their_own_key() {
+        let engine = engine(32);
+        let mut req = encoded_request(0, 9);
+        req.params.sample_clusters = 3;
+        let mut untouched = None;
+        for seed in 0..12 {
+            req.params.seed = seed;
+            let out = engine.carve(&req).unwrap();
+            if out.result.sampled.binary_search(&"C1".to_string()).is_err() {
+                untouched = Some(seed);
+                break;
+            }
+        }
+        let seed = untouched.expect("some small sample avoids C1");
+
+        engine.publish(ServeSnapshot::capture(&revised_store(), 2), Some(revise_delta()));
+
+        req.params.seed = seed;
+        let carried = engine.carve(&req).unwrap();
+        assert_eq!(carried.status, CacheStatus::Hit, "encoded entry re-keyed");
+        assert_eq!(carried.version, 2);
+        // The carried-forward encoded lines equal a fresh encode of the
+        // new version's carve.
+        let fresh = ServeSnapshot::capture(&revised_store(), 2);
+        let fresh_lines =
+            render_encoded_lines(&fresh.carve(&req.params), req.encoding.as_ref().unwrap());
+        assert_eq!(carried.result.lines, fresh_lines);
+        // The plaintext twin was never cached: still a miss.
+        let mut plain = req.clone();
+        plain.encoding = None;
+        assert_eq!(engine.carve(&plain).unwrap().status, CacheStatus::Miss);
+    }
+
+    #[test]
+    fn encoded_query_carve_keys_and_renders_separately() {
+        let engine = engine(8);
+        let q = query(r#"{"pipeline": [{"match": {"size": {"gte": 2}}}]}"#);
+        let enc = EncodingParams::default();
+        let plain = engine.carve_query(&q).unwrap();
+        let encoded = engine.carve_query_encoded(&q, Some(&enc)).unwrap();
+        assert_eq!(encoded.status, CacheStatus::Miss, "not the plaintext entry");
+        assert_eq!(encoded.result.records, plain.result.records);
+        assert_eq!(encoded.result.clusters, plain.result.clusters);
+        assert!(encoded.result.lines[0].contains("\"record_clk\":\""));
+        assert!(!encoded.result.lines[0].contains("SMITH"));
+        // Both replay from their own entries.
+        assert_eq!(engine.carve_query(&q).unwrap().status, CacheStatus::Hit);
+        assert_eq!(
+            engine.carve_query_encoded(&q, Some(&enc)).unwrap().status,
+            CacheStatus::Hit
+        );
+    }
+
+    #[test]
+    fn encoded_query_carve_rejects_document_output() {
+        let engine = engine(8);
+        let q = query(
+            r#"{"pipeline": [{"group": {"by": "size", "agg": {"n": "count"}}}]}"#,
+        );
+        let enc = EncodingParams::default();
+        assert!(matches!(
+            engine.carve_query_encoded(&q, Some(&enc)),
+            Err(CarveError::InvalidParams(_))
+        ));
+        // Nothing was cached under the encoded key.
+        assert!(matches!(
+            engine.carve_query_encoded(&q, Some(&enc)),
+            Err(CarveError::InvalidParams(_))
+        ));
+        assert_eq!(engine.cache_stats().entries, 0);
+        // The plaintext form still works.
+        assert_eq!(engine.carve_query(&q).unwrap().status, CacheStatus::Miss);
     }
 }

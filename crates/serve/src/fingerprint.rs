@@ -1,0 +1,146 @@
+//! The canonical cache-key grammar: every carve-cache fingerprint is
+//! minted here.
+//!
+//! Knob carves and query carves used to canonicalize their keys in two
+//! separate places; this module is the single source of truth for both
+//! grammars plus the shared encoding segment:
+//!
+//! * knob carves — `nc-carve-v1|version=…|h_low=…|h_high=…|sample=…|output=…|seed=…`
+//!   with floats rendered via `to_bits`, so two parameter sets collide
+//!   iff they are bit-identical — exactly the condition under which
+//!   carving returns the same dataset;
+//! * query carves — `nc-carve-q1|version=…|<canonical query text>`,
+//!   where the canonical text is order- and whitespace-insensitive
+//!   (object keys are sorted before rendering), so two JSON bodies that
+//!   denote the same pipeline share a cache entry;
+//! * encoded carves — either grammar with
+//!   `|enc=clk1|key=…|bits=…|k=…|q=…`
+//!   ([`EncodingParams::canonical`]) appended. A plaintext carve and an
+//!   encoded carve of the same dataset therefore never share a key, and
+//!   neither do two encodings under different keys or geometries.
+//!   Plaintext keys render byte-identically to the pre-encoding
+//!   grammar, so introducing encodings invalidated nothing.
+
+use nc_core::customize::CustomizeParams;
+use nc_core::md5::{md5, Digest};
+use nc_pprl::EncodingParams;
+
+/// Append the encoding segment (empty for plaintext carves).
+fn encoding_segment(out: &mut String, encoding: Option<&EncodingParams>) {
+    if let Some(enc) = encoding {
+        out.push('|');
+        out.push_str(&enc.canonical());
+    }
+}
+
+/// Canonical fingerprint of a knob carve:
+/// `(version, params, encoding)`.
+pub fn knob_fingerprint(
+    version: u32,
+    params: &CustomizeParams,
+    encoding: Option<&EncodingParams>,
+) -> Digest {
+    let mut canonical = format!(
+        "nc-carve-v1|version={}|h_low={:016x}|h_high={:016x}|sample={}|output={}|seed={}",
+        version,
+        params.h_low.to_bits(),
+        params.h_high.to_bits(),
+        params.sample_clusters,
+        params.output_clusters,
+        params.seed,
+    );
+    encoding_segment(&mut canonical, encoding);
+    md5(canonical.as_bytes())
+}
+
+/// Canonical fingerprint of a query carve:
+/// `(version, canonical query text, encoding)`.
+pub fn query_fingerprint(
+    version: u32,
+    canonical: &str,
+    encoding: Option<&EncodingParams>,
+) -> Digest {
+    let mut text = format!("nc-carve-q1|version={version}|{canonical}");
+    encoding_segment(&mut text, encoding);
+    md5(text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> CustomizeParams {
+        CustomizeParams {
+            h_low: 0.06,
+            h_high: 0.25,
+            sample_clusters: 100,
+            output_clusters: 50,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn plaintext_keys_match_the_pre_encoding_grammar() {
+        let p = params();
+        let legacy = md5(
+            format!(
+                "nc-carve-v1|version=3|h_low={:016x}|h_high={:016x}|sample=100|output=50|seed=42",
+                p.h_low.to_bits(),
+                p.h_high.to_bits(),
+            )
+            .as_bytes(),
+        );
+        assert_eq!(knob_fingerprint(3, &p, None), legacy);
+        let canonical = "{\"pipeline\":[]}";
+        assert_eq!(
+            query_fingerprint(3, canonical, None),
+            md5(format!("nc-carve-q1|version=3|{canonical}").as_bytes())
+        );
+    }
+
+    #[test]
+    fn encoded_and_plaintext_keys_never_collide() {
+        let p = params();
+        let enc = EncodingParams::default();
+        assert_ne!(
+            knob_fingerprint(1, &p, None),
+            knob_fingerprint(1, &p, Some(&enc))
+        );
+        assert_ne!(
+            query_fingerprint(1, "{\"pipeline\":[]}", None),
+            query_fingerprint(1, "{\"pipeline\":[]}", Some(&enc))
+        );
+    }
+
+    #[test]
+    fn encoding_key_and_geometry_are_part_of_the_cache_key() {
+        let p = params();
+        let base = EncodingParams::default();
+        for other in [
+            EncodingParams { key: 7, ..base },
+            EncodingParams { bits: 2048, ..base },
+            EncodingParams { hashes: 5, ..base },
+            EncodingParams { q: 3, ..base },
+        ] {
+            assert_ne!(
+                knob_fingerprint(1, &p, Some(&base)),
+                knob_fingerprint(1, &p, Some(&other)),
+                "{other:?} must key separately"
+            );
+        }
+    }
+
+    #[test]
+    fn version_distinguishes_keys_in_both_grammars() {
+        let p = params();
+        let enc = EncodingParams::default();
+        assert_ne!(
+            knob_fingerprint(1, &p, Some(&enc)),
+            knob_fingerprint(2, &p, Some(&enc))
+        );
+        assert_ne!(
+            query_fingerprint(1, "q", Some(&enc)),
+            query_fingerprint(2, "q", Some(&enc))
+        );
+    }
+}

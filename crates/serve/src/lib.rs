@@ -58,6 +58,7 @@
 
 pub mod cache;
 pub mod carve;
+pub mod fingerprint;
 pub mod http;
 pub mod metrics;
 pub mod retry;
@@ -68,6 +69,7 @@ pub use carve::{
     CacheStatus, CarveEngine, CarveError, CarveOutcome, CarveRequest, CarveResult, DeltaStats,
     QueryCarve, QueryStats,
 };
+pub use fingerprint::{knob_fingerprint, query_fingerprint};
 pub use retry::{RetryExhausted, RetryPolicy};
 pub use server::{Server, ServerHandle, ServeConfig, ServeState};
 pub use snapshot::{PublishDelta, ServeSnapshot, SnapshotRegistry, WatchWindow};

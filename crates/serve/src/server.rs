@@ -34,7 +34,8 @@ use nc_core::scoring::ScoringConfig;
 use nc_query::{CarveQuery, QueryError, QueryErrorKind};
 
 use crate::carve::{
-    json_escape_into, parse_carve_request, CarveError, CarveEngine, CarveOutcome, RequestDefaults,
+    json_escape_into, parse_carve_request, parse_encoding_params, CarveError, CarveEngine,
+    CarveOutcome, RequestDefaults,
 };
 use crate::http::{parse_form, read_request_limited, ParseError, Request, Response};
 use crate::metrics::{Endpoint, Metrics};
@@ -522,13 +523,19 @@ fn carve_from_body(request: &Request, state: &ServeState) -> Response {
 /// The carve-by-query path of `POST /carve`: parse + validate the JSON
 /// query document, run it through the planning carve engine, and
 /// answer with the carve's JSON lines (whole result, no paging — a
-/// query pipeline expresses its own `limit`).
+/// query pipeline expresses its own `limit`). The query string may
+/// carry `encode*` parameters to request CLK-encoded output; any other
+/// query-string key is rejected.
 fn query_carve(request: &Request, state: &ServeState) -> Response {
+    let encoding = match parse_encoding_params(&parse_form(&request.query)) {
+        Ok(encoding) => encoding,
+        Err(err) => return carve_error(err),
+    };
     let query = match CarveQuery::parse(&request.body) {
         Ok(query) => query,
         Err(err) => return query_error(&err),
     };
-    let outcome = match state.engine.carve_query(&query) {
+    let outcome = match state.engine.carve_query_encoded(&query, encoding.as_ref()) {
         Ok(outcome) => outcome,
         Err(CarveError::UnknownVersion(v)) => return query_error(&QueryError::unknown_version(v)),
         Err(err) => return carve_error(err),
@@ -544,13 +551,17 @@ fn query_carve(request: &Request, state: &ServeState) -> Response {
         body.push_str(line);
         body.push('\n');
     }
-    Response::json_lines(200, body.into_bytes())
+    let mut response = Response::json_lines(200, body.into_bytes())
         .header("X-Version", version.to_string())
         .header("X-Cache", status.as_str())
         .header("X-Total-Records", result.records.to_string())
         .header("X-Total-Clusters", result.clusters.to_string())
         .header("X-Duplicate-Pairs", result.duplicate_pairs.to_string())
-        .header("X-Matched-Clusters", result.sampled.len().to_string())
+        .header("X-Matched-Clusters", result.sampled.len().to_string());
+    if let Some(enc) = &encoding {
+        response = response.header("X-Encoding", enc.canonical());
+    }
+    response
 }
 
 /// `POST /carve/explain` — plan the JSON query document without
@@ -615,7 +626,7 @@ fn carve_response(pairs: &[(String, String)], state: &ServeState) -> Response {
         body.push('\n');
     }
 
-    Response::json_lines(200, body.into_bytes())
+    let mut response = Response::json_lines(200, body.into_bytes())
         .header("X-Version", version.to_string())
         .header("X-Cache", status.as_str())
         .header("X-Total-Records", result.records.to_string())
@@ -623,7 +634,11 @@ fn carve_response(pairs: &[(String, String)], state: &ServeState) -> Response {
         .header("X-Duplicate-Pairs", result.duplicate_pairs.to_string())
         .header("X-Page", request.page.to_string())
         .header("X-Page-Size", request.page_size.to_string())
-        .header("X-Page-Records", page.len().to_string())
+        .header("X-Page-Records", page.len().to_string());
+    if let Some(enc) = &request.encoding {
+        response = response.header("X-Encoding", enc.canonical());
+    }
+    response
 }
 
 fn carve_error(err: CarveError) -> Response {

@@ -94,6 +94,7 @@ fn preset_requests(seed: u64) -> Vec<CarveRequest> {
         params,
         page: 0,
         page_size: usize::MAX,
+        encoding: None,
     })
     .collect()
 }

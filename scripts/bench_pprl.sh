@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# PPRL encoding benchmark: builds the release binary, encodes a
+# ≥100k-record voter archive as keyed CLKs, measures encode throughput
+# and encoded-vs-plaintext scoring cost, runs bit-sampling blocking
+# over the record CLKs against the within-cluster gold pairs, and
+# writes BENCH_pprl.json in the repo root. The binary asserts
+# re-encoding is byte-identical and that every --min-* / --max-* gate
+# clears. Any extra arguments are passed through (e.g. --pop 50000
+# --min-completeness 0.8 --bands 48).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p nc-bench --bin bench_pprl
+exec target/release/bench_pprl --out BENCH_pprl.json "$@"

@@ -58,6 +58,18 @@ cargo run --release -q -p nc-bench --bin bench_query "$@" -- \
     --pop 400 --snapshots 3 --reps 2 --min-records 1 --min-speedup 1 \
     --out target/BENCH_query_smoke.json > /dev/null
 
+echo "=== pprl smoke ==="
+# Tiny-parameter pass through the PPRL encoding benchmark: CLK encode
+# determinism (re-encode spot check), encoded-vs-plaintext scoring
+# cost, and measured encoded-space blocking completeness — the binary
+# asserts each gate and exits non-zero on any failure. The tiny store
+# is cleaner than the 100k archive, so the blocker's default geometry
+# is relaxed to keep the completeness gate meaningful.
+cargo run --release -q -p nc-bench --bin bench_pprl "$@" -- \
+    --pop 400 --snapshots 3 --reps 1 --min-records 1 \
+    --bands 32 --band-bits 14 --max-cand-per-record 50 \
+    --out target/BENCH_pprl_smoke.json > /dev/null
+
 echo "=== serve smoke ==="
 # End-to-end smoke of the carving service on an ephemeral port:
 # /healthz, a carved page (cold + cached), and a clean shutdown —

@@ -708,3 +708,144 @@ fn shutdown_drains_and_releases_the_port() {
     assert_eq!(reply.status, 200);
     restarted.shutdown();
 }
+
+/// Pull the first `first_name` value out of a plaintext carve body so
+/// the encoded body can be checked for plaintext leaks.
+fn first_name_in(body: &str) -> String {
+    let start = body.find("\"first_name\":\"").expect("plaintext first_name") + 14;
+    let rest = &body[start..];
+    let end = rest.find('"').expect("closing quote");
+    rest[..end].to_string()
+}
+
+#[test]
+fn encoded_carve_never_shares_a_cache_entry_with_plaintext() {
+    let store = build_store(41, 300, 8);
+    let (state, handle) = spawn_server(SnapshotRegistry::new(ServeSnapshot::capture(&store, 1)));
+    let addr = handle.addr();
+
+    // Warm the plaintext entry.
+    let plain = get(addr, "/datasets/nc1?seed=8&sample=100&output=20");
+    assert_eq!(plain.status, 200);
+    assert_eq!(plain.header("x-cache"), Some("miss"));
+    assert_eq!(plain.header("x-encoding"), None);
+    assert_eq!(
+        get(addr, "/datasets/nc1?seed=8&sample=100&output=20").header("x-cache"),
+        Some("hit")
+    );
+
+    // The same knobs with `encode=clk` must MISS: a warm plaintext
+    // entry can never answer an encoded request.
+    let target = "/datasets/nc1?seed=8&sample=100&output=20&encode=clk&encode_key=5";
+    let encoded = get(addr, target);
+    assert_eq!(encoded.status, 200, "{}", encoded.body);
+    assert_eq!(encoded.header("x-cache"), Some("miss"));
+    assert_eq!(
+        encoded.header("x-encoding"),
+        Some("enc=clk1|key=5|bits=1024|k=10|q=2")
+    );
+
+    // Same labels, no plaintext: every line carries the keyed token and
+    // record CLK, and the plaintext values are gone.
+    assert_eq!(
+        encoded.body.lines().count(),
+        plain.body.lines().count(),
+        "one encoded line per plaintext record"
+    );
+    for line in encoded.body.lines() {
+        assert!(line.contains("\"ncid_token\":\""), "{line}");
+        assert!(line.contains("\"record_clk\":\""), "{line}");
+    }
+    let leaked = first_name_in(&plain.body);
+    assert!(!leaked.is_empty());
+    assert!(
+        !encoded.body.contains(&leaked),
+        "plaintext {leaked:?} leaked into the encoded body"
+    );
+
+    // The encoded entry is cached under its own key; replaying it does
+    // not disturb the plaintext entry, and a different key misses again.
+    assert_eq!(get(addr, target).header("x-cache"), Some("hit"));
+    assert_eq!(
+        get(addr, "/datasets/nc1?seed=8&sample=100&output=20").header("x-cache"),
+        Some("hit"),
+        "plaintext entry survives beside the encoded one"
+    );
+    let rekeyed = get(
+        addr,
+        "/datasets/nc1?seed=8&sample=100&output=20&encode=clk&encode_key=6",
+    );
+    assert_eq!(rekeyed.header("x-cache"), Some("miss"));
+    assert_ne!(rekeyed.body, encoded.body, "different key, different encodings");
+
+    // POST /carve with form knobs rides the same engine and cache.
+    let form = post_form(
+        addr,
+        "/carve",
+        "preset=nc1&seed=8&sample=100&output=20&encode=clk&encode_key=5",
+    );
+    assert_eq!(form.status, 200, "{}", form.body);
+    assert_eq!(form.header("x-cache"), Some("hit"), "same encoded carve");
+    assert_eq!(form.body, encoded.body);
+
+    assert_eq!(state.engine().cache_stats().entries, 3);
+    handle.shutdown();
+}
+
+#[test]
+fn encoded_query_carves_key_separately_and_reject_document_output() {
+    let store = build_store(42, 300, 8);
+    let (state, handle) = spawn_server(SnapshotRegistry::new(ServeSnapshot::capture(&store, 1)));
+    let addr = handle.addr();
+
+    let q = r#"{"pipeline": [
+        {"match": {"size": {"gte": 2}}},
+        {"sample": {"size": 10, "seed": 3}}
+    ]}"#;
+
+    let plain = post_json(addr, "/carve", q);
+    assert_eq!(plain.status, 200, "{}", plain.body);
+    assert_eq!(plain.header("x-cache"), Some("miss"));
+
+    // The encoded twin of a warm plaintext query carve still misses,
+    // carries the negotiated encoding, and leaks no plaintext.
+    let encoded = post_json(addr, "/carve?encode=clk&encode_key=9", q);
+    assert_eq!(encoded.status, 200, "{}", encoded.body);
+    assert_eq!(encoded.header("x-cache"), Some("miss"));
+    assert_eq!(
+        encoded.header("x-encoding"),
+        Some("enc=clk1|key=9|bits=1024|k=10|q=2")
+    );
+    assert_eq!(encoded.body.lines().count(), plain.body.lines().count());
+    let leaked = first_name_in(&plain.body);
+    assert!(!encoded.body.contains(&leaked), "{leaked:?} leaked");
+
+    // Both twins stay warm under their own fingerprints.
+    assert_eq!(post_json(addr, "/carve", q).header("x-cache"), Some("hit"));
+    assert_eq!(
+        post_json(addr, "/carve?encode=clk&encode_key=9", q).header("x-cache"),
+        Some("hit")
+    );
+
+    // A document-output pipeline cannot be encoded: its projections
+    // would expose plaintext. Typed 400, and nothing is cached for it.
+    let entries = state.engine().cache_stats().entries;
+    let doc = post_json(
+        addr,
+        "/carve?encode=clk",
+        r#"{"pipeline": [{"count": true}]}"#,
+    );
+    assert_eq!(doc.status, 400, "{}", doc.body);
+    assert!(doc.body.contains("cluster-output"), "{}", doc.body);
+    assert_eq!(state.engine().cache_stats().entries, entries);
+
+    // Bad encoding knobs answer 400 before the query is even parsed.
+    let bad = post_json(addr, "/carve?encode=rot13", q);
+    assert_eq!(bad.status, 400);
+    assert!(bad.body.contains("unknown encoding"), "{}", bad.body);
+    let orphan = post_json(addr, "/carve?encode_key=4", q);
+    assert_eq!(orphan.status, 400);
+    assert!(orphan.body.contains("requires `encode=clk`"), "{}", orphan.body);
+
+    handle.shutdown();
+}
